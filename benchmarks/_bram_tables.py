@@ -1,0 +1,86 @@
+"""Shared runner for Tables II-V (compressed-architecture BRAM counts)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import bram_table
+
+from _util import bench_images, report
+
+#: The paper's packed-bits columns (T=0, 2, 4, 6) and management column,
+#: per resolution — printed alongside our measurements for comparison.
+PAPER_TABLES = {
+    512: {
+        "packed": {
+            8: (2, 2, 2, 1),
+            16: (4, 4, 2, 2),
+            32: (8, 8, 4, 4),
+            64: (16, 16, 16, 8),
+            128: (32, 32, 32, 16),
+        },
+        "mgmt": {8: 2, 16: 2, 32: 2, 64: 3, 128: 5},
+    },
+    1024: {
+        "packed": {
+            8: (4, 4, 2, 2),
+            16: (8, 8, 4, 4),
+            32: (16, 16, 8, 8),
+            64: (32, 32, 16, 16),
+            128: (64, 64, 32, 32),
+        },
+        "mgmt": {8: 2, 16: 2, 32: 3, 64: 5, 128: 9},
+    },
+    2048: {
+        "packed": {
+            8: (4, 4, 4, 4),
+            16: (8, 8, 8, 8),
+            32: (16, 16, 16, 16),
+            64: (32, 32, 32, 32),
+            128: (64, 64, 64, 64),
+        },
+        "mgmt": {8: 2, 16: 3, 32: 5, 64: 9, 128: 16},
+    },
+    3840: {
+        "packed": {
+            8: (8, 8, 8, 8),
+            16: (16, 16, 16, 16),
+            32: (32, 32, 32, 32),
+            64: (64, 64, 64, 64),
+            128: (128, 128, 128, 128),
+        },
+        "mgmt": {8: 4, 16: 6, 32: 9, 64: 16, 128: 28},
+    },
+}
+
+#: (width, window) management cells where our BRAM-geometry arithmetic
+#: cannot reproduce the paper's number from its own formulas (documented
+#: in EXPERIMENTS.md); everywhere else we assert an exact match.
+MGMT_DEVIATIONS = {(3840, 32), (3840, 64), (3840, 128)}
+
+
+def run_bram_table(benchmark, width: int, table_name: str):
+    """Run one of Tables II-V and compare against the paper."""
+    result = benchmark.pedantic(
+        lambda: bram_table(width, n_images=bench_images()),
+        rounds=1,
+        iterations=1,
+    )
+    ref = PAPER_TABLES[width]
+    lines = [result.render(), "", "paper reference (packed T=0/2/4/6 | mgmt):"]
+    for n in result.windows:
+        lines.append(f"  window {n:>3}: {ref['packed'][n]} | {ref['mgmt'][n]}")
+    report(table_name, "\n".join(lines))
+
+    for n in result.windows:
+        # Management BRAMs are pure arithmetic: assert exact match except
+        # for the paper's internally-inconsistent 3840 cells.
+        plan = result.plans[(n, 0)]
+        if (width, n) not in MGMT_DEVIATIONS:
+            assert plan.management_brams == ref["mgmt"][n], (width, n)
+        # Packed BRAMs depend on the dataset; assert the structural shape:
+        # counts never increase with threshold, and stay within a factor
+        # of two of the paper's cells.
+        counts = [result.plans[(n, t)].packed_brams for t in result.thresholds]
+        assert counts == sorted(counts, reverse=True)
+        for got, paper in zip(counts, ref["packed"][n]):
+            assert paper / 2 <= got <= paper * 2, (width, n, got, paper)
+    return result

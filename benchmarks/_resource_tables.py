@@ -1,0 +1,20 @@
+"""Shared runner for Tables VI-X (LUT / register / Fmax estimates)."""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import resource_table
+from repro.hardware.resources import BLOCK_ANCHORS
+
+from _util import report
+
+
+def run_resource_table(benchmark, module: str, table_name: str):
+    """Render one resource table; anchored cells must equal the paper."""
+    result = benchmark.pedantic(
+        lambda: resource_table(module), rounds=1, iterations=1
+    )
+    report(table_name, result.render())
+    for n, (luts, regs) in BLOCK_ANCHORS[module].items():
+        est = result.model.estimate(module, n)
+        assert (est.luts, est.registers) == (luts, regs), (module, n)
+    return result

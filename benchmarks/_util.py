@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench regenerates one paper artifact (table or figure), prints the
+rendered comparison and archives it under ``benchmarks/out/``.  Geometry
+can be scaled through environment variables so CI can run the full paper
+geometry while a laptop smoke run stays fast:
+
+- ``REPRO_BENCH_IMAGES``  — benchmark-suite size (default 4, paper 10)
+- ``REPRO_BENCH_FULL=1``  — use the paper's full resolutions everywhere
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_images() -> int:
+    """Number of suite images the benches sweep (env-tunable)."""
+    return int(os.environ.get("REPRO_BENCH_IMAGES", "4"))
+
+
+def full_geometry() -> bool:
+    """True when benches should use the paper's full resolutions."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def report(name: str, rendered: str) -> None:
+    """Print a rendered artifact and archive it under benchmarks/out/."""
+    print()
+    print(rendered)
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(rendered + "\n")

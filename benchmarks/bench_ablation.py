@@ -1,0 +1,72 @@
+"""Ablations for the Section IV.C design choices.
+
+The paper argues (without numbers) that: one decomposition level is
+enough; Haar beats 5/3 and 9/7 on hardware cost at a modest compression
+penalty; and per-column NBits beats per-coefficient and per-sub-band once
+management bits are counted.  These benches put numbers on all three.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import (
+    ablation_levels,
+    ablation_nbits_granularity,
+    ablation_wavelets,
+)
+from repro.analysis.tables import render_table
+from repro.core.transform.lifting import WAVELETS
+from repro.hardware.resources import ResourceModel
+
+from _util import report
+
+
+def test_bench_ablation_wavelets(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_wavelets(resolution=512, window=64, n_images=2),
+        rounds=1,
+        iterations=1,
+    )
+    # Pair the compression numbers with the hardware cost model.
+    model = ResourceModel()
+    rows = []
+    bpp = {name: v for name, v, _ in result.rows}
+    for name, wavelet in WAVELETS.items():
+        est = model.wavelet_scaled("iwt", 64, wavelet.adders_per_butterfly)
+        rows.append([name, bpp[name], est.luts])
+    cost = render_table(
+        ["wavelet", "payload bits/pixel", "IWT LUTs (N=64)"],
+        rows,
+        title="Ablation — compression vs hardware cost",
+    )
+    report("ablation_wavelets", result.render() + "\n\n" + cost)
+    # Haar compresses within ~20 % of 5/3 at half the datapath cost.
+    assert bpp["haar"] < bpp["legall53"] * 1.25
+
+
+def test_bench_ablation_levels(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_levels(resolution=512, window=64, n_images=2),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_levels", result.render())
+    bpp = {name: v for name, v, _ in result.rows}
+    assert bpp["2 level(s)"] <= bpp["1 level(s)"]
+    # Deviation from the paper's qualitative claim: because our LL costs a
+    # full 9 bits/coefficient, a second level (which decomposes LL) helps
+    # substantially; diminishing returns only set in at level 3.  Recorded
+    # in EXPERIMENTS.md.
+    gain2 = bpp["1 level(s)"] - bpp["2 level(s)"]
+    gain3 = bpp["2 level(s)"] - bpp["3 level(s)"]
+    assert gain3 < gain2  # diminishing returns per extra level
+
+
+def test_bench_ablation_nbits(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_nbits_granularity(resolution=512, window=64, n_images=2),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_nbits", result.render())
+    totals = {name: v for name, v, _ in result.rows}
+    assert totals["per-column (paper)"] < totals["per-sub-band"]

@@ -1,0 +1,66 @@
+"""Extensions beyond the paper: LL-DPCM and deeper decomposition.
+
+The architecture's compressed footprint is floored by the LL band
+(~2.25 bits/pixel at 9 bits/coefficient) plus the BitMap.  Two cheap
+datapath extensions attack that floor: a second decomposition level
+(re-decompose LL in place) and horizontal DPCM on LL (one subtractor).
+This bench measures both against the paper's baseline configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArchitectureConfig, analyze_image
+from repro.analysis.tables import render_table
+from repro.imaging import benchmark_dataset
+
+from _util import bench_images, report
+
+
+def test_bench_extensions(benchmark):
+    resolution, window = 512, 64
+    images = benchmark_dataset(resolution, n_images=min(bench_images(), 4))
+
+    variants = {
+        "paper baseline (1 level)": {},
+        "LL-DPCM": {"ll_dpcm": True},
+        "2 levels": {"decomposition_levels": 2},
+        "2 levels + LL-DPCM": {"decomposition_levels": 2, "ll_dpcm": True},
+    }
+
+    def sweep():
+        rows = []
+        for name, extra in variants.items():
+            for t in (0, 6):
+                config = ArchitectureConfig(
+                    image_width=resolution,
+                    image_height=resolution,
+                    window_size=window,
+                    threshold=t,
+                    **extra,
+                )
+                savings = [
+                    analyze_image(config, img.astype(np.int64)).memory_saving_percent
+                    for img in images
+                ]
+                rows.append([name, t, float(np.mean(savings))])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rendered = render_table(
+        ["variant", "T", "mean saving %"],
+        rows,
+        title=f"Extensions beyond the paper, {resolution}x{resolution}, N={window}",
+    )
+    report("extensions", rendered)
+
+    by_key = {(r[0], r[1]): r[2] for r in rows}
+    base0 = by_key[("paper baseline (1 level)", 0)]
+    # Each extension improves the lossless saving meaningfully.
+    assert by_key[("LL-DPCM", 0)] > base0 + 5
+    assert by_key[("2 levels", 0)] > base0 + 5
+    # The combination is the best lossless configuration.
+    combo = by_key[("2 levels + LL-DPCM", 0)]
+    assert combo >= by_key[("LL-DPCM", 0)] - 1
+    assert combo >= by_key[("2 levels", 0)] - 1

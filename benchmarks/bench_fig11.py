@@ -1,0 +1,17 @@
+"""Fig 11 — memory mapping options (1/2/4/8 rows per BRAM).
+
+Paper reference: nominal savings 0 %, ~50 %, ~75 %, ~87.5 %.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig11_mapping_options
+
+from _util import report
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark.pedantic(fig11_mapping_options, rounds=1, iterations=1)
+    report("fig11", result.render())
+    savings = {r: s for r, s, _ in result.rows}
+    assert savings == {1: 0.0, 2: 50.0, 4: 75.0, 8: 87.5}

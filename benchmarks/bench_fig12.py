@@ -1,0 +1,35 @@
+"""Fig 12 — the example dataset images (Places substitute).
+
+Renders the ten-image benchmark suite to PGM files and reports per-image
+statistics; the paper shows thumbnails of indoor and outdoor scenes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_table
+from repro.imaging.dataset import dataset_images
+from repro.imaging.pgm import write_pgm
+
+from _util import OUT_DIR, report
+
+
+def test_bench_fig12(benchmark):
+    named = benchmark.pedantic(
+        lambda: dataset_images(512), rounds=1, iterations=1
+    )
+    gallery = OUT_DIR / "fig12"
+    gallery.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for name, img in named:
+        write_pgm(gallery / f"{name}.pgm", img)
+        rows.append(
+            [name, float(img.mean()), float(img.std()), int(img.min()), int(img.max())]
+        )
+    rendered = render_table(
+        ["image", "mean", "std", "min", "max"],
+        rows,
+        title="Fig 12 — benchmark suite (rendered to benchmarks/out/fig12/*.pgm)",
+    )
+    report("fig12", rendered)
+    classes = {n.split("-")[1] for n, _ in named}
+    assert classes == {"indoor", "outdoor"}

@@ -1,0 +1,33 @@
+"""Fig 13 — % memory savings with 90 % CIs at 2048x2048.
+
+Paper reference: lossless (T=0) savings 26-34 % across window sizes,
+rising to 41-54 % at T=6.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import fig13_memory_savings
+
+from _util import bench_images, report
+
+
+def test_bench_fig13(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig13_memory_savings(
+            resolution=2048,
+            n_images=bench_images(),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    extra = "\npaper reference: T=0 saves 26-34 %; T=6 saves 41-54 %"
+    report("fig13", result.render() + extra)
+
+    # Shape assertions: savings grow with threshold for every window size.
+    for n in result.windows:
+        means = [result.savings[(n, t)].mean for t in result.thresholds]
+        assert means == sorted(means)
+    # Lossless savings land in a plausible band around the paper's.
+    lossless = [result.savings[(n, 0)].mean for n in result.windows]
+    assert min(lossless) > 15.0
+    assert max(lossless) < 60.0

@@ -1,0 +1,29 @@
+"""Abstract claims — lossless 25-70 % and lossy up to 84 % BRAM savings.
+
+These are BRAM-count-level savings (Tables II-V vs Table I): the paper's
+84 % best case is window 128 at 512 x 512 with T=6 -> (128-21)/128.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import headline_claims
+
+from _util import bench_images, report
+
+
+def test_bench_headline(benchmark):
+    result = benchmark.pedantic(
+        lambda: headline_claims(n_images=min(bench_images(), 4)),
+        rounds=1,
+        iterations=1,
+    )
+    report("headline", result.render())
+    lo, hi = result.lossless_range
+    # The paper's lossless band is 25-70 %.  Our lower bound can hit 0 % at
+    # 3840 x 3840 where a compressed row narrowly misses fitting one BRAM
+    # (dataset-dependent; see EXPERIMENTS.md); the upper bound matches.
+    assert 0.0 <= lo <= 45.0
+    assert 55.0 <= hi <= 80.0
+    # The lossy best case reproduces the paper's 84 % almost exactly
+    # (window 128 at 512 x 512: (128 - 21) / 128 = 83.6 %).
+    assert result.best_lossy >= 75.0

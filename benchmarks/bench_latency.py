@@ -1,0 +1,57 @@
+"""Latency overhead of the compression pipeline (Section V claim).
+
+"The proposed architecture is fully pipelined, giving similar performance
+to the traditional architecture": identical throughput, a constant handful
+of extra latency cycles.
+"""
+
+from __future__ import annotations
+
+from repro import ArchitectureConfig
+from repro.analysis.tables import render_table
+from repro.hardware.latency import (
+    compressed_latency,
+    latency_overhead_percent,
+    traditional_latency,
+)
+
+from _util import report
+
+
+def test_bench_latency(benchmark):
+    def sweep():
+        rows = []
+        for window in (8, 16, 32, 64, 128):
+            cfg = ArchitectureConfig(
+                image_width=2048, image_height=2048, window_size=window
+            )
+            trad = traditional_latency(cfg)
+            comp = compressed_latency(cfg)
+            rows.append(
+                [
+                    window,
+                    trad.first_output_cycle,
+                    comp.first_output_cycle,
+                    comp.latency_overhead_cycles,
+                    f"{latency_overhead_percent(cfg):.4f}%",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rendered = render_table(
+        [
+            "window",
+            "traditional first-output cycle",
+            "compressed first-output cycle",
+            "extra cycles",
+            "overhead",
+        ],
+        rows,
+        title="Pipeline latency at 2048x2048",
+    )
+    report("latency", rendered)
+    # The overhead is a window-independent constant and negligible.
+    extras = {r[3] for r in rows}
+    assert len(extras) == 1
+    assert all(float(r[4].rstrip("%")) < 0.1 for r in rows)

@@ -1,0 +1,34 @@
+"""Section VI.A — MSE vs threshold.
+
+Paper reference: T = 2, 4, 6 give MSE = 0.59, 3.2, 4.8.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import mse_vs_threshold
+
+from _util import bench_images, report
+
+
+def test_bench_mse(benchmark):
+    result = benchmark.pedantic(
+        lambda: mse_vs_threshold(
+            resolution=512,
+            window=64,
+            thresholds=(2, 4, 6),
+            n_images=bench_images(),
+            include_recirculated=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("mse", result.render())
+    means = [result.single_pass[t].mean for t in (2, 4, 6)]
+    # Shape: strictly increasing in T and in the paper's order of magnitude.
+    assert means == sorted(means)
+    assert 0.05 < means[0] < 2.0      # paper: 0.59
+    assert 0.3 < means[2] < 10.0      # paper: 4.8
+    # Lossy recirculation can only degrade quality.
+    assert result.recirculated is not None
+    for t in (2, 4, 6):
+        assert result.recirculated[t].mean >= result.single_pass[t].mean * 0.99

@@ -1,0 +1,116 @@
+"""Related-work comparison (Section II, quantified).
+
+The paper compares qualitatively against block buffering [5][6], segment
+processing [7] and JPEG-LS [8].  These benches run all of them against
+the traditional and compressed line-buffer architectures on the same
+image and tabulate the on-chip-memory vs off-chip-bandwidth trade-off and
+the coding-efficiency ladder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArchitectureConfig, CompressedEngine, analyze_image
+from repro.analysis.coding import coding_efficiency
+from repro.analysis.tables import render_table
+from repro.baselines.blockbuffer import BlockBufferingArchitecture
+from repro.baselines.segmentation import SegmentedArchitecture
+from repro.imaging import benchmark_dataset
+from repro.kernels import BoxFilterKernel
+
+from _util import report
+
+
+def test_bench_buffering_tradeoffs(benchmark):
+    """On-chip bits vs off-chip reads for all four buffering schemes."""
+    resolution, window = 256, 16
+    config = ArchitectureConfig(
+        image_width=resolution,
+        image_height=resolution,
+        window_size=window,
+        threshold=6,
+    )
+    image = benchmark_dataset(resolution, n_images=1)[0].astype(np.int64)
+    kernel = BoxFilterKernel(window)
+
+    def run_all():
+        rows = []
+        # Traditional line buffers: 1 read/pixel, full-width buffering.
+        rows.append(
+            [
+                "traditional line buffers",
+                config.traditional_buffer_bits,
+                1.0,
+                "yes",
+            ]
+        )
+        # Compressed line buffers (this paper).
+        comp = CompressedEngine(config, kernel).run(image)
+        rows.append(
+            [
+                "compressed line buffers (paper)",
+                comp.stats.buffer_bits_peak,
+                1.0,
+                "yes",
+            ]
+        )
+        # Block buffering [5][6].
+        for b in (window, 2 * window, 4 * window):
+            _, rep = BlockBufferingArchitecture(config, kernel, b).run(image)
+            rows.append(
+                [
+                    f"block buffering [5,6] B={b}",
+                    rep.onchip_bits,
+                    round(rep.reads_per_output, 2),
+                    "no",
+                ]
+            )
+        # Segment processing [7].
+        for s in (2 * window, 4 * window):
+            _, rep = SegmentedArchitecture(config, kernel, s).run(image)
+            rows.append(
+                [
+                    f"segmented [7] S={s}",
+                    rep.onchip_bits,
+                    round(rep.reads_per_output, 2),
+                    "no",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rendered = render_table(
+        ["architecture", "on-chip bits", "off-chip reads/output", "camera streaming"],
+        rows,
+        title=f"Buffering trade-offs, {resolution}x{resolution}, N={window}, T=6",
+    )
+    report("related_work_buffering", rendered)
+    # The paper's scheme is the only one that cuts memory while keeping
+    # exactly one off-chip read per output and streaming capability.
+    by_name = {r[0]: r for r in rows}
+    comp_bits = by_name["compressed line buffers (paper)"][1]
+    assert comp_bits < by_name["traditional line buffers"][1]
+    for name, row in by_name.items():
+        if name.startswith(("block", "segmented")):
+            assert row[2] > 1.0
+
+
+def test_bench_coding_efficiency(benchmark):
+    """NBits packing vs entropy bound vs simplified JPEG-LS."""
+    config = ArchitectureConfig(
+        image_width=256, image_height=256, window_size=32, threshold=0
+    )
+    image = benchmark_dataset(256, n_images=1)[0].astype(np.int64)
+    result = benchmark.pedantic(
+        lambda: coding_efficiency(config, image), rounds=1, iterations=1
+    )
+    report("coding_efficiency", result.render())
+    # Ladder ordering.  Note: the pooled first-order entropy is a bound for
+    # *memoryless* coefficient coders only; NBits packing adapts per column
+    # and per sub-band, so it can land below it (and does on smooth scenes).
+    assert result.loco_bpp < result.nbits_total_bpp
+    assert result.nbits_total_bpp < result.raw_bpp
+    # NBits payload stays within ~1.5x of the pooled entropy — 'good
+    # compression ratios' for a coder this cheap (Section II's claim).
+    assert result.nbits_overhead_vs_entropy < 1.5

@@ -1,0 +1,50 @@
+"""Sensitivity of the savings to scene statistics (substitution validity).
+
+The reproduction's dataset is synthetic; these sweeps show the paper's
+qualitative behaviour holds across the generator's whole parameter
+neighbourhood, not just at the calibrated point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sensitivity import sensitivity_sweep
+
+from _util import report
+
+
+def test_bench_sensitivity_noise(benchmark):
+    result = benchmark.pedantic(
+        lambda: sensitivity_sweep("sensor_noise", resolution=256, seeds=(1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    report("sensitivity_noise", result.render())
+    points = result.points
+    # Noise monotonically destroys the lossless saving...
+    lossless = [p.saving_lossless for p in points]
+    assert lossless == sorted(lossless, reverse=True)
+    # ...but the lossy threshold absorbs small-amplitude noise.
+    by_value = {p.value: p for p in points}
+    assert by_value[4.0].saving_lossy > by_value[4.0].saving_lossless + 10
+
+
+def test_bench_sensitivity_texture(benchmark):
+    result = benchmark.pedantic(
+        lambda: sensitivity_sweep("texture_amplitude", resolution=256, seeds=(1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    report("sensitivity_texture", result.render())
+    lossless = [p.saving_lossless for p in result.points]
+    assert lossless[0] > lossless[-1]
+
+
+def test_bench_sensitivity_luminance(benchmark):
+    result = benchmark.pedantic(
+        lambda: sensitivity_sweep("base_luminance", resolution=256, seeds=(1, 2)),
+        rounds=1,
+        iterations=1,
+    )
+    report("sensitivity_luminance", result.render())
+    # Brightness moves LL by at most one NBits step: savings stay stable.
+    assert result.lossless_span < 15.0

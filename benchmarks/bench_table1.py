@@ -1,0 +1,27 @@
+"""Table I — traditional architecture 18 Kb BRAM counts.
+
+Pure geometry arithmetic; must match the paper cell for cell.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import table1_traditional_brams
+
+from _util import report
+
+#: The paper's Table I, verbatim.
+PAPER_TABLE_1 = {
+    8: {512: 8, 1024: 8, 2048: 8, 3840: 16},
+    16: {512: 16, 1024: 16, 2048: 16, 3840: 32},
+    32: {512: 32, 1024: 32, 2048: 32, 3840: 64},
+    64: {512: 64, 1024: 64, 2048: 64, 3840: 128},
+    128: {512: 128, 1024: 128, 2048: 128, 3840: 256},
+}
+
+
+def test_bench_table1(benchmark):
+    result = benchmark.pedantic(table1_traditional_brams, rounds=1, iterations=1)
+    report("table1", result.render() + "\nexact match against the paper: asserted")
+    for n, row in PAPER_TABLE_1.items():
+        for w, expected in row.items():
+            assert result.counts[(n, w)] == expected, (n, w)

@@ -1,0 +1,13 @@
+"""Table X — overall architecture resources (window 128 exceeds XC7Z020)."""
+
+from __future__ import annotations
+
+from repro.hardware.device import XC7Z020
+
+from _resource_tables import run_resource_table
+
+
+def test_bench_table10(benchmark):
+    result = run_resource_table(benchmark, "overall", "table10")
+    assert not result.model.overall(128).fits(XC7Z020)
+    assert result.model.overall(64).fits(XC7Z020)

@@ -1,0 +1,9 @@
+"""Table II — compressed-architecture BRAMs at 512x512."""
+
+from __future__ import annotations
+
+from _bram_tables import run_bram_table
+
+
+def test_bench_table2(benchmark):
+    run_bram_table(benchmark, 512, "table2")

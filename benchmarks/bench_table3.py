@@ -1,0 +1,9 @@
+"""Table III — compressed-architecture BRAMs at 1024x1024."""
+
+from __future__ import annotations
+
+from _bram_tables import run_bram_table
+
+
+def test_bench_table3(benchmark):
+    run_bram_table(benchmark, 1024, "table3")

@@ -1,0 +1,9 @@
+"""Table IV — compressed-architecture BRAMs at 2048x2048."""
+
+from __future__ import annotations
+
+from _bram_tables import run_bram_table
+
+
+def test_bench_table4(benchmark):
+    run_bram_table(benchmark, 2048, "table4")

@@ -1,0 +1,9 @@
+"""Table V — compressed-architecture BRAMs at 3840x3840."""
+
+from __future__ import annotations
+
+from _bram_tables import run_bram_table
+
+
+def test_bench_table5(benchmark):
+    run_bram_table(benchmark, 3840, "table5")

@@ -1,0 +1,9 @@
+"""Table VII — Bit Packing unit resources."""
+
+from __future__ import annotations
+
+from _resource_tables import run_resource_table
+
+
+def test_bench_table7(benchmark):
+    run_resource_table(benchmark, "bit_packing", "table7")

@@ -1,0 +1,9 @@
+"""Table VIII — Bit Unpacking unit resources."""
+
+from __future__ import annotations
+
+from _resource_tables import run_resource_table
+
+
+def test_bench_table8(benchmark):
+    run_resource_table(benchmark, "bit_unpacking", "table8")

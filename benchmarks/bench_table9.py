@@ -1,0 +1,9 @@
+"""Table IX — Inverse IWT block resources."""
+
+from __future__ import annotations
+
+from _resource_tables import run_resource_table
+
+
+def test_bench_table9(benchmark):
+    run_resource_table(benchmark, "iiwt", "table9")

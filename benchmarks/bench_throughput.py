@@ -1,0 +1,50 @@
+"""Throughput — the architecture is fully pipelined (Section V).
+
+Both engines sustain one output per processing cycle; the compressed
+pipeline adds latency, not throughput loss.  Also times the vectorised
+band codec as a software-performance benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArchitectureConfig
+from repro.analysis.experiments import throughput_experiment
+from repro.core.packing.packer import BandCodec
+from repro.imaging import benchmark_dataset
+
+from _util import report
+
+
+def test_bench_throughput_cycles(benchmark):
+    result = benchmark.pedantic(
+        lambda: throughput_experiment(resolution=128, window=8),
+        rounds=1,
+        iterations=1,
+    )
+    report("throughput", result.render())
+    rows = {r[0]: r for r in result.rows}
+    assert rows["traditional"][3] == rows["compressed"][3]
+
+
+def test_bench_codec_encode_speed(benchmark):
+    """Software throughput of the vectorised encoder (pixels/second)."""
+    config = ArchitectureConfig(image_width=512, image_height=512, window_size=64)
+    band = benchmark_dataset(512, n_images=1)[0][:64].astype(np.int64)
+    codec = BandCodec(config)
+    encoded = benchmark(codec.encode_band, band)
+    assert encoded.payload_bits > 0
+
+
+def test_bench_codec_roundtrip_speed(benchmark):
+    """Software throughput of a full encode+decode round trip."""
+    config = ArchitectureConfig(image_width=512, image_height=512, window_size=64)
+    band = benchmark_dataset(512, n_images=1)[0][:64].astype(np.int64)
+    codec = BandCodec(config)
+
+    def roundtrip():
+        return codec.decode_band(codec.encode_band(band))
+
+    out = benchmark(roundtrip)
+    assert np.array_equal(out, band)

@@ -1,0 +1,27 @@
+"""The paper's concluding trade: BRAMs saved for LUTs spent.
+
+"...reduce BRAMs at the expense of introducing more LUTs resources."
+Quantified per window size on the benchmark suite, with device fit.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tradeoff import bram_lut_tradeoff
+
+from _util import report
+
+
+def test_bench_tradeoff(benchmark):
+    result = benchmark.pedantic(
+        lambda: bram_lut_tradeoff(width=512, threshold=6, n_images=2),
+        rounds=1,
+        iterations=1,
+    )
+    report("tradeoff", result.render())
+    by_window = {p.window: p for p in result.points}
+    # Savings grow with window size; window 128 busts the XC7Z020 on LUTs
+    # even though its BRAM saving is the largest (Table X's dashed row).
+    saved = [p.brams_saved for p in result.points]
+    assert saved == sorted(saved)
+    assert by_window[64].fits_device
+    assert not by_window[128].fits_device

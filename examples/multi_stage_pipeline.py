@@ -1,0 +1,78 @@
+"""Multi-stage pipeline: compressing every stage's line buffers.
+
+Section I: "most image processing algorithms consist of 2-5 sequential
+sliding window operations ... these implementations require a high number
+of BRAMs for implementing multiple sets of buffer lines."  This example
+builds a Gaussian -> Sobel -> median corner-ish pipeline and reports the
+aggregate buffering saving of compressing all three stages.
+
+Run:  python examples/multi_stage_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArchitectureConfig, PipelineStage, SlidingWindowPipeline
+from repro.analysis.tables import render_table
+from repro.imaging import generate_scene
+from repro.kernels import GaussianKernel, MedianKernel, SobelMagnitudeKernel
+
+
+def main() -> None:
+    resolution = 256
+    image = generate_scene(seed=23, resolution=resolution)
+    base = ArchitectureConfig(
+        image_width=resolution,
+        image_height=resolution,
+        window_size=8,
+        threshold=4,
+    )
+    stages = [
+        PipelineStage(kernel=GaussianKernel(1.6, 8), window_size=8),
+        PipelineStage(kernel=SobelMagnitudeKernel(8), window_size=8),
+        PipelineStage(kernel=MedianKernel(8), window_size=8),
+    ]
+
+    compressed = SlidingWindowPipeline(base, stages, compressed=True).run(image)
+    traditional = SlidingWindowPipeline(base, stages, compressed=False).run(image)
+
+    rows = []
+    for i, (c_stage, t_stage) in enumerate(
+        zip(compressed.stages, traditional.stages)
+    ):
+        rows.append(
+            [
+                f"{i + 1}: {stages[i].kernel.name}",
+                t_stage.run.stats.buffer_bits_peak,
+                c_stage.run.stats.buffer_bits_peak,
+                f"{c_stage.run.stats.memory_saving_percent:.1f}%",
+            ]
+        )
+    rows.append(
+        [
+            "TOTAL",
+            traditional.total_buffer_bits,
+            compressed.total_buffer_bits,
+            f"{compressed.memory_saving_percent:.1f}%",
+        ]
+    )
+    print(
+        render_table(
+            ["stage", "traditional bits", "compressed bits", "saving"],
+            rows,
+            title="3-stage pipeline line-buffer footprint (T=4)",
+        )
+    )
+
+    diff = np.abs(
+        compressed.outputs.astype(float) - traditional.outputs.astype(float)
+    )
+    print(
+        f"\nfinal-output divergence from the raw pipeline: "
+        f"max {diff.max():.1f}, mean {diff.mean():.3f} grey levels"
+    )
+
+
+if __name__ == "__main__":
+    main()

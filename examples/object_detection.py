@@ -1,0 +1,79 @@
+"""Object detection: bigger detection windows under a fixed BRAM budget.
+
+Section I's first motivating application: "the maximum detectable size is
+limited by the window size supported in hardware".  This example plants a
+target in a synthetic scene, finds it with a SAD template-match kernel,
+and shows how many BRAMs each detection window size costs on the
+traditional vs the compressed architecture — i.e. how much bigger a
+detector the compressed line buffers afford on the same device.
+
+Run:  python examples/object_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArchitectureConfig, CompressedEngine, analyze_image
+from repro.analysis.tables import render_table
+from repro.hardware.device import XC7Z020
+from repro.hardware.mapping import plan_memory_mapping, traditional_bram_count
+from repro.imaging import generate_scene
+from repro.kernels import TemplateMatchKernel
+
+
+def main() -> None:
+    resolution = 512
+    rng = np.random.default_rng(99)
+    scene = generate_scene(seed=31, resolution=resolution).astype(np.int64)
+
+    # Plant a random target patch at a known location.
+    target = rng.integers(0, 256, size=(48, 48))
+    top, left = 301, 142
+    scene[top : top + 48, left : left + 48] = target
+
+    # Detect with a 48x48 SAD window through the compressed architecture.
+    config = ArchitectureConfig(
+        image_width=resolution, image_height=resolution, window_size=48, threshold=0
+    )
+    kernel = TemplateMatchKernel(target.astype(np.int64))
+    run = CompressedEngine(config, kernel).run(scene)
+    found = kernel.best_match(run.outputs)
+    print(f"planted target at ({top}, {left}); detector found {found}")
+    assert found == (top, left)
+
+    # BRAM cost of scaling the detection window, both architectures.
+    print()
+    rows = []
+    for window in (8, 16, 32, 64, 128):
+        cfg = ArchitectureConfig(
+            image_width=resolution,
+            image_height=resolution,
+            window_size=window,
+            threshold=6,
+        )
+        report = analyze_image(cfg, scene)
+        plan = plan_memory_mapping(cfg, report.row_bits_worst)
+        rows.append(
+            [
+                window,
+                traditional_bram_count(cfg),
+                plan.total_brams,
+                f"{plan.bram_saving_percent:.0f}%",
+            ]
+        )
+    print(
+        render_table(
+            ["detection window", "traditional BRAMs", "compressed BRAMs", "saving"],
+            rows,
+            title=f"Detector size vs BRAM cost at {resolution}x{resolution} (T=6)",
+        )
+    )
+    print(
+        f"\nXC7Z020 has {XC7Z020.bram18k} x 18Kb BRAMs total — the compressed "
+        f"architecture roughly doubles the largest affordable detector."
+    )
+
+
+if __name__ == "__main__":
+    main()

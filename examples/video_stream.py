@@ -1,0 +1,109 @@
+"""Video stream processing under a fixed BRAM budget.
+
+Section V.E's limitation in action: the memory unit is provisioned at
+design time, a scene change makes frames compress worse, and the three
+overflow policies (raise / drop / degrade) respond differently.  The
+adaptive controller (Section VII future work) then keeps the stream
+inside budget with the smallest threshold that fits.
+
+Run:  python examples/video_stream.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AdaptiveThresholdController,
+    ArchitectureConfig,
+    FrameStreamProcessor,
+    analyze_image,
+)
+from repro.analysis.tables import render_table
+from repro.errors import CapacityError
+from repro.imaging import generate_scene
+from repro.imaging.synthetic import SceneParams
+
+
+def make_stream(resolution: int) -> list[np.ndarray]:
+    calm = SceneParams(texture_amplitude=4.0)
+    busy = SceneParams(texture_amplitude=26.0, sensor_noise=4.0, n_structures=22)
+    frames = [generate_scene(700 + i, resolution, calm) for i in range(3)]
+    frames += [generate_scene(800 + i, resolution, busy) for i in range(3)]
+    frames += [generate_scene(900 + i, resolution, calm) for i in range(3)]
+    return frames
+
+
+def main() -> None:
+    resolution, window = 256, 16
+    config = ArchitectureConfig(
+        image_width=resolution, image_height=resolution, window_size=window
+    )
+    frames = make_stream(resolution)
+    budget = int(
+        analyze_image(
+            config.with_threshold(2), frames[0].astype(np.int64)
+        ).peak_buffer_bits
+        * 1.15
+    )
+    print(f"memory unit provisioned for {budget} bits\n")
+
+    # Policy 1: unprotected hardware — the busy frame overflows.
+    proc = FrameStreamProcessor(
+        config=config, budget_bits=budget, policy="raise", threshold=0
+    )
+    try:
+        proc.process(frames)
+    except CapacityError as exc:
+        print(f"policy=raise: {exc}\n")
+
+    # Policy 2: drop bad frames at a fixed threshold.
+    proc_drop = FrameStreamProcessor(
+        config=config, budget_bits=budget, policy="drop", threshold=2
+    )
+    proc_drop.process(frames)
+    print(
+        f"policy=drop, fixed T=2: dropped "
+        f"{proc_drop.drop_rate * 100:.0f}% of frames\n"
+    )
+
+    # Policy 3: degrade within the frame, guided by the adaptive controller.
+    controller = AdaptiveThresholdController(budget_bits=budget, downshift_margin=0.8)
+    proc_adapt = FrameStreamProcessor(
+        config=config,
+        budget_bits=budget,
+        policy="degrade",
+        controller=controller,
+    )
+    records = proc_adapt.process(frames)
+    rows = [
+        [
+            r.index,
+            r.threshold,
+            r.peak_buffer_bits,
+            r.retries,
+            "drop" if r.dropped else ("ok" if r.fits else "over"),
+        ]
+        for r in records
+    ]
+    print(
+        render_table(
+            ["frame", "T", "buffered bits", "retries", "status"],
+            rows,
+            title="policy=degrade with adaptive controller",
+        )
+    )
+    if proc_adapt.drop_rate == 0:
+        print(
+            "\nall frames delivered — the future-work controller turns hard "
+            "overflows into graceful quality loss."
+        )
+    else:
+        print(
+            f"\ndrop rate {proc_adapt.drop_rate * 100:.0f}% — even the most "
+            f"lossy level cannot fit this budget for the busiest frames."
+        )
+
+
+if __name__ == "__main__":
+    main()

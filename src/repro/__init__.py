@@ -1,0 +1,99 @@
+"""repro — compressed line-buffer sliding window architecture.
+
+A production-quality Python reproduction of *"A Modified Sliding Window
+Architecture for Efficient BRAM Resource Utilization"* (Qasaimeh,
+Zambreno, Jones — IPPS 2017): integer-Haar compression of FPGA sliding
+window line buffers, the traditional baseline, cycle-accurate register
+models of every hardware block, BRAM/LUT resource models and a complete
+benchmark harness regenerating every table and figure of the paper's
+evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import ArchitectureConfig, CompressedEngine, TraditionalEngine
+    from repro.kernels import GaussianKernel
+    from repro.imaging import generate_scene
+
+    image = generate_scene(seed=7, resolution=256)
+    config = ArchitectureConfig(image_width=256, image_height=256,
+                                window_size=32, threshold=0)
+    kernel = GaussianKernel(sigma=6.0, window_size=32)
+
+    run = CompressedEngine(config, kernel).run(image)
+    base = TraditionalEngine(config, kernel).run(image)
+    assert np.allclose(run.outputs, base.outputs)   # lossless == exact
+    print(f"buffer saving: {run.stats.memory_saving_percent:.1f}%")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .config import (
+    ArchitectureConfig,
+    PAPER_IMAGE_WIDTHS,
+    PAPER_THRESHOLDS,
+    PAPER_WINDOW_SIZES,
+    paper_configs,
+)
+from .errors import (
+    BitstreamError,
+    CapacityError,
+    ConfigError,
+    DatasetError,
+    ReproError,
+    StateError,
+)
+from .core.stats import BandAnalysis, ImageCompressionReport, analyze_band, analyze_image
+from .core.threshold import AdaptiveThresholdController, choose_threshold_for_budget
+from .core.packing.packer import BandCodec, EncodedBand
+from .core.window import (
+    CompressedCycleEngine,
+    CompressedEngine,
+    GoldenEngine,
+    MultiChannelEngine,
+    SameSizeEngine,
+    SlidingWindowPipeline,
+    PipelineStage,
+    TraditionalCycleEngine,
+    TraditionalEngine,
+    WindowRun,
+)
+from .core.video import FrameRecord, FrameStreamProcessor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchitectureConfig",
+    "PAPER_IMAGE_WIDTHS",
+    "PAPER_THRESHOLDS",
+    "PAPER_WINDOW_SIZES",
+    "paper_configs",
+    "ReproError",
+    "ConfigError",
+    "BitstreamError",
+    "CapacityError",
+    "StateError",
+    "DatasetError",
+    "BandAnalysis",
+    "ImageCompressionReport",
+    "analyze_band",
+    "analyze_image",
+    "AdaptiveThresholdController",
+    "choose_threshold_for_budget",
+    "BandCodec",
+    "EncodedBand",
+    "GoldenEngine",
+    "TraditionalEngine",
+    "TraditionalCycleEngine",
+    "CompressedEngine",
+    "CompressedCycleEngine",
+    "SlidingWindowPipeline",
+    "PipelineStage",
+    "WindowRun",
+    "MultiChannelEngine",
+    "SameSizeEngine",
+    "FrameRecord",
+    "FrameStreamProcessor",
+    "__version__",
+]

@@ -1,0 +1,111 @@
+"""One-shot reproduction report.
+
+``repro report`` regenerates a compact version of every paper artifact in
+one run (reduced geometry by default so it finishes in about a minute)
+and concatenates the rendered tables — a quick way to eyeball the whole
+reproduction without the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ArchitectureConfig
+from ..imaging import benchmark_dataset
+from . import experiments as ex
+from .coding import coding_efficiency
+from .sensitivity import sensitivity_sweep
+from .validation import validate_engines
+
+
+@dataclass(frozen=True, slots=True)
+class ReportOptions:
+    """Geometry knobs for the one-shot report."""
+
+    resolution: int = 512
+    fig13_resolution: int = 1024
+    n_images: int = 3
+    window: int = 64
+    processes: int | None = None
+    #: Include the slow register-level validation pass.
+    validate: bool = True
+
+
+def full_report(options: ReportOptions | None = None) -> str:
+    """Build the concatenated report text."""
+    opt = options or ReportOptions()
+    sections: list[str] = []
+
+    def add(title: str, body: str) -> None:
+        """Append one titled section to the report."""
+        bar = "#" * 72
+        sections.append(f"{bar}\n# {title}\n{bar}\n{body}")
+
+    add(
+        "Fig 3 — buffered bits per sub-band",
+        ex.fig3_memory_trace(
+            resolution=opt.resolution, window=min(opt.window, opt.resolution // 4)
+        ).render(),
+    )
+    add(
+        "Fig 13 — memory savings",
+        ex.fig13_memory_savings(
+            resolution=opt.fig13_resolution,
+            windows=(8, 32, 128),
+            n_images=opt.n_images,
+            processes=opt.processes,
+        ).render(),
+    )
+    add("Table I — traditional BRAMs", ex.table1_traditional_brams().render())
+    add(
+        "Table II — compressed BRAMs at 512x512",
+        ex.bram_table(
+            512, n_images=opt.n_images, processes=opt.processes
+        ).render(),
+    )
+    for module in ("iwt", "bit_packing", "bit_unpacking", "iiwt", "overall"):
+        add(f"Resources — {module}", ex.resource_table(module).render())
+    add(
+        "MSE vs threshold",
+        ex.mse_vs_threshold(
+            resolution=opt.resolution,
+            window=min(opt.window, opt.resolution // 4),
+            n_images=opt.n_images,
+            processes=opt.processes,
+        ).render(),
+    )
+    add("Fig 11 — mapping options", ex.fig11_mapping_options().render())
+    add("Throughput", ex.throughput_experiment().render())
+    add(
+        "Ablation — wavelets",
+        ex.ablation_wavelets(resolution=opt.resolution, n_images=2).render(),
+    )
+    add(
+        "Coding efficiency",
+        coding_efficiency(
+            ArchitectureConfig(
+                image_width=opt.resolution,
+                image_height=opt.resolution,
+                window_size=min(opt.window, opt.resolution // 4),
+            ),
+            benchmark_dataset(opt.resolution, n_images=1)[0].astype("int64"),
+        ).render(),
+    )
+    add(
+        "Sensitivity — sensor noise",
+        sensitivity_sweep(
+            "sensor_noise", resolution=min(opt.resolution, 256), seeds=(1,)
+        ).render(),
+    )
+    if opt.validate:
+        config = ArchitectureConfig(
+            image_width=32, image_height=32, window_size=8
+        )
+        from ..kernels import BoxFilterKernel
+
+        image = benchmark_dataset(32, n_images=1)[0]
+        add(
+            "Engine validation",
+            validate_engines(config, image, BoxFilterKernel(8)).render(),
+        )
+    return "\n\n".join(sections)

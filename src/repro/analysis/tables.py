@@ -1,0 +1,67 @@
+"""Plain-text table rendering for benches, examples and the CLI."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import ConfigError
+
+
+def _fmt(value: object) -> str:
+    """Render one cell: floats with sensible precision, rest via str()."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}" if abs(value) >= 10000 else str(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Numeric-looking columns are right-aligned, text left-aligned; the
+    first row's types decide.  Raises on ragged rows so malformed
+    experiment output fails loudly instead of printing garbage.
+    """
+    str_rows: list[list[str]] = []
+    numeric: list[bool] | None = None
+    for row in rows:
+        if len(row) != len(headers):
+            raise ConfigError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        if numeric is None:
+            numeric = [isinstance(c, (int, float)) for c in row]
+        str_rows.append([_fmt(c) for c in row])
+    if numeric is None:
+        numeric = [False] * len(headers)
+
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        """Format one row with per-column alignment."""
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric[i] else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

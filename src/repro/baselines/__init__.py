@@ -1,0 +1,30 @@
+"""Baselines and related-work comparators (Section II).
+
+The paper positions its design against three families of prior work and
+one compression standard; all four are implemented here so the
+comparisons can be run instead of cited:
+
+- :mod:`repro.baselines.jpegls` — a simplified JPEG-LS (LOCO-I median
+  predictor + adaptive Golomb-Rice coding).  The paper rejects JPEG-LS on
+  hardware grounds (6-stage pipeline, ~27 MHz); this software model
+  quantifies the compression ratio the architecture gives up by using the
+  much simpler NBits packing.
+- :mod:`repro.baselines.blockbuffer` — the block-buffering architecture of
+  refs [5][6]: processes windows a block at a time, trading on-chip memory
+  for >1 off-chip pixel access per window operation.
+- :mod:`repro.baselines.segmentation` — the image-segmentation approach of
+  ref [7]: splits rows into segments processed one at a time, requiring
+  pixels to live off-chip and overlap columns to be re-fetched.
+"""
+
+from .jpegls import LocoLiteCodec
+from .blockbuffer import BlockBufferingArchitecture, BlockBufferingReport
+from .segmentation import SegmentedArchitecture, SegmentedReport
+
+__all__ = [
+    "LocoLiteCodec",
+    "BlockBufferingArchitecture",
+    "BlockBufferingReport",
+    "SegmentedArchitecture",
+    "SegmentedReport",
+]

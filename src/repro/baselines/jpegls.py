@@ -1,0 +1,207 @@
+"""Simplified JPEG-LS: LOCO-I median predictor + adaptive Golomb-Rice.
+
+Section II dismisses JPEG-LS for the line-buffer use case on hardware
+grounds (an FPGA implementation "has a 6-stage pipeline and its maximum
+operational frequency is around 27 MHz") while conceding its compression
+is strong.  This module provides a faithful *software* comparator so the
+benchmark harness can measure how much compression the paper's NBits
+scheme leaves on the table.
+
+What is implemented (per scan line, raster order):
+
+1. the LOCO-I / JPEG-LS fixed predictor — the *median edge detector*
+   ``P = median(a, b, a + b - c)`` over the west / north / north-west
+   neighbours;
+2. residual folding to non-negative integers (the standard zig-zag map);
+3. Golomb-Rice coding with the standard per-sample adaptive parameter
+   ``k = min k : N * 2^k >= A`` driven by running count/accumulator state
+   (a single context — the run mode and the 365-context modeller of the
+   full standard are intentionally omitted; this under-estimates JPEG-LS
+   slightly, which only makes the comparison conservative).
+
+The codec is exactly lossless and round-trip property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import BitstreamError, ConfigError
+
+#: Golomb-Rice escape: unary quotients longer than this switch to explicit
+#: binary coding of the value (bounds worst-case expansion on noise).
+_MAX_QUOTIENT = 23
+
+
+def _median_predictor(a: int, b: int, c: int) -> int:
+    """LOCO-I median edge detector."""
+    if c >= max(a, b):
+        return min(a, b)
+    if c <= min(a, b):
+        return max(a, b)
+    return a + b - c
+
+
+def _fold(residual: int) -> int:
+    """Map a signed residual to a non-negative code index."""
+    return 2 * residual if residual >= 0 else -2 * residual - 1
+
+
+def _unfold(index: int) -> int:
+    """Inverse of :func:`_fold`."""
+    return index // 2 if index % 2 == 0 else -(index + 1) // 2
+
+
+@dataclass(slots=True)
+class _Adaptive:
+    """Running Golomb parameter state (single context)."""
+
+    count: int = 1
+    accum: int = 4
+
+    def k(self) -> int:
+        """Current Rice parameter: smallest k with N * 2^k >= A."""
+        k = 0
+        while (self.count << k) < self.accum and k < 24:
+            k += 1
+        return k
+
+    def update(self, magnitude: int) -> None:
+        """Standard JPEG-LS halving update."""
+        self.accum += magnitude
+        self.count += 1
+        if self.count >= 64:
+            self.count >>= 1
+            self.accum >>= 1
+
+
+class LocoLiteCodec:
+    """Lossless LOCO-I-style codec for 8..16-bit grayscale images."""
+
+    def __init__(self, pixel_bits: int = 8) -> None:
+        if not 1 <= pixel_bits <= 16:
+            raise ConfigError(f"pixel_bits must be in [1, 16], got {pixel_bits}")
+        self.pixel_bits = pixel_bits
+
+    # ------------------------------------------------------------------
+
+    def _predict_image(self, image: np.ndarray) -> np.ndarray:
+        """Residual plane via the median predictor (vectorised)."""
+        img = image.astype(np.int64)
+        a = np.zeros_like(img)  # west
+        b = np.zeros_like(img)  # north
+        c = np.zeros_like(img)  # north-west
+        a[:, 1:] = img[:, :-1]
+        b[1:, :] = img[:-1, :]
+        c[1:, 1:] = img[:-1, :-1]
+        # First row/column fall back to the available neighbour (standard
+        # boundary handling: missing samples read as the other neighbour).
+        a[0, 1:] = img[0, :-1]
+        b[0, :] = a[0, :]
+        c[0, :] = a[0, :]
+        b[1:, 0] = img[:-1, 0]
+        a[1:, 0] = b[1:, 0]
+        c[1:, 0] = b[1:, 0]
+        mx = np.maximum(a, b)
+        mn = np.minimum(a, b)
+        pred = np.where(c >= mx, mn, np.where(c <= mn, mx, a + b - c))
+        return img - pred
+
+    def encode_bits(self, image: np.ndarray) -> int:
+        """Compressed size in bits (fast path — no bitstream built).
+
+        Replays the adaptive Golomb-Rice coder over the residuals without
+        materialising bits; exact same length as :meth:`encode`.
+        """
+        residuals = self._predict_image(self._validate(image)).ravel()
+        state = _Adaptive()
+        total = 0
+        for r in residuals:
+            index = _fold(int(r))
+            k = state.k()
+            quotient = index >> k
+            if quotient < _MAX_QUOTIENT:
+                total += quotient + 1 + k
+            else:
+                total += _MAX_QUOTIENT + 1 + self.pixel_bits + 1
+            state.update(abs(int(r)))
+        return total
+
+    def encode(self, image: np.ndarray) -> np.ndarray:
+        """Encode to an LSB-first bit array (uint8 flags)."""
+        from ..core.packing.bitstream import BitWriter
+
+        residuals = self._predict_image(self._validate(image)).ravel()
+        writer = BitWriter(capacity_hint=residuals.size * 4)
+        state = _Adaptive()
+        for r in residuals:
+            index = _fold(int(r))
+            k = state.k()
+            quotient = index >> k
+            if quotient < _MAX_QUOTIENT:
+                # Unary quotient (zeros then a one), then k remainder bits.
+                writer.append_value(1 << quotient, quotient + 1)
+                writer.append_value(index & ((1 << k) - 1), k)
+            else:
+                writer.append_value(1 << _MAX_QUOTIENT, _MAX_QUOTIENT + 1)
+                writer.append_value(index, self.pixel_bits + 1)
+            state.update(abs(int(r)))
+        return writer.to_bit_array()
+
+    def decode(self, bits: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+        """Exact inverse of :meth:`encode`."""
+        from ..core.packing.bitstream import BitReader
+
+        reader = BitReader(bits)
+        h, w = shape
+        out = np.zeros((h, w), dtype=np.int64)
+        state = _Adaptive()
+        for y in range(h):
+            for x in range(w):
+                # Unary part.
+                quotient = 0
+                while reader.read_value(1, signed=False) == 0:
+                    quotient += 1
+                    if quotient > _MAX_QUOTIENT:
+                        raise BitstreamError("corrupt unary run in LOCO stream")
+                if quotient < _MAX_QUOTIENT:
+                    k = state.k()
+                    index = (quotient << k) | reader.read_value(k, signed=False)
+                else:
+                    index = reader.read_value(self.pixel_bits + 1, signed=False)
+                residual = _unfold(index)
+                # Reconstruct the predictor from already-decoded samples.
+                if y == 0:
+                    a = int(out[0, x - 1]) if x else 0
+                    b = c = a
+                elif x == 0:
+                    b = int(out[y - 1, 0])
+                    a = c = b
+                else:
+                    a = int(out[y, x - 1])
+                    b = int(out[y - 1, x])
+                    c = int(out[y - 1, x - 1])
+                out[y, x] = _median_predictor(a, b, c) + residual
+                state.update(abs(residual))
+        return out
+
+    # ------------------------------------------------------------------
+
+    def compression_ratio(self, image: np.ndarray) -> float:
+        """Raw bits over compressed bits for ``image``."""
+        raw = image.size * self.pixel_bits
+        return raw / self.encode_bits(image)
+
+    def _validate(self, image: np.ndarray) -> np.ndarray:
+        arr = np.asarray(image)
+        if arr.ndim != 2:
+            raise ConfigError(f"image must be 2D, got shape {arr.shape}")
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ConfigError(f"image must be integer, got {arr.dtype}")
+        if arr.size and (arr.min() < 0 or arr.max() >= (1 << self.pixel_bits)):
+            raise ConfigError(
+                f"pixels outside [0, {(1 << self.pixel_bits) - 1}]"
+            )
+        return arr

@@ -1,0 +1,105 @@
+"""Segment-based sliding window processing (related work [7]).
+
+The input image is partitioned into vertical segments along each row
+band; each segment is processed to completion before the next is fetched.
+Line buffers only need to span one segment (plus the N-1 column halo), so
+on-chip memory shrinks by roughly the segment ratio — but pixels must
+reside in off-chip memory (no camera streaming, Section II's criticism)
+and the halo columns between adjacent segments are fetched twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..errors import ConfigError
+from ..kernels.base import WindowKernel
+from ..core.window.golden import golden_apply
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentedReport:
+    """Costs of one segmented run."""
+
+    config: ArchitectureConfig
+    segment_width: int
+    offchip_pixel_reads: int
+    outputs: int
+    #: Line buffers spanning one segment plus its halo: (N-1) rows.
+    onchip_bits: int
+
+    @property
+    def reads_per_output(self) -> float:
+        """Average off-chip pixel reads per window operation."""
+        return self.offchip_pixel_reads / self.outputs
+
+    @property
+    def onchip_saving_percent(self) -> float:
+        """Eq. (5) vs the full-width traditional line buffers."""
+        trad = self.config.traditional_buffer_bits
+        if trad == 0:
+            return 0.0
+        return (1.0 - self.onchip_bits / trad) * 100.0
+
+    @property
+    def streaming_capable(self) -> bool:
+        """Whether a camera can stream directly into the architecture.
+
+        Only a single full-width segment preserves raster streaming; any
+        real segmentation requires frame storage off-chip (Section II).
+        """
+        return self.segment_width >= self.config.image_width
+
+
+class SegmentedArchitecture:
+    """Functional + cost model of the ref [7] segment-processing design."""
+
+    def __init__(
+        self,
+        config: ArchitectureConfig,
+        kernel: WindowKernel,
+        segment_width: int,
+    ) -> None:
+        if segment_width < config.window_size:
+            raise ConfigError(
+                f"segment_width ({segment_width}) must be >= window "
+                f"({config.window_size})"
+            )
+        self.config = config
+        self.kernel = kernel
+        self.segment_width = segment_width
+
+    def run(self, image: np.ndarray) -> tuple[np.ndarray, SegmentedReport]:
+        """Process ``image`` segment by segment; returns (outputs, report)."""
+        arr = np.asarray(image)
+        cfg = self.config
+        n = cfg.window_size
+        h, w = cfg.image_height, cfg.image_width
+        if arr.shape != (h, w):
+            raise ConfigError(f"image shape {arr.shape} != ({h}, {w})")
+        s = self.segment_width
+
+        out: np.ndarray | None = None
+        reads = 0
+        for x0 in range(0, w - n + 1, s - n + 1 if s > n else 1):
+            x1 = min(x0 + s, w)
+            segment = arr[:, x0:x1]
+            reads += segment.size
+            seg_out = golden_apply(segment, n, self.kernel)
+            if out is None:
+                out = np.zeros((h - n + 1, w - n + 1), dtype=seg_out.dtype)
+            out[:, x0 : x0 + seg_out.shape[1]] = seg_out
+            if x1 == w:
+                break
+        assert out is not None
+        report = SegmentedReport(
+            config=cfg,
+            segment_width=s,
+            offchip_pixel_reads=reads,
+            outputs=out.size,
+            onchip_bits=(n - 1) * min(s + n - 1, w) * cfg.pixel_bits,
+        )
+        return out, report

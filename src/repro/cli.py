@@ -1,0 +1,287 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands map one-to-one onto the experiment registry so every paper
+artifact can be regenerated from a shell::
+
+    repro fig3
+    repro fig13 --resolution 1024 --row-stride 64
+    repro table 1
+    repro table 4 --images 4
+    repro resources overall
+    repro mse
+    repro dataset --out /tmp/scenes --resolution 512
+    repro headline
+    repro ablation wavelets
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis import experiments as ex
+from .config import PAPER_IMAGE_WIDTHS
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--images", type=int, default=10, help="suite size (default 10)")
+    p.add_argument(
+        "--row-stride",
+        type=int,
+        default=None,
+        help="band sampling stride (default: window size)",
+    )
+    p.add_argument(
+        "--processes", type=int, default=None, help="sweep workers (default: auto)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the IPPS 2017 compressed sliding-window paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig3 = sub.add_parser("fig3", help="Fig 3: buffered bits per sub-band")
+    p_fig3.add_argument("--resolution", type=int, default=512)
+    p_fig3.add_argument("--window", type=int, default=64)
+    p_fig3.add_argument("--threshold", type=int, default=0)
+
+    p_fig13 = sub.add_parser("fig13", help="Fig 13: memory savings with CIs")
+    p_fig13.add_argument("--resolution", type=int, default=2048)
+    _add_common(p_fig13)
+
+    p_table = sub.add_parser("table", help="Tables I-V: BRAM counts")
+    p_table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+    _add_common(p_table)
+
+    p_res = sub.add_parser("resources", help="Tables VI-X: LUT/FF/Fmax")
+    p_res.add_argument(
+        "module",
+        choices=("iwt", "bit_packing", "bit_unpacking", "iiwt", "overall"),
+    )
+
+    p_mse = sub.add_parser("mse", help="MSE vs threshold sweep")
+    p_mse.add_argument("--resolution", type=int, default=512)
+    p_mse.add_argument("--window", type=int, default=64)
+    p_mse.add_argument("--recirculated", action="store_true")
+    _add_common(p_mse)
+
+    p_head = sub.add_parser("headline", help="abstract claims sweep")
+    _add_common(p_head)
+
+    p_abl = sub.add_parser("ablation", help="design-choice ablations")
+    p_abl.add_argument("which", choices=("wavelets", "levels", "nbits"))
+    p_abl.add_argument("--resolution", type=int, default=512)
+    p_abl.add_argument("--threshold", type=int, default=0)
+
+    sub.add_parser("fig11", help="Fig 11: memory mapping options")
+    sub.add_parser("throughput", help="cycles/output of both engines")
+
+    p_val = sub.add_parser("validate", help="cross-check every engine model")
+    p_val.add_argument("--resolution", type=int, default=32)
+    p_val.add_argument("--window", type=int, default=8)
+    p_val.add_argument("--threshold", type=int, default=0)
+    p_val.add_argument(
+        "--no-cycle", action="store_true", help="skip the slow register-level engines"
+    )
+
+    p_cod = sub.add_parser(
+        "coding", help="coding-efficiency ladder (NBits / entropy / JPEG-LS)"
+    )
+    p_cod.add_argument("--resolution", type=int, default=256)
+    p_cod.add_argument("--window", type=int, default=32)
+    p_cod.add_argument("--threshold", type=int, default=0)
+
+    p_tr = sub.add_parser("tradeoff", help="BRAMs saved vs LUTs spent per window")
+    p_tr.add_argument("--width", type=int, default=512)
+    p_tr.add_argument("--threshold", type=int, default=6)
+    p_tr.add_argument("--images", type=int, default=3)
+
+    p_rep = sub.add_parser("report", help="one-shot reproduction report")
+    p_rep.add_argument("--resolution", type=int, default=512)
+    p_rep.add_argument("--images", type=int, default=3)
+    p_rep.add_argument("--processes", type=int, default=None)
+    p_rep.add_argument("--no-validate", action="store_true")
+
+    p_ds = sub.add_parser("dataset", help="render the benchmark suite to PGM")
+    p_ds.add_argument("--out", type=Path, required=True)
+    p_ds.add_argument("--resolution", type=int, default=512)
+    p_ds.add_argument("--images", type=int, default=10)
+
+    p_c = sub.add_parser("compress", help="compress a PGM image to .rwc")
+    p_c.add_argument("input", type=Path)
+    p_c.add_argument("output", type=Path)
+    p_c.add_argument("--band", type=int, default=16, help="band height N")
+    p_c.add_argument("--threshold", type=int, default=0)
+    p_c.add_argument("--levels", type=int, default=1)
+    p_c.add_argument("--ll-dpcm", action="store_true")
+
+    p_d = sub.add_parser("decompress", help="decompress a .rwc to PGM")
+    p_d.add_argument("input", type=Path)
+    p_d.add_argument("output", type=Path)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig3":
+        result = ex.fig3_memory_trace(
+            resolution=args.resolution, window=args.window, threshold=args.threshold
+        )
+        print(result.render())
+    elif args.command == "fig13":
+        result = ex.fig13_memory_savings(
+            resolution=args.resolution,
+            n_images=args.images,
+            row_stride=args.row_stride,
+            processes=args.processes,
+        )
+        print(result.render())
+    elif args.command == "table":
+        if args.number == 1:
+            print(ex.table1_traditional_brams().render())
+        else:
+            width = PAPER_IMAGE_WIDTHS[args.number - 2]
+            result = ex.bram_table(
+                width,
+                n_images=args.images,
+                row_stride=args.row_stride,
+                processes=args.processes,
+            )
+            print(result.render())
+    elif args.command == "resources":
+        print(ex.resource_table(args.module).render())
+    elif args.command == "mse":
+        result = ex.mse_vs_threshold(
+            resolution=args.resolution,
+            window=args.window,
+            n_images=args.images,
+            include_recirculated=args.recirculated,
+            processes=args.processes,
+        )
+        print(result.render())
+    elif args.command == "headline":
+        print(
+            ex.headline_claims(
+                n_images=args.images,
+                row_stride=args.row_stride,
+                processes=args.processes,
+            ).render()
+        )
+    elif args.command == "ablation":
+        fn = {
+            "wavelets": ex.ablation_wavelets,
+            "levels": ex.ablation_levels,
+            "nbits": ex.ablation_nbits_granularity,
+        }[args.which]
+        print(fn(resolution=args.resolution, threshold=args.threshold).render())
+    elif args.command == "fig11":
+        print(ex.fig11_mapping_options().render())
+    elif args.command == "throughput":
+        print(ex.throughput_experiment().render())
+    elif args.command == "validate":
+        from .analysis.validation import validate_engines
+        from .config import ArchitectureConfig
+        from .imaging import generate_scene
+        from .kernels import BoxFilterKernel
+
+        config = ArchitectureConfig(
+            image_width=args.resolution,
+            image_height=args.resolution,
+            window_size=args.window,
+            threshold=args.threshold,
+        )
+        image = generate_scene(seed=1, resolution=args.resolution)
+        result = validate_engines(
+            config,
+            image,
+            BoxFilterKernel(args.window),
+            include_cycle_engines=not args.no_cycle,
+        )
+        print(result.render())
+        return 0 if result.all_consistent else 1
+    elif args.command == "coding":
+        from .analysis.coding import coding_efficiency
+        from .config import ArchitectureConfig
+        from .imaging import generate_scene
+
+        config = ArchitectureConfig(
+            image_width=args.resolution,
+            image_height=args.resolution,
+            window_size=args.window,
+            threshold=args.threshold,
+        )
+        image = generate_scene(seed=1, resolution=args.resolution)
+        print(coding_efficiency(config, image).render())
+    elif args.command == "tradeoff":
+        from .analysis.tradeoff import bram_lut_tradeoff
+
+        print(
+            bram_lut_tradeoff(
+                width=args.width, threshold=args.threshold, n_images=args.images
+            ).render()
+        )
+    elif args.command == "report":
+        from .analysis.report import ReportOptions, full_report
+
+        print(
+            full_report(
+                ReportOptions(
+                    resolution=args.resolution,
+                    n_images=args.images,
+                    processes=args.processes,
+                    validate=not args.no_validate,
+                )
+            )
+        )
+    elif args.command == "dataset":
+        from .imaging.dataset import dataset_images
+        from .imaging.pgm import write_pgm
+
+        args.out.mkdir(parents=True, exist_ok=True)
+        for name, img in dataset_images(args.resolution, n_images=args.images):
+            path = args.out / f"{name}.pgm"
+            write_pgm(path, img)
+            print(f"wrote {path} mean={img.mean():.1f} std={img.std():.1f}")
+    elif args.command == "compress":
+        from .config import ArchitectureConfig
+        from .core.packing.container import compress_image
+        from .imaging.pgm import read_pgm
+
+        image = read_pgm(args.input)
+        config = ArchitectureConfig(
+            image_width=image.shape[1],
+            image_height=image.shape[0],
+            window_size=args.band,
+            threshold=args.threshold,
+            decomposition_levels=args.levels,
+            ll_dpcm=args.ll_dpcm,
+        )
+        blob = compress_image(config, image.astype("int64"))
+        args.output.write_bytes(blob)
+        raw = image.size
+        print(
+            f"{args.input} ({raw} bytes) -> {args.output} ({len(blob)} bytes), "
+            f"ratio {raw / len(blob):.2f}x"
+        )
+    elif args.command == "decompress":
+        from .core.packing.container import decompress_image
+        from .imaging.pgm import write_pgm
+
+        image, config = decompress_image(args.input.read_bytes())
+        write_pgm(args.output, image)
+        print(f"{args.input} -> {args.output} ({config.describe()})")
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.command)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

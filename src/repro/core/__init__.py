@@ -1,0 +1,11 @@
+"""Core algorithms of the reproduced paper.
+
+Sub-packages:
+
+- :mod:`repro.core.transform` — integer wavelet transforms (Haar S-transform,
+  LeGall 5/3, CDF 9/7 integer lifting) plus the gate-level 2x2 block models.
+- :mod:`repro.core.packing` — NBits computation, BitMap, bit streams, the
+  vectorised packer/unpacker and the register-level hardware models.
+- :mod:`repro.core.window` — the traditional and compressed sliding-window
+  engines, the active-window model and multi-stage pipelines.
+"""

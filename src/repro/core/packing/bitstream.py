@@ -1,0 +1,225 @@
+"""LSB-first bit streams with vectorised variable-width field packing.
+
+The Bit Packing unit emits, for every significant coefficient, its *NBits*
+least-significant bits; the Bit Unpacking unit later extracts those runs and
+sign-extends them (Section IV).  This module provides the software
+equivalent: a growable bit buffer (:class:`BitWriter`), a cursor-based
+reader (:class:`BitReader`) and free functions that pack / unpack whole
+arrays of variable-width fields in a handful of NumPy operations.
+
+Bit order convention: *within* a field, bit 0 (the LSB of the value) is
+written first; fields are concatenated in call order.  The hardware's shift
+registers impose an equivalent fixed convention; any consistent choice
+round-trips, and this one makes the vectorised gather/scatter index
+arithmetic trivial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import BitstreamError
+
+_BIT_DTYPE = np.uint8
+
+
+def values_to_bits(values: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Pack ``values[i]`` into ``widths[i]`` LSB-first bits, concatenated.
+
+    Negative values contribute their two's-complement low bits, which is
+    exactly what the hardware's "take the NBits least significant bits"
+    step does.  Zero-width entries contribute nothing.
+
+    Returns a ``uint8`` array of 0/1 flags with ``widths.sum()`` entries.
+    """
+    vals = np.asarray(values)
+    wid = np.asarray(widths, dtype=np.int64)
+    if vals.shape != wid.shape:
+        raise BitstreamError(f"values/widths shapes differ: {vals.shape} vs {wid.shape}")
+    if vals.ndim != 1:
+        vals = vals.ravel()
+        wid = wid.ravel()
+    if wid.size and wid.min() < 0:
+        raise BitstreamError("field widths must be non-negative")
+    total = int(wid.sum())
+    if total == 0:
+        return np.zeros(0, dtype=_BIT_DTYPE)
+    starts = np.concatenate([[0], np.cumsum(wid)[:-1]])
+    # Position of each output bit inside its field: 0..width-1.
+    intra = np.arange(total, dtype=np.int64) - np.repeat(starts, wid)
+    spread = np.repeat(vals.astype(np.int64), wid)
+    return ((spread >> intra) & 1).astype(_BIT_DTYPE)
+
+
+def bits_to_values(
+    bits: np.ndarray,
+    widths: np.ndarray,
+    *,
+    signed: bool = True,
+) -> np.ndarray:
+    """Inverse of :func:`values_to_bits`.
+
+    Consumes exactly ``widths.sum()`` bits from ``bits`` and reassembles one
+    integer per field.  With ``signed=True`` each field is sign-extended
+    from its own width (the Bit Unpacking behaviour); zero-width fields
+    decode to 0.
+    """
+    wid = np.asarray(widths, dtype=np.int64).ravel()
+    if wid.size and wid.min() < 0:
+        raise BitstreamError("field widths must be non-negative")
+    total = int(wid.sum())
+    bit_arr = np.asarray(bits, dtype=np.int64).ravel()
+    if bit_arr.size < total:
+        raise BitstreamError(
+            f"need {total} bits to decode fields, stream has {bit_arr.size}"
+        )
+    out = np.zeros(wid.shape, dtype=np.int64)
+    if total:
+        starts = np.concatenate([[0], np.cumsum(wid)[:-1]])
+        intra = np.arange(total, dtype=np.int64) - np.repeat(starts, wid)
+        weighted = bit_arr[:total] << intra
+        nonzero = wid > 0
+        # reduceat needs strictly valid start offsets; compute sums only for
+        # non-empty fields and scatter them back.
+        if nonzero.any():
+            seg_starts = starts[nonzero]
+            sums = np.add.reduceat(weighted, seg_starts)
+            out[nonzero] = sums
+    if signed:
+        out = sign_extend(out, wid)
+    return out
+
+
+def sign_extend(values: np.ndarray, widths: np.ndarray) -> np.ndarray:
+    """Sign-extend each ``values[i]`` from its own ``widths[i]``-bit field.
+
+    A field of width 0 stays 0.  Mirrors the Bit Unpacking unit's
+    "sign extend to the pixel size" step (Section IV.C).
+    """
+    vals = np.asarray(values, dtype=np.int64)
+    wid = np.asarray(widths, dtype=np.int64)
+    nonzero = wid > 0
+    sign_bit = np.zeros_like(vals)
+    np.left_shift(1, wid - 1, out=sign_bit, where=nonzero)
+    extended = np.where(nonzero & (vals & sign_bit > 0), vals - (sign_bit << 1), vals)
+    return extended
+
+
+class BitWriter:
+    """Growable LSB-first bit buffer.
+
+    Appends are O(amortised 1) per bit; the backing store doubles on demand
+    like a dynamic array so that per-column appends inside the band codec do
+    not reallocate quadratically.
+    """
+
+    __slots__ = ("_bits", "_len")
+
+    def __init__(self, capacity_hint: int = 256) -> None:
+        self._bits = np.zeros(max(capacity_hint, 8), dtype=_BIT_DTYPE)
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def n_bits(self) -> int:
+        """Number of bits written so far."""
+        return self._len
+
+    def _reserve(self, extra: int) -> None:
+        need = self._len + extra
+        if need > self._bits.size:
+            new_size = max(need, 2 * self._bits.size)
+            grown = np.zeros(new_size, dtype=_BIT_DTYPE)
+            grown[: self._len] = self._bits[: self._len]
+            self._bits = grown
+
+    def append_bits(self, bits: np.ndarray) -> None:
+        """Append a 0/1 array verbatim."""
+        arr = np.asarray(bits, dtype=_BIT_DTYPE).ravel()
+        self._reserve(arr.size)
+        self._bits[self._len : self._len + arr.size] = arr
+        self._len += arr.size
+
+    def append_value(self, value: int, width: int) -> None:
+        """Append the ``width`` low bits of ``value``, LSB first."""
+        if width < 0:
+            raise BitstreamError(f"width must be >= 0, got {width}")
+        if width == 0:
+            return
+        self._reserve(width)
+        v = int(value)
+        for k in range(width):
+            self._bits[self._len + k] = (v >> k) & 1
+        self._len += width
+
+    def append_values(self, values: np.ndarray, widths: np.ndarray) -> None:
+        """Vectorised bulk append of variable-width fields."""
+        self.append_bits(values_to_bits(values, widths))
+
+    def to_bit_array(self) -> np.ndarray:
+        """Return a copy of the written bits as a 0/1 ``uint8`` array."""
+        return self._bits[: self._len].copy()
+
+    def to_bytes(self) -> bytes:
+        """Pack into bytes (LSB-first within each byte, zero padded)."""
+        return np.packbits(self._bits[: self._len], bitorder="little").tobytes()
+
+
+class BitReader:
+    """Cursor-based reader over a bit array produced by :class:`BitWriter`."""
+
+    __slots__ = ("_bits", "_pos")
+
+    def __init__(self, bits: np.ndarray | bytes) -> None:
+        if isinstance(bits, (bytes, bytearray)):
+            self._bits = np.unpackbits(
+                np.frombuffer(bits, dtype=np.uint8), bitorder="little"
+            )
+        else:
+            self._bits = np.asarray(bits, dtype=_BIT_DTYPE).ravel()
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current cursor position in bits."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Bits left to read."""
+        return self._bits.size - self._pos
+
+    def read_value(self, width: int, *, signed: bool = True) -> int:
+        """Read one ``width``-bit field and optionally sign-extend it."""
+        if width < 0:
+            raise BitstreamError(f"width must be >= 0, got {width}")
+        if width == 0:
+            return 0
+        if self._pos + width > self._bits.size:
+            raise BitstreamError(
+                f"read of {width} bits at position {self._pos} overruns "
+                f"stream of {self._bits.size} bits"
+            )
+        chunk = self._bits[self._pos : self._pos + width]
+        self._pos += width
+        value = int((chunk.astype(np.int64) << np.arange(width)).sum())
+        if signed and chunk[width - 1]:
+            value -= 1 << width
+        return value
+
+    def read_values(self, widths: np.ndarray, *, signed: bool = True) -> np.ndarray:
+        """Vectorised bulk read of variable-width fields."""
+        wid = np.asarray(widths, dtype=np.int64).ravel()
+        total = int(wid.sum())
+        if self._pos + total > self._bits.size:
+            raise BitstreamError(
+                f"read of {total} bits at position {self._pos} overruns "
+                f"stream of {self._bits.size} bits"
+            )
+        values = bits_to_values(
+            self._bits[self._pos : self._pos + total], wid, signed=signed
+        )
+        self._pos += total
+        return values

@@ -1,0 +1,154 @@
+"""On-disk container for compressed images (the ``.rwc`` format).
+
+The architecture's compressed representation normally lives in BRAM, but
+the same band codec doubles as an offline image codec — useful for
+inspecting compression behaviour and for shipping test vectors.  The
+container stores a fixed header followed by one record per (non
+overlapping) band:
+
+====== =======================================================
+field   contents
+====== =======================================================
+magic   ``b"RWC1"``
+header  height, width, band height N, pixel_bits, threshold,
+        decomposition levels, flags (bit 0: wrap, bit 1: LL DPCM)
+band    NBits fields (even/odd per column), packed BitMap,
+        per-row payload bit lengths, payload bits
+====== =======================================================
+
+Everything is little-endian; bit streams use the package's LSB-first
+convention.  Lossless configurations round-trip exactly
+(property-tested); lossy ones reconstruct the thresholded approximation.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ...config import ArchitectureConfig
+from ...errors import BitstreamError, ConfigError
+from .packer import BandCodec, EncodedBand
+
+MAGIC = b"RWC1"
+_HEADER = struct.Struct("<IIHBBBB")  # h, w, band, pixel_bits, T, levels, flags
+
+
+def _pack_bits(bits: np.ndarray) -> bytes:
+    return np.packbits(np.asarray(bits, dtype=np.uint8), bitorder="little").tobytes()
+
+
+def _unpack_bits(data: bytes, n_bits: int) -> np.ndarray:
+    flat = np.unpackbits(np.frombuffer(data, dtype=np.uint8), bitorder="little")
+    if flat.size < n_bits:
+        raise BitstreamError(f"container holds {flat.size} bits, need {n_bits}")
+    return flat[:n_bits]
+
+
+def compress_image(config: ArchitectureConfig, image: np.ndarray) -> bytes:
+    """Encode a whole image into the container format."""
+    arr = np.asarray(image).astype(np.int64)
+    if arr.shape != (config.image_height, config.image_width):
+        raise ConfigError(
+            f"image shape {arr.shape} != configured "
+            f"({config.image_height}, {config.image_width})"
+        )
+    if arr.shape[0] % config.window_size:
+        raise ConfigError(
+            f"image height {arr.shape[0]} must be a multiple of the band "
+            f"height {config.window_size} for container encoding"
+        )
+    flags = int(config.wrap_coefficients) | (int(config.ll_dpcm) << 1)
+    out = bytearray(MAGIC)
+    out += _HEADER.pack(
+        arr.shape[0],
+        arr.shape[1],
+        config.window_size,
+        config.pixel_bits,
+        config.threshold,
+        config.decomposition_levels,
+        flags,
+    )
+    codec = BandCodec(config)
+    n = config.window_size
+    for y0 in range(0, arr.shape[0], n):
+        encoded = codec.encode_band(arr[y0 : y0 + n])
+        out += _encode_band_record(encoded)
+    return bytes(out)
+
+
+def _encode_band_record(encoded: EncodedBand) -> bytes:
+    rec = bytearray()
+    nbits = encoded.nbits.astype(np.uint8)
+    rec += nbits.tobytes()  # (2, W) bytes
+    bitmap_bytes = _pack_bits(encoded.bitmap.ravel())
+    rec += struct.pack("<I", len(bitmap_bytes)) + bitmap_bytes
+    rec += struct.pack("<H", len(encoded.row_payloads))
+    for payload in encoded.row_payloads:
+        data = _pack_bits(payload)
+        rec += struct.pack("<I", payload.size) + data
+    return bytes(rec)
+
+
+def decompress_image(blob: bytes) -> tuple[np.ndarray, ArchitectureConfig]:
+    """Decode a container back to the (reconstructed) image and its config."""
+    if blob[:4] != MAGIC:
+        raise BitstreamError("not an RWC1 container")
+    h, w, band, pixel_bits, threshold, levels, flags = _HEADER.unpack_from(blob, 4)
+    kwargs = dict(
+        image_width=w,
+        image_height=h,
+        window_size=band,
+        pixel_bits=pixel_bits,
+        threshold=threshold,
+        decomposition_levels=levels,
+        ll_dpcm=bool(flags & 2),
+    )
+    if flags & 1:
+        kwargs["wrap_coefficients"] = True
+        kwargs["coefficient_bits"] = pixel_bits
+    config = ArchitectureConfig(**kwargs)
+    codec = BandCodec(config)
+    offset = 4 + _HEADER.size
+    out = np.zeros((h, w), dtype=np.int64)
+    for y0 in range(0, h, band):
+        encoded, offset = _decode_band_record(blob, offset, config)
+        out[y0 : y0 + band] = codec.decode_band(encoded)
+    return out, config
+
+
+def _decode_band_record(
+    blob: bytes, offset: int, config: ArchitectureConfig
+) -> tuple[EncodedBand, int]:
+    n, w = config.window_size, config.image_width
+    nbits = np.frombuffer(blob, dtype=np.uint8, count=2 * w, offset=offset)
+    nbits = nbits.reshape(2, w).astype(np.int64)
+    offset += 2 * w
+    (bitmap_len,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+    bitmap = _unpack_bits(blob[offset : offset + bitmap_len], n * w)
+    bitmap = bitmap.reshape(n, w).astype(bool)
+    offset += bitmap_len
+    (n_rows,) = struct.unpack_from("<H", blob, offset)
+    offset += 2
+    if n_rows != n:
+        raise BitstreamError(f"band record has {n_rows} rows, expected {n}")
+    payloads = []
+    for _ in range(n):
+        (bit_len,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        byte_len = -(-bit_len // 8)
+        payloads.append(_unpack_bits(blob[offset : offset + byte_len], bit_len))
+        offset += byte_len
+    encoded = EncodedBand(
+        config=config, nbits=nbits, bitmap=bitmap, row_payloads=tuple(payloads)
+    )
+    return encoded, offset
+
+
+def container_ratio(config: ArchitectureConfig, image: np.ndarray) -> float:
+    """Raw-to-container compression ratio for ``image``."""
+    blob = compress_image(config, image)
+    raw = np.asarray(image).size * config.pixel_bits / 8.0
+    return raw / len(blob)

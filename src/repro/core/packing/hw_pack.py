@@ -1,0 +1,150 @@
+"""Register-level model of the Bit Packing unit (Fig 6).
+
+One unit serves one coefficient row of the decomposed window.  The model
+reproduces the described register set:
+
+- ``CBits`` — number of valid bits currently held in ``Yout_Current``;
+- ``Yout_Current`` — the bit-concatenation register;
+- ``Yout_Reg`` — the output register, loaded (and ``WEN`` asserted) whenever
+  ``CBits`` reaches the memory word width (``BitMax``, 8 in the paper).
+
+Each :meth:`BitPackingUnit.step` call is one clock cycle: the unit receives
+one coefficient and its column's NBits, produces the BitMap flag, and emits
+zero or more full memory words.  New bits enter ``Yout_Current`` at
+position ``CBits`` (LSB-first), so the concatenation of emitted words is
+bit-identical to the vectorised
+:func:`repro.core.packing.bitstream.values_to_bits` stream — the
+equivalence is property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ConfigError, StateError
+
+
+@dataclass(frozen=True, slots=True)
+class PackedWord:
+    """One word written to the Memory Unit.
+
+    ``valid_bits`` equals the word width except for the final word emitted
+    by :meth:`BitPackingUnit.flush`, which may be partial.
+    """
+
+    value: int
+    valid_bits: int
+
+
+class BitPackingUnit:
+    """Cycle-accurate Bit Packing block (one per window row)."""
+
+    def __init__(
+        self,
+        *,
+        word_bits: int = 8,
+        threshold: int = 0,
+        max_nbits: int = 16,
+    ) -> None:
+        if word_bits < 1:
+            raise ConfigError(f"word_bits must be >= 1, got {word_bits}")
+        if threshold < 0:
+            raise ConfigError(f"threshold must be >= 0, got {threshold}")
+        if max_nbits < 1:
+            raise ConfigError(f"max_nbits must be >= 1, got {max_nbits}")
+        self.word_bits = word_bits
+        self.threshold = threshold
+        self.max_nbits = max_nbits
+        # Architectural registers.
+        self.cbits = 0
+        self.yout_current = 0
+        self.yout_reg = 0
+        self.wen = False
+        # Statistics (cycle counting for the throughput bench).
+        self.cycles = 0
+        self.words_emitted = 0
+        self.coefficients_seen = 0
+        self.significant_seen = 0
+
+    def reset(self) -> None:
+        """Return all registers and counters to their power-on state."""
+        self.cbits = 0
+        self.yout_current = 0
+        self.yout_reg = 0
+        self.wen = False
+        self.cycles = 0
+        self.words_emitted = 0
+        self.coefficients_seen = 0
+        self.significant_seen = 0
+
+    def _drain_full_words(self) -> list[PackedWord]:
+        words: list[PackedWord] = []
+        mask = (1 << self.word_bits) - 1
+        while self.cbits >= self.word_bits:
+            self.yout_reg = self.yout_current & mask
+            self.wen = True
+            words.append(PackedWord(value=self.yout_reg, valid_bits=self.word_bits))
+            self.yout_current >>= self.word_bits
+            self.cbits -= self.word_bits
+            self.words_emitted += 1
+        return words
+
+    def step(
+        self,
+        xin: int,
+        nbits: int,
+        *,
+        exempt: bool = False,
+    ) -> tuple[int, list[PackedWord]]:
+        """Process one coefficient; returns ``(bitmap_bit, emitted_words)``.
+
+        Parameters
+        ----------
+        xin:
+            The input coefficient (already transformed).
+        nbits:
+            The column/sub-band NBits value computed by the Fig 7 block.
+        exempt:
+            Skip the threshold comparator for this coefficient (LL
+            exemption under the details-only threshold policy).
+
+        Notes
+        -----
+        A coefficient zeroed by the threshold comparator contributes only
+        its BitMap bit; significant coefficients contribute their ``nbits``
+        least-significant bits.
+        """
+        if not 1 <= nbits <= self.max_nbits:
+            raise ConfigError(
+                f"nbits must be in [1, {self.max_nbits}], got {nbits}"
+            )
+        self.cycles += 1
+        self.coefficients_seen += 1
+        self.wen = False
+        value = int(xin)
+        if not exempt and abs(value) < self.threshold:
+            value = 0
+        if value == 0:
+            return 0, []
+        self.significant_seen += 1
+        low_bits = value & ((1 << nbits) - 1)
+        self.yout_current |= low_bits << self.cbits
+        self.cbits += nbits
+        return 1, self._drain_full_words()
+
+    def flush(self) -> list[PackedWord]:
+        """End-of-band flush: emit any partial word left in ``Yout_Current``."""
+        words = self._drain_full_words()
+        if self.cbits > 0:
+            words.append(PackedWord(value=self.yout_current, valid_bits=self.cbits))
+            self.yout_current = 0
+            self.cbits = 0
+            self.words_emitted += 1
+        return words
+
+    @property
+    def pending_bits(self) -> int:
+        """Bits currently buffered in ``Yout_Current`` awaiting a full word."""
+        if not 0 <= self.cbits < self.word_bits:
+            raise StateError(f"CBits register out of range: {self.cbits}")
+        return self.cbits

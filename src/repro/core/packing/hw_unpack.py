@@ -1,0 +1,100 @@
+"""Register-level model of the Bit Unpacking unit (Figs 8 and 9).
+
+The unit reconstructs coefficients from the three Memory Unit streams
+(packed words, NBits, BitMap).  Registers modelled:
+
+- ``CBits`` — number of valid bits in ``Yout_rem``;
+- ``Yout_rem`` — the remaining-bits register.  The paper sizes it at 16
+  bits for 8-bit words ("the worst case is when the previous step has
+  NBits equal to 1 and in the next step NBits equals the max number of
+  bits"); the model checks the equivalent invariant
+  ``CBits < word_bits + max_nbits`` every cycle;
+- ``Yout_reg`` — the sign-extended output register.
+
+Each :meth:`BitUnpackingUnit.step` consumes one BitMap bit and one NBits
+value, pulls words from the FIFO only when ``CBits < nbits`` (the paper's
+"make sure the block always has enough bits for the next output"
+comparator checks ``CBits < 8``), and produces one reconstructed
+coefficient per cycle — the fully pipelined, 1 output/cycle behaviour the
+architecture depends on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable
+
+from ...errors import BitstreamError, ConfigError, StateError
+from .hw_pack import PackedWord
+
+
+class BitUnpackingUnit:
+    """Cycle-accurate Bit Unpacking block (one per window row)."""
+
+    def __init__(
+        self,
+        words: Iterable[PackedWord] | Iterable[int] = (),
+        *,
+        word_bits: int = 8,
+        max_nbits: int = 16,
+    ) -> None:
+        if word_bits < 1:
+            raise ConfigError(f"word_bits must be >= 1, got {word_bits}")
+        self.word_bits = word_bits
+        self.max_nbits = max_nbits
+        self._fifo: deque[PackedWord] = deque()
+        self.feed(words)
+        # Architectural registers.
+        self.cbits = 0
+        self.yout_rem = 0
+        self.yout_reg = 0
+        # Statistics.
+        self.cycles = 0
+        self.words_consumed = 0
+
+    def feed(self, words: Iterable[PackedWord] | Iterable[int]) -> None:
+        """Append words to the input FIFO (full words unless PackedWord says otherwise)."""
+        for w in words:
+            if isinstance(w, PackedWord):
+                self._fifo.append(w)
+            else:
+                self._fifo.append(PackedWord(value=int(w), valid_bits=self.word_bits))
+
+    @property
+    def fifo_depth(self) -> int:
+        """Words waiting in the input FIFO."""
+        return len(self._fifo)
+
+    def _refill(self, needed: int) -> None:
+        while self.cbits < needed:
+            if not self._fifo:
+                raise BitstreamError(
+                    f"input FIFO underflow: need {needed} bits, have {self.cbits}"
+                )
+            word = self._fifo.popleft()
+            self.yout_rem |= (word.value & ((1 << word.valid_bits) - 1)) << self.cbits
+            self.cbits += word.valid_bits
+            self.words_consumed += 1
+        # Register-width invariant from the paper's sizing argument.
+        if self.cbits >= self.word_bits + self.max_nbits:
+            raise StateError(
+                f"Yout_rem overflow: {self.cbits} bits held, register sized "
+                f"for < {self.word_bits + self.max_nbits}"
+            )
+
+    def step(self, bitmap_bit: int, nbits: int) -> int:
+        """Reconstruct one coefficient; returns the sign-extended value."""
+        if not 1 <= nbits <= self.max_nbits:
+            raise ConfigError(f"nbits must be in [1, {self.max_nbits}], got {nbits}")
+        self.cycles += 1
+        if not bitmap_bit:
+            self.yout_reg = 0
+            return 0
+        self._refill(nbits)
+        raw = self.yout_rem & ((1 << nbits) - 1)
+        self.yout_rem >>= nbits
+        self.cbits -= nbits
+        if raw & (1 << (nbits - 1)):
+            raw -= 1 << nbits
+        self.yout_reg = raw
+        return raw

@@ -1,0 +1,278 @@
+"""Compression accounting: bit totals, occupancy traces and savings.
+
+Everything the paper's evaluation measures reduces to bit arithmetic over
+per-column / per-row compressed sizes:
+
+- Fig 3 plots buffered bits per sub-band as the window slides;
+- Fig 13 plots the memory saving of Eq. (5);
+- Tables II-V map worst-case per-row packed sizes onto 18 Kb BRAMs.
+
+This module computes those quantities from a band's packed *widths* without
+materialising any payload bits, so whole-image sweeps at 2048x2048 stay
+cheap.  The bit-exact path (:class:`repro.core.packing.packer.EncodedBand`)
+produces identical numbers by construction — property-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterator
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..errors import ConfigError
+from .packing.bitmap import apply_threshold
+from .packing.nbits import min_bits_signed
+from .transform.haar2d import (
+    forward_inplace,
+    inverse_inplace,
+    ll_dpcm_forward,
+    ll_dpcm_inverse,
+    ll_mask_inplace,
+)
+
+#: (row parity, column parity) of each sub-band in the interleaved plane.
+SUBBAND_PARITIES: dict[str, tuple[int, int]] = {
+    "LL": (0, 0),
+    "HL": (0, 1),
+    "LH": (1, 0),
+    "HH": (1, 1),
+}
+
+
+@dataclass(frozen=True)
+class BandAnalysis:
+    """Compression analysis of one ``(N, W)`` band.
+
+    Holds the thresholded coefficient plane plus everything derivable from
+    it; the reconstruction is computed lazily.
+    """
+
+    config: ArchitectureConfig
+    plane: np.ndarray
+    nbits: np.ndarray
+    bitmap: np.ndarray
+
+    @cached_property
+    def widths(self) -> np.ndarray:
+        """Per-coefficient packed widths, shape ``(N, W)``."""
+        parity = (np.arange(self.plane.shape[0]) % 2)[:, None]
+        per_element = np.where(
+            parity == 0, self.nbits[0][None, :], self.nbits[1][None, :]
+        )
+        return np.where(self.bitmap, per_element, 0)
+
+    # -- size properties ------------------------------------------------
+
+    @property
+    def payload_bits_per_column(self) -> np.ndarray:
+        """Packed payload bits contributed by each plane column."""
+        return self.widths.sum(axis=0)
+
+    @property
+    def payload_bits_per_row(self) -> np.ndarray:
+        """Packed payload bits in each of the N row streams."""
+        return self.widths.sum(axis=1)
+
+    @property
+    def payload_bits(self) -> int:
+        """Total packed payload bits of the band."""
+        return int(self.widths.sum())
+
+    @property
+    def management_bits_per_column(self) -> int:
+        """NBits fields plus bitmap bits per column."""
+        return 2 * self.config.nbits_field_width + self.plane.shape[0]
+
+    def subband_payload_bits(self) -> dict[str, int]:
+        """Payload bits split by sub-band."""
+        return {
+            name: int(self.widths[rp::2, cp::2].sum())
+            for name, (rp, cp) in SUBBAND_PARITIES.items()
+        }
+
+    def subband_payload_bits_per_column(self) -> dict[str, np.ndarray]:
+        """Per plane-column payload split by sub-band (zeros off-parity)."""
+        w = self.plane.shape[1]
+        out: dict[str, np.ndarray] = {}
+        for name, (rp, cp) in SUBBAND_PARITIES.items():
+            per_col = np.zeros(w, dtype=np.int64)
+            per_col[cp::2] = self.widths[rp::2, cp::2].sum(axis=0)
+            out[name] = per_col
+        return out
+
+    # -- reconstruction --------------------------------------------------
+
+    def reconstruct(self, *, clip: bool = True) -> np.ndarray:
+        """Inverse-transform the thresholded plane back to pixels.
+
+        ``clip=True`` maps back to the pixel range — saturating for the
+        wide datapath, modulo for a wrap-around datapath (exact by
+        construction).
+        """
+        wrap = (
+            self.config.coefficient_bits if self.config.wrap_coefficients else None
+        )
+        plane = self.plane
+        if self.config.ll_dpcm:
+            plane = ll_dpcm_inverse(plane, self.config.decomposition_levels)
+        band = inverse_inplace(
+            plane, self.config.decomposition_levels, wrap_bits=wrap
+        )
+        if clip:
+            if self.config.wrap_coefficients:
+                band = band & self.config.pixel_max
+            else:
+                band = np.clip(band, 0, self.config.pixel_max)
+        return band
+
+
+def analyze_band(config: ArchitectureConfig, band: np.ndarray) -> BandAnalysis:
+    """Transform, threshold and size one pixel band (no payload bits built)."""
+    arr = np.asarray(band)
+    if arr.ndim != 2 or arr.shape[0] % 2 or arr.shape[1] % 2:
+        raise ConfigError(f"band must be 2D with even sides, got {arr.shape}")
+    wrap = config.coefficient_bits if config.wrap_coefficients else None
+    plane = forward_inplace(arr, config.decomposition_levels, wrap_bits=wrap)
+    if config.ll_dpcm:
+        plane = ll_dpcm_forward(plane, config.decomposition_levels)
+    exempt = None
+    if config.threshold_bands == "details" or config.ll_dpcm:
+        exempt = ll_mask_inplace(plane.shape, config.decomposition_levels)
+    plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
+    nbits = np.stack(
+        [
+            min_bits_signed(plane[0::2, :], axis=0),
+            min_bits_signed(plane[1::2, :], axis=0),
+        ]
+    ).astype(np.int64)
+    return BandAnalysis(config=config, plane=plane, nbits=nbits, bitmap=plane != 0)
+
+
+def iter_bands(
+    config: ArchitectureConfig,
+    image: np.ndarray,
+    *,
+    row_stride: int | None = None,
+) -> Iterator[tuple[int, np.ndarray]]:
+    """Yield ``(bottom_row, band)`` slices of the image.
+
+    ``row_stride`` defaults to the window size (non-overlapping bands),
+    which is the sampling the sweep experiments use; pass 1 for every
+    traversal position.
+    """
+    n = config.window_size
+    h = np.asarray(image).shape[0]
+    stride = row_stride if row_stride is not None else n
+    if stride < 1:
+        raise ConfigError(f"row_stride must be >= 1, got {stride}")
+    for y in range(n - 1, h, stride):
+        yield y, image[y - n + 1 : y + 1]
+
+
+def sliding_occupancy(
+    prev_sizes: np.ndarray,
+    cur_sizes: np.ndarray,
+    window_size: int,
+    management_bits_per_column: int,
+) -> np.ndarray:
+    """Buffered bits at every horizontal position of one traversal.
+
+    The line buffers form a ring of exactly ``W - N`` column slots.  At
+    position ``x`` the resident set is the *previous* band's columns
+    ``x-N+1 .. W-N-1`` (not yet replaced) plus the *current* band's
+    columns ``0 .. x-N`` (already compressed and stored) — always
+    ``W - N`` slots in total.  Management bits are a constant per slot.
+    """
+    prev = np.asarray(prev_sizes, dtype=np.int64)
+    cur = np.asarray(cur_sizes, dtype=np.int64)
+    if prev.shape != cur.shape or prev.ndim != 1:
+        raise ConfigError(
+            f"size arrays must be equal-length 1D, got {prev.shape} vs {cur.shape}"
+        )
+    w = prev.size
+    n = window_size
+    prefix_prev = np.concatenate([[0], np.cumsum(prev)])
+    prefix_cur = np.concatenate([[0], np.cumsum(cur)])
+    total_prev = int(prefix_prev[w - n])  # prev columns 0 .. W-N-1
+    x = np.arange(w)
+    limit = np.clip(x - n + 1, 0, w - n)
+    prev_part = total_prev - prefix_prev[limit]
+    cur_part = prefix_cur[limit]
+    return prev_part + cur_part + management_bits_per_column * (w - n)
+
+
+@dataclass(frozen=True, slots=True)
+class ImageCompressionReport:
+    """Whole-image compression summary (one image, one configuration)."""
+
+    config: ArchitectureConfig
+    #: Mean over sampled bands of payload bits (all W columns).
+    mean_band_payload_bits: float
+    #: Worst sampled band payload bits.
+    max_band_payload_bits: int
+    #: Peak buffered bits across all sampled traversals (Fig 3's ceiling).
+    peak_buffer_bits: int
+    #: Worst per-row packed bits over all sampled bands (BRAM mapping input).
+    worst_row_bits: int
+    #: Per-row worst sizes, aligned groups of rows use this (length N).
+    row_bits_worst: np.ndarray
+    #: Mean payload per sub-band.
+    subband_mean_bits: dict[str, float]
+    bands_sampled: int
+
+    @property
+    def traditional_bits(self) -> int:
+        """Raw buffering cost of the traditional architecture."""
+        return self.config.traditional_buffer_bits
+
+    @property
+    def memory_saving_percent(self) -> float:
+        """Eq. (5) applied to the peak buffered footprint."""
+        if self.traditional_bits == 0:
+            return 0.0
+        return (1.0 - self.peak_buffer_bits / self.traditional_bits) * 100.0
+
+
+def analyze_image(
+    config: ArchitectureConfig,
+    image: np.ndarray,
+    *,
+    row_stride: int | None = None,
+) -> ImageCompressionReport:
+    """Sweep the sampled bands of ``image`` and aggregate the accounting."""
+    arr = np.asarray(image)
+    payloads: list[int] = []
+    row_worst = np.zeros(config.window_size, dtype=np.int64)
+    subband_sums: dict[str, float] = {k: 0.0 for k in SUBBAND_PARITIES}
+    peak = 0
+    prev_cols: np.ndarray | None = None
+    count = 0
+    mgmt = 0
+    for _, band in iter_bands(config, arr, row_stride=row_stride):
+        analysis = analyze_band(config, band)
+        mgmt = analysis.management_bits_per_column
+        cols = analysis.payload_bits_per_column
+        payloads.append(analysis.payload_bits)
+        row_worst = np.maximum(row_worst, analysis.payload_bits_per_row)
+        for k, v in analysis.subband_payload_bits().items():
+            subband_sums[k] += v
+        reference = cols if prev_cols is None else prev_cols
+        occ = sliding_occupancy(reference, cols, config.window_size, mgmt)
+        peak = max(peak, int(occ.max()))
+        prev_cols = cols
+        count += 1
+    if count == 0:
+        raise ConfigError("image shorter than one window band")
+    return ImageCompressionReport(
+        config=config,
+        mean_band_payload_bits=float(np.mean(payloads)),
+        max_band_payload_bits=int(np.max(payloads)),
+        peak_buffer_bits=peak,
+        worst_row_bits=int(row_worst.max()),
+        row_bits_worst=row_worst,
+        subband_mean_bits={k: v / count for k, v in subband_sums.items()},
+        bands_sampled=count,
+    )

@@ -1,0 +1,127 @@
+"""1D integer Haar transform (the reversible *S-transform*).
+
+The paper's Equations (1)-(4) contain sign typos (as printed they are not
+mutually inverse).  The transform actually implemented by the cited integer
+Haar literature — and the one whose worked example in the paper's Fig 2
+round-trips — is the classic S-transform:
+
+.. math::
+
+    H = X_0 - X_1 \\qquad L = X_1 + \\lfloor H / 2 \\rfloor
+
+with the exact integer inverse
+
+.. math::
+
+    X_1 = L - \\lfloor H / 2 \\rfloor \\qquad X_0 = H + X_1
+
+Floor division makes the pair perfectly reversible for *any* integers, which
+is the property the lossless mode of the architecture depends on.
+
+Hardware datapaths have fixed width; :func:`forward_1d` therefore accepts a
+``wrap_bits`` argument that reduces every intermediate modulo
+``2**wrap_bits`` in two's complement.  Because wrap-around addition is a
+group operation, the inverse with the same ``wrap_bits`` still reconstructs
+the original samples exactly whenever they were themselves representable in
+``wrap_bits`` bits — this models the paper's 8-bit RTL design point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigError
+
+#: NumPy dtype used for all coefficient arithmetic.  int32 comfortably holds
+#: multi-level transforms of 16-bit pixels without overflow.
+COEFF_DTYPE = np.int32
+
+
+def _as_coeff(data: np.ndarray) -> np.ndarray:
+    """Return ``data`` as a COEFF_DTYPE array (view if already correct)."""
+    arr = np.asarray(data)
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ConfigError(
+            f"integer wavelet transform requires integer input, got {arr.dtype}"
+        )
+    return arr.astype(COEFF_DTYPE, copy=False)
+
+
+def _wrap(values: np.ndarray, wrap_bits: int | None) -> np.ndarray:
+    """Reduce ``values`` into the two's-complement range of ``wrap_bits``.
+
+    ``None`` disables wrapping (infinite-precision integer model).
+    """
+    if wrap_bits is None:
+        return values
+    modulus = 1 << wrap_bits
+    half = modulus >> 1
+    return ((values + half) & (modulus - 1)) - half
+
+
+def forward_1d(
+    data: np.ndarray,
+    axis: int = -1,
+    *,
+    wrap_bits: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forward 1D integer Haar transform along ``axis``.
+
+    Parameters
+    ----------
+    data:
+        Integer array whose length along ``axis`` is even.  Samples are
+        consumed in adjacent pairs ``(X0, X1)``.
+    axis:
+        Axis to transform along.
+    wrap_bits:
+        Optional datapath width; see the module docstring.
+
+    Returns
+    -------
+    (low, high):
+        Approximation and detail coefficient arrays, each half the input
+        length along ``axis``.
+
+    Notes
+    -----
+    One butterfly costs one subtraction, one arithmetic shift and one
+    addition — exactly the paper's Fig 5 1D block.
+    """
+    arr = _as_coeff(data)
+    n = arr.shape[axis]
+    if n % 2 != 0:
+        raise ConfigError(f"axis {axis} length must be even, got {n}")
+    arr = np.moveaxis(arr, axis, -1)
+    x0 = arr[..., 0::2]
+    x1 = arr[..., 1::2]
+    high = _wrap(x0 - x1, wrap_bits)
+    # Arithmetic shift right == floor division by 2 for two's complement.
+    low = _wrap(x1 + (high >> 1), wrap_bits)
+    return np.moveaxis(low, -1, axis), np.moveaxis(high, -1, axis)
+
+
+def inverse_1d(
+    low: np.ndarray,
+    high: np.ndarray,
+    axis: int = -1,
+    *,
+    wrap_bits: int | None = None,
+) -> np.ndarray:
+    """Exact inverse of :func:`forward_1d`.
+
+    Interleaves the reconstructed sample pairs back along ``axis``; the
+    output length is twice the coefficient length.
+    """
+    lo = np.moveaxis(_as_coeff(low), axis, -1)
+    hi = np.moveaxis(_as_coeff(high), axis, -1)
+    if lo.shape != hi.shape:
+        raise ConfigError(
+            f"low/high sub-band shapes differ: {lo.shape} vs {hi.shape}"
+        )
+    x1 = _wrap(lo - (hi >> 1), wrap_bits)
+    x0 = _wrap(hi + x1, wrap_bits)
+    out = np.empty(lo.shape[:-1] + (2 * lo.shape[-1],), dtype=COEFF_DTYPE)
+    out[..., 0::2] = x0
+    out[..., 1::2] = x1
+    return np.moveaxis(out, -1, axis)

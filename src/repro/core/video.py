@@ -1,0 +1,148 @@
+"""Frame-stream processing with capacity enforcement and adaptation.
+
+Ties together the pieces the paper's *Current Limitations* and *Future
+Work* sections describe: a fixed design-time memory provisioning
+(:class:`~repro.hardware.mapping.MemoryMappingPlan`), frames whose
+compressibility varies, the resulting overflow hazard, and the adaptive
+threshold controller that mitigates it.
+
+Overflow policies:
+
+- ``"raise"``  — propagate :class:`~repro.errors.CapacityError` (the
+  unprotected hardware behaviour);
+- ``"drop"``   — mark the frame dropped, leave the previous threshold
+  (a design that invalidates the frame's outputs);
+- ``"degrade"``— retry the same frame at increasing thresholds until it
+  fits (requires in-frame re-processing, the strongest mitigation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..errors import CapacityError, ConfigError
+from .stats import analyze_image
+from .threshold import AdaptiveThresholdController
+
+#: Supported overflow policies.
+OVERFLOW_POLICIES = ("raise", "drop", "degrade")
+
+
+@dataclass(frozen=True, slots=True)
+class FrameRecord:
+    """Outcome of one processed frame."""
+
+    index: int
+    threshold: int
+    peak_buffer_bits: int
+    fits: bool
+    dropped: bool
+    retries: int
+
+
+@dataclass(slots=True)
+class FrameStreamProcessor:
+    """Process a sequence of frames against a fixed memory budget.
+
+    Parameters
+    ----------
+    config:
+        Architecture geometry (threshold field is ignored; the stream's
+        controller owns the threshold).
+    budget_bits:
+        Provisioned memory-unit capacity (peak buffered bits).
+    policy:
+        Overflow policy, see module docstring.
+    controller:
+        Optional adaptive controller; when None a fixed ``threshold`` is
+        used for every frame.
+    threshold:
+        Fixed threshold when no controller is given.
+    row_stride:
+        Band sampling passed to the analyzer (None = window size).
+    """
+
+    config: ArchitectureConfig
+    budget_bits: int
+    policy: str = "degrade"
+    controller: AdaptiveThresholdController | None = None
+    threshold: int = 0
+    row_stride: int | None = None
+    records: list[FrameRecord] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.policy not in OVERFLOW_POLICIES:
+            raise ConfigError(
+                f"policy must be one of {OVERFLOW_POLICIES}, got {self.policy!r}"
+            )
+        if self.budget_bits <= 0:
+            raise ConfigError(f"budget_bits must be positive, got {self.budget_bits}")
+
+    def _frame_threshold(self) -> int:
+        return self.controller.threshold if self.controller else self.threshold
+
+    def _peak_bits(self, frame: np.ndarray, threshold: int) -> int:
+        report = analyze_image(
+            self.config.with_threshold(threshold),
+            frame,
+            row_stride=self.row_stride,
+        )
+        return report.peak_buffer_bits
+
+    def process(self, frames: Iterable[np.ndarray]) -> list[FrameRecord]:
+        """Run every frame through the provisioned memory model."""
+        for index, frame in enumerate(frames):
+            arr = np.asarray(frame).astype(np.int64)
+            threshold = self._frame_threshold()
+            peak = self._peak_bits(arr, threshold)
+            retries = 0
+            dropped = False
+            if peak > self.budget_bits:
+                if self.policy == "raise":
+                    raise CapacityError(
+                        f"frame {index} needs {peak} bits at T={threshold}, "
+                        f"budget is {self.budget_bits}"
+                    )
+                if self.policy == "drop":
+                    dropped = True
+                else:  # degrade
+                    ladder = (
+                        self.controller.levels
+                        if self.controller
+                        else (0, 2, 4, 6, 8, 10)
+                    )
+                    for t in ladder:
+                        if t <= threshold:
+                            continue
+                        retries += 1
+                        peak = self._peak_bits(arr, t)
+                        threshold = t
+                        if peak <= self.budget_bits:
+                            break
+                    else:
+                        dropped = True
+            fits = peak <= self.budget_bits
+            if self.controller:
+                self.controller.observe(peak)
+            self.records.append(
+                FrameRecord(
+                    index=index,
+                    threshold=threshold,
+                    peak_buffer_bits=peak,
+                    fits=fits,
+                    dropped=dropped,
+                    retries=retries,
+                )
+            )
+        return self.records
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of processed frames that were dropped."""
+        if not self.records:
+            return 0.0
+        return sum(r.dropped for r in self.records) / len(self.records)

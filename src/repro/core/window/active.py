@@ -1,0 +1,74 @@
+"""Active-window shift-register model (Section V, Fig 4).
+
+The active window is an ``N x N`` array of shift registers: each cycle a
+new column enters on one side, every stored column moves one position, and
+the oldest column falls off the far side into the compression path.  The
+model keeps the paper's orientation — new data on the left, exits on the
+right ("previous pixels are shifted to the right").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigError, StateError
+
+
+class ActiveWindow:
+    """N x N shift-register window with column-granularity shifting."""
+
+    def __init__(self, window_size: int) -> None:
+        if window_size < 1:
+            raise ConfigError(f"window_size must be >= 1, got {window_size}")
+        self.window_size = window_size
+        self._regs = np.zeros((window_size, window_size), dtype=np.int64)
+        self._columns_shifted = 0
+
+    @property
+    def contents(self) -> np.ndarray:
+        """Copy of the current register contents (row, column)."""
+        return self._regs.copy()
+
+    @property
+    def full(self) -> bool:
+        """True once every register has been written at least once."""
+        return self._columns_shifted >= self.window_size
+
+    @property
+    def rightmost_column(self) -> np.ndarray:
+        """The column about to exit into the compression path."""
+        return self._regs[:, -1].copy()
+
+    def shift_in(self, column: np.ndarray) -> np.ndarray:
+        """Shift one new column in on the left; returns the exiting column.
+
+        ``column`` must have exactly N entries (window row order, top to
+        bottom).
+        """
+        col = np.asarray(column)
+        if col.shape != (self.window_size,):
+            raise ConfigError(
+                f"column must have shape ({self.window_size},), got {col.shape}"
+            )
+        exiting = self._regs[:, -1].copy()
+        self._regs[:, 1:] = self._regs[:, :-1]
+        self._regs[:, 0] = col
+        self._columns_shifted += 1
+        return exiting
+
+    def load_row0(self, pixel: int) -> None:
+        """Write the raw input pixel into the first register of row 0.
+
+        Fig 4's input path: "input pixels ... are stored in the first
+        register of the first row"; the remaining N-1 entries of the same
+        column come from the IIWT output via :meth:`shift_in`'s column or
+        this in-place overwrite.
+        """
+        if self._columns_shifted == 0:
+            raise StateError("load_row0 before any column was shifted in")
+        self._regs[0, 0] = int(pixel)
+
+    def reset(self) -> None:
+        """Clear all registers."""
+        self._regs[:] = 0
+        self._columns_shifted = 0

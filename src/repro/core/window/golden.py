@@ -1,0 +1,77 @@
+"""Golden sliding-window oracle built on NumPy stride tricks.
+
+This is the mathematical specification every architectural engine is tested
+against: no buffering model, no compression, just "apply the kernel to
+every fully-contained N x N window".  Window extraction uses
+``sliding_window_view`` (a zero-copy view) and kernels are applied in
+bounded row chunks so that rank-order kernels, which must materialise their
+input, never allocate more than ``chunk_budget_bytes`` at a time (the
+guides' views-not-copies and cache-friendliness rules).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from ...errors import ConfigError
+from ...kernels.base import WindowKernel, as_kernel
+from .base import EngineStats, SlidingWindowEngine, WindowRun
+
+#: Default per-chunk working-set budget for kernel evaluation (64 MiB).
+DEFAULT_CHUNK_BUDGET = 64 * 1024 * 1024
+
+
+def sliding_windows(image: np.ndarray, window_size: int) -> np.ndarray:
+    """Zero-copy view of all valid windows, shape ``(R, C, N, N)``."""
+    arr = np.asarray(image)
+    if arr.ndim != 2:
+        raise ConfigError(f"image must be 2D, got shape {arr.shape}")
+    if window_size > min(arr.shape):
+        raise ConfigError(
+            f"window {window_size} exceeds image {arr.shape}"
+        )
+    return sliding_window_view(arr, (window_size, window_size))
+
+
+def golden_apply(
+    image: np.ndarray,
+    window_size: int,
+    kernel: WindowKernel,
+    *,
+    row_stride: int = 1,
+    chunk_budget_bytes: int = DEFAULT_CHUNK_BUDGET,
+) -> np.ndarray:
+    """Apply ``kernel`` to every valid window; returns ``(R', C)`` outputs.
+
+    ``row_stride`` subsamples output rows (used by large-image benches);
+    the column axis is always dense.
+    """
+    kern = as_kernel(kernel, window_size=window_size)
+    views = sliding_windows(image, window_size)[::row_stride]
+    rows, cols = views.shape[:2]
+    # Rows per chunk such that one materialised chunk stays in budget.
+    bytes_per_row = cols * window_size * window_size * 8
+    chunk = max(1, int(chunk_budget_bytes // max(bytes_per_row, 1)))
+    pieces = [
+        np.asarray(kern.apply(views[r0 : r0 + chunk]))
+        for r0 in range(0, rows, chunk)
+    ]
+    return np.concatenate(pieces, axis=0)
+
+
+class GoldenEngine(SlidingWindowEngine):
+    """Oracle engine: golden outputs, idealised (zero-buffer) statistics."""
+
+    def run(self, image: np.ndarray) -> WindowRun:
+        """Compute the golden output map for ``image``."""
+        arr = self._validate_image(image)
+        n = self.config.window_size
+        outputs = golden_apply(arr, n, self.kernel)
+        stats = EngineStats(
+            pixels_in=arr.size,
+            outputs=outputs.size,
+            process_cycles=arr.size,
+            traditional_buffer_bits=self.config.traditional_buffer_bits,
+        )
+        return WindowRun(outputs=outputs, stats=stats)

@@ -1,0 +1,145 @@
+"""Multi-stage sliding-window cascades.
+
+Section I motivates the memory problem with pipelines: "most image
+processing algorithms consist of 2-5 sequential sliding window operations,
+where the output of one operation is fed via line buffers to the following
+operation.  These implementations require a high number of BRAMs for
+implementing multiple sets of buffer lines."
+
+:class:`SlidingWindowPipeline` chains stages, instantiating a fresh engine
+per stage (traditional or compressed), re-quantising inter-stage samples to
+the pixel range (as the fixed-point hardware datapath would), and summing
+the buffering cost across stages so the aggregate saving of compressing
+*every* stage's line buffers can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ...config import ArchitectureConfig
+from ...errors import ConfigError
+from ...kernels.base import WindowKernel
+from .base import WindowRun
+from .compressed import CompressedEngine
+from .traditional import TraditionalEngine
+
+
+@dataclass(frozen=True)
+class PipelineStage:
+    """One sliding-window operation in a cascade."""
+
+    kernel: WindowKernel
+    window_size: int
+    #: Per-stage threshold override (None inherits the pipeline config).
+    threshold: int | None = None
+
+
+@dataclass(frozen=True)
+class PipelineStageResult:
+    """Output and buffering statistics of one executed stage."""
+
+    run: WindowRun
+    config: ArchitectureConfig
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Aggregate result of a pipeline execution."""
+
+    stages: tuple[PipelineStageResult, ...]
+
+    @property
+    def outputs(self) -> np.ndarray:
+        """Final stage output map."""
+        return self.stages[-1].run.outputs
+
+    @property
+    def total_buffer_bits(self) -> int:
+        """Peak buffered bits summed over every stage's line buffers."""
+        return sum(s.run.stats.buffer_bits_peak for s in self.stages)
+
+    @property
+    def total_traditional_bits(self) -> int:
+        """Raw line-buffer bits a traditional cascade would need."""
+        return sum(s.config.traditional_buffer_bits for s in self.stages)
+
+    @property
+    def memory_saving_percent(self) -> float:
+        """Aggregate Eq. (5) saving across all stages."""
+        if self.total_traditional_bits == 0:
+            return 0.0
+        return (1.0 - self.total_buffer_bits / self.total_traditional_bits) * 100.0
+
+
+class SlidingWindowPipeline:
+    """A cascade of 2-5 sliding-window stages sharing one base config."""
+
+    def __init__(
+        self,
+        base_config: ArchitectureConfig,
+        stages: list[PipelineStage],
+        *,
+        compressed: bool = True,
+    ) -> None:
+        if not 1 <= len(stages) <= 8:
+            raise ConfigError(f"pipeline needs 1-8 stages, got {len(stages)}")
+        self.base_config = base_config
+        self.stages = list(stages)
+        self.compressed = compressed
+
+    def _stage_config(
+        self, stage: PipelineStage, height: int, width: int
+    ) -> ArchitectureConfig:
+        threshold = (
+            self.base_config.threshold if stage.threshold is None else stage.threshold
+        )
+        return replace(
+            self.base_config,
+            image_height=height,
+            image_width=width,
+            window_size=stage.window_size,
+            threshold=threshold,
+        )
+
+    def _quantise(self, data: np.ndarray) -> np.ndarray:
+        """Round, clip and even-pad inter-stage samples.
+
+        A valid-region output map has ``W - N + 1`` columns, which is odd
+        whenever W and N are both even; the 2x2 Haar blocks of the next
+        stage need even sides, so odd dimensions are edge-padded by one
+        sample (the same boundary policy hardware line replication uses).
+        """
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.integer):
+            arr = np.rint(arr)
+        arr = np.clip(arr, 0, self.base_config.pixel_max).astype(np.int64)
+        pad_h = arr.shape[0] % 2
+        pad_w = arr.shape[1] % 2
+        if pad_h or pad_w:
+            arr = np.pad(arr, ((0, pad_h), (0, pad_w)), mode="edge")
+        return arr
+
+    def run(self, image: np.ndarray) -> PipelineResult:
+        """Execute every stage in sequence on ``image``."""
+        current = self._quantise(image)
+        results: list[PipelineStageResult] = []
+        for stage in self.stages:
+            h, w = current.shape
+            if stage.window_size > min(h, w):
+                raise ConfigError(
+                    f"stage {stage.kernel.name!r} window {stage.window_size} "
+                    f"exceeds its {h}x{w} input"
+                )
+            cfg = self._stage_config(stage, h, w)
+            engine = (
+                CompressedEngine(cfg, stage.kernel)
+                if self.compressed
+                else TraditionalEngine(cfg, stage.kernel)
+            )
+            run = engine.run(current)
+            results.append(PipelineStageResult(run=run, config=cfg))
+            current = self._quantise(run.outputs)
+        return PipelineResult(stages=tuple(results))

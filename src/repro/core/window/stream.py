@@ -1,0 +1,216 @@
+"""Pixel-level streaming simulator of the Fig 4 dataflow.
+
+The band-granular engines (:mod:`repro.core.window.compressed`) prove the
+architecture's *functional* behaviour; this simulator additionally checks
+its *dataflow*: pixels enter one per cycle, exiting columns are compressed
+pair-wise through the Fig 5 blocks and pushed as column records, and the
+read side pops each record exactly one traversal later — the simulator
+raises :class:`~repro.errors.StateError` on any underflow, out-of-order
+pop, or NBits disagreement between the Fig 7 gate tree and the packer.
+
+Dataflow conventions (matching Section III's state machine):
+
+- *fill state* (rows 0..N-2): pixels are only pushed into the buffers; no
+  compression, no outputs ("no output or operations are done");
+- *processing* (each traversal y >= N-1): position ``x`` assembles the
+  incoming column from the previous traversal's reconstructed column
+  (rows shifted up one) plus the new raw pixel, the kernel fires for
+  ``x >= N-1``, and the exiting column joins its 2x2 partner in the IWT
+  before being packed and stored.
+
+The simulator is scalar Python (use small images); its outputs and
+reconstruction are asserted bit-identical to
+``CompressedEngine(recirculate=True)`` in the test suite — for lossless
+*and* lossy configurations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...config import ArchitectureConfig
+from ...errors import StateError
+from ...kernels.base import WindowKernel, as_kernel
+from ..packing.nbits import NBitsGateModel
+from ..packing.packer import PackedColumn, pack_interleaved_column
+from ..packing.unpacker import unpack_interleaved_column
+from ..transform.hwmodel import Haar2DBlock, InverseHaar2DBlock
+from .base import EngineStats, SlidingWindowEngine, WindowRun
+from .traditional import traditional_fill_cycles
+
+
+@dataclass(frozen=True, slots=True)
+class _ColumnRecord:
+    """One compressed column resident in the memory unit."""
+
+    packed: PackedColumn
+    column_index: int
+
+
+class PixelStreamSimulator(SlidingWindowEngine):
+    """Cycle-by-cycle model of the modified architecture's dataflow."""
+
+    def __init__(self, config: ArchitectureConfig, kernel: WindowKernel) -> None:
+        super().__init__(config, kernel)
+        if config.decomposition_levels != 1 or config.ll_dpcm:
+            from ...errors import ConfigError
+
+            raise ConfigError(
+                "the pixel-stream simulator models the paper's single-level "
+                "datapath; use CompressedEngine for multi-level configs"
+            )
+        wrap = config.coefficient_bits if config.wrap_coefficients else None
+        self._fwd = Haar2DBlock(wrap_bits=wrap)
+        self._inv = InverseHaar2DBlock(wrap_bits=wrap)
+        self._gate = NBitsGateModel(max(config.coefficient_bits, 2))
+        #: High-water mark of the record FIFO (column records).
+        self.fifo_peak = 0
+        #: Peak resident bits (payload + per-record management).
+        self.bits_peak = 0
+
+    # -- column-pair transforms (Fig 5 / Fig 10 blocks) -----------------
+
+    def _transform_pair(
+        self, even_col: np.ndarray, odd_col: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """2D IWT of an aligned column pair -> interleaved coefficient cols."""
+        n = self.config.window_size
+        col_a = np.zeros(n, dtype=np.int64)
+        col_b = np.zeros(n, dtype=np.int64)
+        for i in range(0, n, 2):
+            # forward() returns (LL, LH, HL, HH) for the 2x2 block whose
+            # left column is the even image column.
+            ll, lh, hl, hh = self._fwd.forward(
+                int(even_col[i]), int(odd_col[i]),
+                int(even_col[i + 1]), int(odd_col[i + 1]),
+            )
+            col_a[i], col_a[i + 1] = ll, lh
+            col_b[i], col_b[i + 1] = hl, hh
+        return col_a, col_b
+
+    def _inverse_pair(
+        self, col_a: np.ndarray, col_b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact inverse of :meth:`_transform_pair`."""
+        n = self.config.window_size
+        even_col = np.zeros(n, dtype=np.int64)
+        odd_col = np.zeros(n, dtype=np.int64)
+        for i in range(0, n, 2):
+            x00, x01, x10, x11 = self._inv.inverse(
+                int(col_a[i]), int(col_a[i + 1]),
+                int(col_b[i]), int(col_b[i + 1]),
+            )
+            even_col[i], odd_col[i] = x00, x01
+            even_col[i + 1], odd_col[i + 1] = x10, x11
+        return even_col, odd_col
+
+    def _compress_column(self, coeff_col: np.ndarray) -> PackedColumn:
+        """Threshold + pack one interleaved column; cross-check Fig 7."""
+        cfg = self.config
+        packed = pack_interleaved_column(coeff_col, threshold=cfg.threshold)
+        significant = coeff_col.copy()
+        if cfg.threshold:
+            significant[np.abs(significant) < cfg.threshold] = 0
+        if self._gate.min_bits(significant[0::2]) != packed.nbits_even:
+            raise StateError("gate-tree NBits disagrees with packer (even rows)")
+        if self._gate.min_bits(significant[1::2]) != packed.nbits_odd:
+            raise StateError("gate-tree NBits disagrees with packer (odd rows)")
+        return packed
+
+    def _to_pixels(self, column: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        if cfg.wrap_coefficients:
+            return column & cfg.pixel_max
+        return np.clip(column, 0, cfg.pixel_max)
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self, image: np.ndarray) -> WindowRun:
+        """Stream every pixel of ``image`` through the architecture."""
+        arr = self._validate_image(image).astype(np.int64)
+        cfg = self.config
+        n, w, h = cfg.window_size, cfg.image_width, cfg.image_height
+        kern = as_kernel(self.kernel, window_size=n)
+
+        fifo: deque[_ColumnRecord] = deque()
+        window = np.zeros((n, n), dtype=np.int64)
+        out: np.ndarray | None = None
+        reconstruction = arr.copy()
+        bits_resident = 0
+
+        for y in range(n - 1, h):
+            decoded_pair: dict[int, np.ndarray] = {}
+            state_cols: list[np.ndarray] = []  # this traversal's columns
+
+            for x in range(w):
+                # ---- read side: decode the re-entry column for position x
+                if y == n - 1:
+                    incoming = arr[0:n, x].copy()  # fill state: raw rows
+                else:
+                    if x % 2 == 0:
+                        for idx in (x, x + 1):
+                            if not fifo:
+                                raise StateError(
+                                    f"record FIFO underflow at ({y}, {x})"
+                                )
+                            record = fifo.popleft()
+                            if record.column_index != idx:
+                                raise StateError(
+                                    f"out-of-order pop at ({y}, {x}): "
+                                    f"expected col {idx}, got "
+                                    f"{record.column_index}"
+                                )
+                            bits_resident -= record.packed.total_bits(
+                                cfg.nbits_field_width
+                            )
+                            decoded_pair[idx] = unpack_interleaved_column(
+                                record.packed
+                            )
+                        even_col, odd_col = self._inverse_pair(
+                            decoded_pair[x], decoded_pair[x + 1]
+                        )
+                        decoded_pair[x] = self._to_pixels(even_col)
+                        decoded_pair[x + 1] = self._to_pixels(odd_col)
+                    prev_col = decoded_pair.pop(x)
+                    # Rows shift down one: the record's rows 1..N-1 feed
+                    # window rows 0..N-2; the raw pixel is the new row.
+                    incoming = np.concatenate([prev_col[1:], [arr[y, x]]])
+
+                state_cols.append(incoming)
+                reconstruction[y - n + 1 : y + 1, x] = incoming
+
+                # ---- active window shift; kernel fires once valid
+                window[:, :-1] = window[:, 1:]
+                window[:, -1] = incoming
+                if x >= n - 1:
+                    value = np.asarray(kern.apply(window))
+                    if out is None:
+                        out = np.zeros((h - n + 1, w - n + 1), dtype=value.dtype)
+                    out[y - n + 1, x - n + 1] = value
+
+                # ---- write side: compress the column pair on odd columns
+                if y < h - 1 and x % 2 == 1:
+                    even_col = state_cols[x - 1]
+                    odd_col = state_cols[x]
+                    col_a, col_b = self._transform_pair(even_col, odd_col)
+                    for idx, coeff in ((x - 1, col_a), (x, col_b)):
+                        packed = self._compress_column(coeff)
+                        fifo.append(_ColumnRecord(packed=packed, column_index=idx))
+                        bits_resident += packed.total_bits(cfg.nbits_field_width)
+                    self.fifo_peak = max(self.fifo_peak, len(fifo))
+                    self.bits_peak = max(self.bits_peak, bits_resident)
+
+        assert out is not None
+        fill = traditional_fill_cycles(n, w)
+        stats = EngineStats(
+            fill_cycles=fill,
+            process_cycles=arr.size - fill,
+            pixels_in=arr.size,
+            outputs=out.size,
+            buffer_bits_peak=self.bits_peak,
+            traditional_buffer_bits=cfg.traditional_buffer_bits,
+        )
+        return WindowRun(outputs=out, stats=stats, reconstruction=reconstruction)

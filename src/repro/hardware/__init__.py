@@ -1,0 +1,67 @@
+"""FPGA hardware substrate models.
+
+The paper evaluates on a Xilinx Zynq XC7Z020 with Vivado 2015.3.  This
+package replaces that toolchain with analytical models:
+
+- :mod:`repro.hardware.bram` — the 18 Kb block RAM primitive and its port
+  geometry configurations (16k x 1 ... 512 x 36);
+- :mod:`repro.hardware.fifo` — an occupancy-tracked FIFO;
+- :mod:`repro.hardware.mapping` — BRAM allocation rules: traditional
+  line-buffer counts (Table I), rows-per-BRAM packing options (Fig 11) and
+  management-buffer allocation (Tables II-V);
+- :mod:`repro.hardware.memory_unit` — the runtime Memory Unit with
+  capacity enforcement;
+- :mod:`repro.hardware.resources` — the LUT / register / Fmax estimator
+  calibrated against the paper's published synthesis anchors (Tables VI-X);
+- :mod:`repro.hardware.device` — device catalog (XC7Z020 and friends).
+"""
+
+from .bram import BRAM_CAPACITY_BITS, BramConfig, BRAM_CONFIGS, min_brams, best_config
+from .fifo import Fifo
+from .mapping import (
+    ROWS_PER_BRAM_OPTIONS,
+    traditional_bram_count,
+    choose_rows_per_bram,
+    packed_bram_count,
+    management_bram_count,
+    MemoryMappingPlan,
+    plan_memory_mapping,
+)
+from .memory_unit import MemoryUnit
+from .resources import ResourceEstimate, ResourceModel, BLOCK_ANCHORS
+from .device import FPGADevice, DEVICES, XC7Z020
+from .ecc import SecdedCodec
+from .latency import (
+    LatencyReport,
+    compressed_latency,
+    latency_overhead_percent,
+    traditional_latency,
+)
+
+__all__ = [
+    "BRAM_CAPACITY_BITS",
+    "BramConfig",
+    "BRAM_CONFIGS",
+    "min_brams",
+    "best_config",
+    "Fifo",
+    "ROWS_PER_BRAM_OPTIONS",
+    "traditional_bram_count",
+    "choose_rows_per_bram",
+    "packed_bram_count",
+    "management_bram_count",
+    "MemoryMappingPlan",
+    "plan_memory_mapping",
+    "MemoryUnit",
+    "ResourceEstimate",
+    "ResourceModel",
+    "BLOCK_ANCHORS",
+    "FPGADevice",
+    "DEVICES",
+    "XC7Z020",
+    "SecdedCodec",
+    "LatencyReport",
+    "traditional_latency",
+    "compressed_latency",
+    "latency_overhead_percent",
+]

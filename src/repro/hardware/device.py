@@ -1,0 +1,68 @@
+"""FPGA device catalog.
+
+The paper targets the Zynq-7000 XC7Z020 ("it has a total of 53,200 LUTs
+and 106,400 registers" and "a total on-chip memory of 5,018 Kb").  Sibling
+parts are included so feasibility sweeps can ask "which device fits window
+size 128?" — the paper's Table X marks that point as exceeding the Z020.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class FPGADevice:
+    """Resource envelope of one FPGA part."""
+
+    name: str
+    luts: int
+    registers: int
+    bram18k: int
+
+    @property
+    def bram_bits(self) -> int:
+        """Total block RAM bits (18 Kb per RAMB18)."""
+        return self.bram18k * 18 * 1024
+
+    @property
+    def bram_kbits(self) -> float:
+        """Total block RAM in Kb (the paper quotes 5,018 Kb for the Z020)."""
+        return self.bram_bits / 1024
+
+    def fits(self, luts: int = 0, registers: int = 0, bram18k: int = 0) -> bool:
+        """True when the given utilisation fits this device."""
+        if min(luts, registers, bram18k) < 0:
+            raise ConfigError("utilisation figures must be non-negative")
+        return (
+            luts <= self.luts
+            and registers <= self.registers
+            and bram18k <= self.bram18k
+        )
+
+    def utilisation_percent(
+        self, *, luts: int = 0, registers: int = 0, bram18k: int = 0
+    ) -> dict[str, float]:
+        """Percentage utilisation per resource class."""
+        return {
+            "luts": 100.0 * luts / self.luts,
+            "registers": 100.0 * registers / self.registers,
+            "bram18k": 100.0 * bram18k / self.bram18k,
+        }
+
+
+#: The paper's evaluation device.
+XC7Z020 = FPGADevice(name="XC7Z020", luts=53200, registers=106400, bram18k=280)
+
+#: Catalog keyed by part name.
+DEVICES: dict[str, FPGADevice] = {
+    d.name: d
+    for d in (
+        FPGADevice(name="XC7Z010", luts=17600, registers=35200, bram18k=120),
+        XC7Z020,
+        FPGADevice(name="XC7Z030", luts=78600, registers=157200, bram18k=530),
+        FPGADevice(name="XC7Z045", luts=218600, registers=437200, bram18k=1090),
+    )
+}

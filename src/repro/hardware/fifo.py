@@ -1,0 +1,80 @@
+"""Occupancy-tracked FIFO used by the Memory Unit model.
+
+The hardware maps each FIFO onto one or more BRAMs; the model enforces the
+provisioned capacity and records the high-water mark, which is how the
+"bad frame overflows the memory unit" failure mode of Section V.E
+surfaces as a :class:`~repro.errors.CapacityError` in simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+from ..errors import CapacityError, ConfigError
+
+T = TypeVar("T")
+
+
+class Fifo(Generic[T]):
+    """Bounded FIFO with occupancy statistics.
+
+    ``capacity`` is measured in entries; entries may carry a ``bits`` cost
+    via :meth:`push`'s keyword, letting one object model a bit-granular
+    buffer (the packed-pixel FIFOs) or an entry-granular one (NBits,
+    BitMap).
+    """
+
+    def __init__(self, capacity: int, *, name: str = "fifo") -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self._entries: deque[tuple[T, int]] = deque()
+        self._bits = 0
+        self.peak_entries = 0
+        self.peak_bits = 0
+        self.total_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bits(self) -> int:
+        """Sum of the bit costs of resident entries."""
+        return self._bits
+
+    @property
+    def empty(self) -> bool:
+        """True when no entries are resident."""
+        return not self._entries
+
+    @property
+    def full(self) -> bool:
+        """True when at entry capacity."""
+        return len(self._entries) >= self.capacity
+
+    def push(self, item: T, *, bits: int = 1) -> None:
+        """Enqueue ``item``; raises :class:`CapacityError` when full."""
+        if self.full:
+            raise CapacityError(
+                f"{self.name}: push onto full FIFO (capacity {self.capacity})"
+            )
+        self._entries.append((item, bits))
+        self._bits += bits
+        self.total_pushed += 1
+        self.peak_entries = max(self.peak_entries, len(self._entries))
+        self.peak_bits = max(self.peak_bits, self._bits)
+
+    def pop(self) -> T:
+        """Dequeue the oldest entry; raises :class:`CapacityError` when empty."""
+        if not self._entries:
+            raise CapacityError(f"{self.name}: pop from empty FIFO")
+        item, bits = self._entries.popleft()
+        self._bits -= bits
+        return item
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are retained)."""
+        self._entries.clear()
+        self._bits = 0

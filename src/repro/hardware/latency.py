@@ -1,0 +1,92 @@
+"""Pipeline latency model for both architectures.
+
+The paper claims the modified architecture is "fully pipelined, giving
+similar performance to the traditional architecture": same *throughput*
+(one pixel in, one output out per cycle) with extra *latency* from the
+compression pipeline stages.  This model counts those stages so the
+latency cost of the BRAM saving can be reported alongside it.
+
+Stage depths (register levels) follow the block descriptions:
+
+- IWT — two butterfly stages (Fig 5);
+- Bit Packing — NBits tree + threshold/concatenate (two stages, Fig 6/7);
+- Memory Unit — one write and one read cycle around the FIFO;
+- Bit Unpacking — refill/extract (two stages, Figs 8/9);
+- IIWT — two butterfly stages (Fig 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ArchitectureConfig
+from ..errors import ConfigError
+
+#: Pipeline register stages per compression block.
+STAGE_DEPTHS: dict[str, int] = {
+    "iwt": 2,
+    "bit_packing": 2,
+    "memory_write": 1,
+    "memory_read": 1,
+    "bit_unpacking": 2,
+    "iiwt": 2,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyReport:
+    """Latency breakdown of one architecture instance."""
+
+    config: ArchitectureConfig
+    fill_cycles: int
+    pipeline_stages: int
+
+    @property
+    def first_output_cycle(self) -> int:
+        """Cycle index of the first valid output (0-based pixel clock)."""
+        return self.fill_cycles + self.pipeline_stages
+
+    @property
+    def latency_overhead_cycles(self) -> int:
+        """Extra latency vs the traditional architecture."""
+        return self.pipeline_stages
+
+    def latency_microseconds(self, fmax_mhz: float) -> float:
+        """First-output latency at a given clock."""
+        if fmax_mhz <= 0:
+            raise ConfigError(f"fmax_mhz must be positive, got {fmax_mhz}")
+        return self.first_output_cycle / fmax_mhz
+
+
+def traditional_latency(config: ArchitectureConfig) -> LatencyReport:
+    """Latency of the line-buffering architecture: fill only."""
+    fill = (config.window_size - 1) * config.image_width + (config.window_size - 1)
+    return LatencyReport(config=config, fill_cycles=fill, pipeline_stages=0)
+
+
+def compressed_latency(config: ArchitectureConfig) -> LatencyReport:
+    """Latency of the modified architecture: fill plus pipeline depth.
+
+    The compression loop adds a fixed number of register stages; crucially
+    it does **not** scale with window size or resolution — throughput is
+    untouched and the latency overhead is a handful of cycles.
+    """
+    base = traditional_latency(config)
+    return LatencyReport(
+        config=config,
+        fill_cycles=base.fill_cycles,
+        pipeline_stages=sum(STAGE_DEPTHS.values()),
+    )
+
+
+def latency_overhead_percent(config: ArchitectureConfig) -> float:
+    """Compressed first-output latency overhead relative to traditional."""
+    trad = traditional_latency(config)
+    comp = compressed_latency(config)
+    if trad.first_output_cycle == 0:
+        return 0.0
+    return (
+        (comp.first_output_cycle - trad.first_output_cycle)
+        / trad.first_output_cycle
+        * 100.0
+    )

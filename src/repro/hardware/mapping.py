@@ -1,0 +1,170 @@
+"""BRAM allocation rules for the traditional and compressed memory units.
+
+Implements the arithmetic behind the paper's evaluation tables:
+
+- Table I — traditional architecture: one FIFO per buffered image row,
+  each realised by enough cascaded 18 Kb BRAMs for one W-pixel row.
+- Fig 11 / Tables II-V — compressed architecture: the packed bits of 1, 2,
+  4 or 8 image rows share one BRAM (the rows-per-BRAM options); the choice
+  is made at design time from the *worst-case* compressed row sizes the
+  deployment must support, and the NBits / BitMap streams get their own
+  best-geometry allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..errors import ConfigError
+from .bram import BRAM_CAPACITY_BITS, best_config, min_brams
+
+#: Fig 11's memory mapping options, most aggressive first.
+ROWS_PER_BRAM_OPTIONS: tuple[int, ...] = (8, 4, 2, 1)
+
+
+def traditional_bram_count(config: ArchitectureConfig) -> int:
+    """Table I: BRAMs used by the traditional line-buffering architecture.
+
+    The paper provisions one FIFO per *window row* (N FIFOs) and realises
+    each as ``ceil`` of a W-pixel row over the best BRAM geometry —
+    one BRAM up to 2048 eight-bit pixels (2k x 9), two for 3840.
+    """
+    per_row = min_brams(config.image_width, config.pixel_bits)
+    return config.window_size * per_row
+
+
+def choose_rows_per_bram(
+    row_bits_worst: np.ndarray,
+    *,
+    capacity_bits: int = BRAM_CAPACITY_BITS,
+    options: tuple[int, ...] = ROWS_PER_BRAM_OPTIONS,
+) -> int:
+    """Pick the most aggressive Fig 11 option that worst-case data fits.
+
+    ``row_bits_worst`` holds, per window row stream, the largest packed
+    size (bits) observed across the provisioning dataset.  Option ``r``
+    is feasible when every aligned group of ``r`` adjacent row streams
+    sums below one BRAM's capacity.  Falls back to 1 row per BRAM (with
+    cascading handled by :func:`packed_bram_count`) when nothing fits.
+    """
+    rows = np.asarray(row_bits_worst, dtype=np.int64)
+    if rows.ndim != 1 or rows.size == 0:
+        raise ConfigError(f"row_bits_worst must be non-empty 1D, got {rows.shape}")
+    n = rows.size
+    for r in options:
+        if r < 1 or n % r:
+            continue
+        group_sums = rows.reshape(n // r, r).sum(axis=1)
+        if int(group_sums.max()) <= capacity_bits:
+            return r
+    return 1
+
+
+def packed_bram_count(
+    window_size: int,
+    row_bits_worst: np.ndarray,
+    *,
+    capacity_bits: int = BRAM_CAPACITY_BITS,
+) -> tuple[int, int]:
+    """BRAMs for the packed-bit FIFOs; returns ``(bram_count, rows_per_bram)``.
+
+    With a feasible rows-per-BRAM option ``r`` the count is ``N / r``;
+    when even a single row stream overflows one BRAM, rows cascade across
+    ``ceil(row_bits / capacity)`` BRAMs each (the traditional architecture
+    needs the same treatment for wide images — cf. Table I's 3840 column).
+    """
+    rows = np.asarray(row_bits_worst, dtype=np.int64)
+    if rows.size != window_size:
+        raise ConfigError(
+            f"expected {window_size} row sizes, got {rows.size}"
+        )
+    r = choose_rows_per_bram(rows, capacity_bits=capacity_bits)
+    if r > 1:
+        return window_size // r, r
+    count = int(sum(max(1, ceil(int(b) / capacity_bits)) for b in rows))
+    return count, 1
+
+
+def management_bram_count(config: ArchitectureConfig) -> int:
+    """BRAMs for the NBits and BitMap streams (Tables II-V right column).
+
+    NBits: one ``2 x nbits_field_width``-bit word per buffered column.
+    BitMap: one N-bit word per buffered column.  Each stream independently
+    picks the geometry minimising its BRAM count.
+    """
+    cols = config.buffered_columns
+    nbits_brams = min_brams(cols, 2 * config.nbits_field_width)
+    bitmap_brams = min_brams(cols, config.window_size)
+    return nbits_brams + bitmap_brams
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryMappingPlan:
+    """Design-time BRAM allocation for one architecture configuration."""
+
+    config: ArchitectureConfig
+    rows_per_bram: int
+    packed_brams: int
+    management_brams: int
+    #: Worst-case per-row packed bits the plan was provisioned for.
+    row_bits_worst: np.ndarray
+
+    @property
+    def total_brams(self) -> int:
+        """Packed plus management BRAMs."""
+        return self.packed_brams + self.management_brams
+
+    @property
+    def traditional_brams(self) -> int:
+        """What the traditional architecture needs for the same geometry."""
+        return traditional_bram_count(self.config)
+
+    @property
+    def bram_saving_percent(self) -> float:
+        """Eq. (5) over BRAM counts."""
+        trad = self.traditional_brams
+        if trad == 0:
+            return 0.0
+        return (1.0 - self.total_brams / trad) * 100.0
+
+    @property
+    def nominal_saving_percent(self) -> float:
+        """Fig 11's nominal saving of the chosen option: ``1 - 1/r``."""
+        return (1.0 - 1.0 / self.rows_per_bram) * 100.0
+
+    def describe(self) -> str:
+        """Human-readable one-liner for tables and logs."""
+        return (
+            f"{self.config.describe()}: {self.packed_brams} packed + "
+            f"{self.management_brams} mgmt BRAMs ({self.rows_per_bram} rows/BRAM), "
+            f"traditional {self.traditional_brams}"
+        )
+
+
+def plan_memory_mapping(
+    config: ArchitectureConfig,
+    row_bits_worst: np.ndarray,
+    *,
+    capacity_bits: int = BRAM_CAPACITY_BITS,
+) -> MemoryMappingPlan:
+    """Produce the design-time BRAM plan for one configuration."""
+    packed, r = packed_bram_count(
+        config.window_size, row_bits_worst, capacity_bits=capacity_bits
+    )
+    return MemoryMappingPlan(
+        config=config,
+        rows_per_bram=r,
+        packed_brams=packed,
+        management_brams=management_bram_count(config),
+        row_bits_worst=np.asarray(row_bits_worst, dtype=np.int64),
+    )
+
+
+def bitmap_bram_geometry(config: ArchitectureConfig) -> str:
+    """Name of the geometry the BitMap buffer uses (Section V.E examples)."""
+    cfg = best_config(config.buffered_columns, config.window_size)
+    return cfg.name

@@ -1,0 +1,114 @@
+"""Runtime Memory Unit model (Section V.E, Fig 11).
+
+The Memory Unit owns three storage streams: the packed coefficient FIFOs
+(grouped ``rows_per_bram`` window rows to a BRAM), the NBits stream and the
+BitMap stream.  This model tracks occupancy column by column against the
+design-time :class:`~repro.hardware.mapping.MemoryMappingPlan` and raises
+:class:`~repro.errors.CapacityError` the moment a frame compresses worse
+than the plan provisioned for — the failure mode the paper's *Current
+Limitations* paragraph describes for "bad frames or random images".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CapacityError, ConfigError
+from .bram import BRAM_CAPACITY_BITS
+from .fifo import Fifo
+from .mapping import MemoryMappingPlan
+
+
+class MemoryUnit:
+    """Occupancy-enforcing model of the compressed line-buffer storage."""
+
+    def __init__(
+        self,
+        plan: MemoryMappingPlan,
+        *,
+        capacity_bits: int = BRAM_CAPACITY_BITS,
+    ) -> None:
+        self.plan = plan
+        cfg = plan.config
+        n = cfg.window_size
+        r = plan.rows_per_bram
+        if n % r:
+            raise ConfigError(f"window {n} not divisible by rows_per_bram {r}")
+        self.rows_per_group = r
+        self.n_groups = n // r
+        #: Bit capacity of one packed group (its BRAM allocation).
+        group_brams = max(1, plan.packed_brams // self.n_groups)
+        self.group_capacity_bits = group_brams * capacity_bits
+        depth = cfg.buffered_columns
+        self._groups: list[Fifo[int]] = [
+            Fifo(depth, name=f"packed[{g}]") for g in range(self.n_groups)
+        ]
+        self._nbits: Fifo[tuple[int, int]] = Fifo(depth, name="nbits")
+        self._bitmap: Fifo[np.ndarray] = Fifo(depth, name="bitmap")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def columns_resident(self) -> int:
+        """Column records currently buffered."""
+        return len(self._nbits)
+
+    @property
+    def packed_bits_resident(self) -> int:
+        """Packed payload bits currently buffered across all groups."""
+        return sum(g.bits for g in self._groups)
+
+    def group_occupancy_bits(self) -> list[int]:
+        """Per-group resident payload bits."""
+        return [g.bits for g in self._groups]
+
+    # ------------------------------------------------------------------
+
+    def push_column(
+        self,
+        row_payload_bits: np.ndarray,
+        nbits_even: int,
+        nbits_odd: int,
+        bitmap: np.ndarray,
+    ) -> None:
+        """Store one compressed column's worth of data.
+
+        ``row_payload_bits`` gives the packed bit count each window row
+        contributed for this column; rows are folded into their BRAM group
+        and the group's capacity is enforced.
+        """
+        rows = np.asarray(row_payload_bits, dtype=np.int64)
+        cfg = self.plan.config
+        if rows.shape != (cfg.window_size,):
+            raise ConfigError(
+                f"expected {cfg.window_size} row sizes, got {rows.shape}"
+            )
+        for g, fifo in enumerate(self._groups):
+            group_bits = int(
+                rows[g * self.rows_per_group : (g + 1) * self.rows_per_group].sum()
+            )
+            if fifo.bits + group_bits > self.group_capacity_bits:
+                raise CapacityError(
+                    f"packed group {g} would hold "
+                    f"{fifo.bits + group_bits} bits, BRAM allocation is "
+                    f"{self.group_capacity_bits} bits — frame compresses "
+                    f"worse than the design-time plan"
+                )
+            fifo.push(group_bits, bits=group_bits)
+        self._nbits.push((int(nbits_even), int(nbits_odd)), bits=2 * cfg.nbits_field_width)
+        self._bitmap.push(np.asarray(bitmap, dtype=bool), bits=cfg.window_size)
+
+    def pop_column(self) -> tuple[tuple[int, int], np.ndarray]:
+        """Release the oldest column; returns its (NBits pair, bitmap)."""
+        for fifo in self._groups:
+            fifo.pop()
+        nbits = self._nbits.pop()
+        bitmap = self._bitmap.pop()
+        return nbits, bitmap
+
+    def peak_report(self) -> dict[str, int]:
+        """High-water marks for every stream (bits)."""
+        report = {f"packed[{g}]": f.peak_bits for g, f in enumerate(self._groups)}
+        report["nbits"] = self._nbits.peak_bits
+        report["bitmap"] = self._bitmap.peak_bits
+        return report

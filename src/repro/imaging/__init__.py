@@ -1,0 +1,35 @@
+"""Imaging substrate: synthetic dataset, metrics and I/O.
+
+The paper evaluates on "10 randomly selected images from the MIT Places
+Database for Scene Recognition" (indoor and outdoor scenes).  That dataset
+is not redistributable here, so :mod:`repro.imaging.synthetic` generates
+seeded synthetic scenes engineered to match the two statistics the
+compression algorithm exploits — smooth large-scale colour variation and
+sparse fine detail — and :mod:`repro.imaging.dataset` packages ten of them
+(five indoor, five outdoor) as the standard benchmark suite.  Rendering at
+a native resolution and upscaling to the target reproduces the paper's
+observation that compression improves with resolution.
+"""
+
+from .synthetic import SceneParams, generate_scene, SCENE_CLASSES
+from .dataset import benchmark_dataset, dataset_images, DATASET_SEED
+from .metrics import mse, psnr, compression_ratio, memory_saving_percent
+from .resize import bilinear_resize, nearest_resize
+from .pgm import read_pgm, write_pgm
+
+__all__ = [
+    "SceneParams",
+    "generate_scene",
+    "SCENE_CLASSES",
+    "benchmark_dataset",
+    "dataset_images",
+    "DATASET_SEED",
+    "mse",
+    "psnr",
+    "compression_ratio",
+    "memory_saving_percent",
+    "bilinear_resize",
+    "nearest_resize",
+    "read_pgm",
+    "write_pgm",
+]

@@ -1,0 +1,66 @@
+"""Colour scene generation and plane handling.
+
+Section III's worked example uses 24-bit colour pixels ("an image of HD
+resolution (2048 x 2048), and 24-bit colored pixels ... 5,422 Kb" — more
+on-chip memory than the whole XC7Z020).  Colour is processed as three
+independent 8-bit planes, each with its own compressed line buffers; this
+module generates correlated RGB test scenes and converts between packed
+and planar layouts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, DatasetError
+from .synthetic import SceneParams, generate_scene
+
+
+def generate_color_scene(
+    seed: int,
+    resolution: int = 512,
+    params: SceneParams | None = None,
+) -> np.ndarray:
+    """Render an ``(H, W, 3)`` RGB scene.
+
+    Built from one luminance scene plus two low-frequency chroma fields,
+    so the three channels are strongly correlated (as in natural images)
+    and each compresses like a grayscale scene.
+    """
+    luma = generate_scene(seed, resolution, params).astype(np.float64)
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    ys = np.linspace(0, 2 * np.pi, resolution)[:, None]
+    xs = np.linspace(0, 2 * np.pi, resolution)[None, :]
+    chroma_u = 20.0 * np.cos(ys * rng.uniform(0.3, 1.0) + rng.uniform(0, 6))
+    chroma_v = 20.0 * np.cos(xs * rng.uniform(0.3, 1.0) + rng.uniform(0, 6))
+    r = luma + chroma_v
+    g = luma - 0.3 * chroma_u - 0.3 * chroma_v
+    b = luma + chroma_u
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
+
+
+def split_planes(image: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Split an ``(H, W, C)`` image into C contiguous 2D planes."""
+    arr = np.asarray(image)
+    if arr.ndim != 3:
+        raise ConfigError(f"expected (H, W, C), got shape {arr.shape}")
+    return tuple(np.ascontiguousarray(arr[..., c]) for c in range(arr.shape[-1]))
+
+
+def merge_planes(planes: tuple[np.ndarray, ...] | list[np.ndarray]) -> np.ndarray:
+    """Inverse of :func:`split_planes`."""
+    if not planes:
+        raise ConfigError("need at least one plane")
+    shapes = {np.asarray(p).shape for p in planes}
+    if len(shapes) != 1:
+        raise ConfigError(f"plane shapes disagree: {shapes}")
+    return np.stack([np.asarray(p) for p in planes], axis=-1)
+
+
+def rgb_bits_per_pixel(image: np.ndarray, pixel_bits: int = 8) -> int:
+    """Raw storage width of one packed colour pixel."""
+    arr = np.asarray(image)
+    if arr.ndim != 3:
+        raise DatasetError(f"expected (H, W, C), got shape {arr.shape}")
+    return arr.shape[-1] * pixel_bits

@@ -1,0 +1,46 @@
+"""Minimal binary PGM (P5) reader/writer.
+
+Used by the Fig 12 bench to materialise the benchmark suite on disk and by
+the examples to save inputs/outputs without any imaging dependency.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import DatasetError
+
+_HEADER_RE = re.compile(rb"^P5\s+(?:#[^\n]*\n\s*)*(\d+)\s+(\d+)\s+(\d+)\s")
+
+
+def write_pgm(path: str | Path, image: np.ndarray) -> None:
+    """Write an 8-bit grayscale image as binary PGM."""
+    arr = np.asarray(image)
+    if arr.ndim != 2:
+        raise DatasetError(f"PGM images must be 2D, got shape {arr.shape}")
+    if arr.dtype != np.uint8:
+        if arr.min() < 0 or arr.max() > 255:
+            raise DatasetError("pixel values must fit 8 bits for PGM output")
+        arr = arr.astype(np.uint8)
+    header = f"P5\n{arr.shape[1]} {arr.shape[0]}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + arr.tobytes())
+
+
+def read_pgm(path: str | Path) -> np.ndarray:
+    """Read a binary PGM written by :func:`write_pgm` (or compatible)."""
+    data = Path(path).read_bytes()
+    match = _HEADER_RE.match(data)
+    if not match:
+        raise DatasetError(f"{path}: not a binary P5 PGM file")
+    width, height, maxval = (int(g) for g in match.groups())
+    if maxval > 255:
+        raise DatasetError(f"{path}: 16-bit PGM not supported (maxval {maxval})")
+    pixels = np.frombuffer(data, dtype=np.uint8, offset=match.end())
+    if pixels.size < width * height:
+        raise DatasetError(
+            f"{path}: truncated pixel data ({pixels.size} < {width * height})"
+        )
+    return pixels[: width * height].reshape(height, width).copy()

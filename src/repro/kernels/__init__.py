@@ -1,0 +1,41 @@
+"""Sliding-window processing kernels.
+
+The sliding-window architecture is kernel-agnostic: the processing block
+reads the whole active window each cycle (Section V, Fig 4).  This package
+provides the kernels used by the paper's motivating applications
+(Section I): large-support Gaussian smoothing, gradient/edge operators,
+median filtering, Harris corner response (ref [4]) and window-based
+template matching for object detection (ref [2]).
+
+Every kernel implements the :class:`repro.kernels.base.WindowKernel`
+protocol and is vectorised over a batch of windows, so both the golden
+oracle and the architectural engines can evaluate it efficiently.
+"""
+
+from .base import WindowKernel, KernelFunction, as_kernel
+from .convolution import ConvolutionKernel, BoxFilterKernel
+from .gaussian import GaussianKernel, gaussian_taps
+from .sobel import SobelMagnitudeKernel
+from .median import MedianKernel
+from .harris import HarrisResponseKernel
+from .matching import TemplateMatchKernel
+from .morphology import ErodeKernel, DilateKernel, MorphGradientKernel
+from .census import CensusKernel
+
+__all__ = [
+    "WindowKernel",
+    "KernelFunction",
+    "as_kernel",
+    "ConvolutionKernel",
+    "BoxFilterKernel",
+    "GaussianKernel",
+    "gaussian_taps",
+    "SobelMagnitudeKernel",
+    "MedianKernel",
+    "HarrisResponseKernel",
+    "TemplateMatchKernel",
+    "ErodeKernel",
+    "DilateKernel",
+    "MorphGradientKernel",
+    "CensusKernel",
+]

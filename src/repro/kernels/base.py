@@ -1,0 +1,78 @@
+"""Kernel protocol shared by all sliding-window engines.
+
+A kernel consumes a batch of ``N x N`` windows and produces one output per
+window.  Engines pass windows with an arbitrary number of leading batch
+dimensions — ``(N, N)`` for the scalar cycle-level engines, ``(count, N, N)``
+for row batches, ``(rows, cols, N, N)`` for whole images — and the kernel
+reduces the trailing two axes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: Signature of a bare kernel function: windows ``(..., N, N)`` -> ``(...)``.
+KernelFunction = Callable[[np.ndarray], np.ndarray]
+
+
+@runtime_checkable
+class WindowKernel(Protocol):
+    """Protocol implemented by every sliding-window kernel."""
+
+    #: Human-readable kernel name (used in run reports and benches).
+    name: str
+    #: Window side length N the kernel expects, or 0 for size-agnostic.
+    window_size: int
+
+    def apply(self, windows: np.ndarray) -> np.ndarray:
+        """Reduce the trailing ``(N, N)`` axes of ``windows`` to one value."""
+        ...
+
+
+@dataclass(frozen=True)
+class FunctionKernel:
+    """Adapter wrapping a bare callable as a :class:`WindowKernel`."""
+
+    name: str
+    window_size: int
+    fn: KernelFunction
+
+    def apply(self, windows: np.ndarray) -> np.ndarray:
+        """Delegate to the wrapped function."""
+        return self.fn(windows)
+
+
+def as_kernel(
+    fn: KernelFunction | WindowKernel,
+    *,
+    name: str | None = None,
+    window_size: int = 0,
+) -> WindowKernel:
+    """Coerce a callable into a :class:`WindowKernel` (identity on kernels)."""
+    if hasattr(fn, "apply") and hasattr(fn, "name"):
+        return fn  # already a WindowKernel
+    if not callable(fn):
+        raise ConfigError(f"kernel must be callable, got {type(fn)!r}")
+    return FunctionKernel(
+        name=name or getattr(fn, "__name__", "kernel"),
+        window_size=window_size,
+        fn=fn,  # type: ignore[arg-type]
+    )
+
+
+def check_window_shape(windows: np.ndarray, window_size: int) -> np.ndarray:
+    """Validate trailing window axes; returns the input for chaining."""
+    arr = np.asarray(windows)
+    if arr.ndim < 2:
+        raise ConfigError(f"windows must have >= 2 dims, got shape {arr.shape}")
+    if window_size and (arr.shape[-2] != window_size or arr.shape[-1] != window_size):
+        raise ConfigError(
+            f"kernel expects {window_size}x{window_size} windows, "
+            f"got {arr.shape[-2]}x{arr.shape[-1]}"
+        )
+    return arr

@@ -1,0 +1,52 @@
+"""Census transform kernel.
+
+The census transform — a bit vector of "is this neighbour brighter than
+the window centre?" comparisons — is the workhorse matching cost of FPGA
+stereo pipelines, and a natural consumer of large windows (more bits, more
+discriminative matching).  The kernel emits the census signature packed
+into an integer; windows larger than 8x8 hash the bit vector down to 64
+bits so the output stays a machine word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import check_window_shape
+
+
+class CensusKernel:
+    """Packed census signature of each window."""
+
+    def __init__(self, window_size: int) -> None:
+        if window_size < 2:
+            raise ConfigError(f"window_size must be >= 2, got {window_size}")
+        self.window_size = window_size
+        self.name = f"census{window_size}"
+        n_bits = window_size * window_size - 1
+        #: Bit weights; beyond 63 comparison bits they wrap modulo 64,
+        #: XOR-folding the signature into one machine word.
+        self._weights = (1 << (np.arange(n_bits, dtype=np.uint64) % 63)).astype(
+            np.uint64
+        )
+
+    def apply(self, windows: np.ndarray) -> np.ndarray:
+        """Census signature per window (uint64)."""
+        arr = check_window_shape(windows, self.window_size).astype(np.int64)
+        n = self.window_size
+        centre = arr[..., n // 2, n // 2]
+        flat = arr.reshape(arr.shape[:-2] + (n * n,))
+        centre_idx = (n // 2) * n + n // 2
+        neighbours = np.delete(flat, centre_idx, axis=-1)
+        bits = (neighbours > centre[..., None]).astype(np.uint64)
+        # XOR-fold weighted bits into a 64-bit signature.
+        weighted = bits * self._weights
+        signature = np.bitwise_xor.reduce(weighted, axis=-1)
+        return signature
+
+    @staticmethod
+    def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Bit-count distance between two signature maps (matching cost)."""
+        diff = np.bitwise_xor(np.asarray(a, np.uint64), np.asarray(b, np.uint64))
+        return np.bitwise_count(diff).astype(np.int64)

@@ -1,0 +1,47 @@
+"""Generic window-dot-kernel convolution and the box filter special case.
+
+A 2D image filter is the paper's running example of a processing kernel:
+"multiply each pixel in the active window with a corresponding constant in
+the filter kernel, and output these results as a sum or weighted sum"
+(Section V).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import check_window_shape
+
+
+class ConvolutionKernel:
+    """Weighted-sum kernel: ``out = sum(window * taps)``.
+
+    ``taps`` may be float or integer; integer taps keep the computation
+    exact, mirroring fixed-point hardware.  The taps are applied in direct
+    (correlation) orientation — flip them beforehand for true convolution.
+    """
+
+    def __init__(self, taps: np.ndarray, *, name: str = "conv") -> None:
+        arr = np.asarray(taps)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ConfigError(f"taps must be square 2D, got shape {arr.shape}")
+        self.taps = arr
+        self.name = name
+        self.window_size = arr.shape[0]
+
+    def apply(self, windows: np.ndarray) -> np.ndarray:
+        """Reduce each trailing window with the tap-weighted sum."""
+        arr = check_window_shape(windows, self.window_size)
+        # tensordot over the trailing two axes keeps leading batch dims.
+        return np.tensordot(arr, self.taps, axes=([-2, -1], [0, 1]))
+
+
+class BoxFilterKernel(ConvolutionKernel):
+    """Mean (box) filter over the window — all taps ``1 / N^2``."""
+
+    def __init__(self, window_size: int) -> None:
+        if window_size < 1:
+            raise ConfigError(f"window_size must be >= 1, got {window_size}")
+        taps = np.full((window_size, window_size), 1.0 / window_size**2)
+        super().__init__(taps, name=f"box{window_size}")

@@ -1,0 +1,44 @@
+"""Harris corner response over the active window.
+
+The paper's related work (ref [4], Amaricai et al.) builds an FPGA Harris
+detector from cascaded sliding-window stages; this kernel provides the
+single-window formulation: central differences inside the window give the
+gradients, the structure tensor is accumulated over the window, and the
+response is ``det(M) - k * trace(M)^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import check_window_shape
+
+
+class HarrisResponseKernel:
+    """Harris-and-Stephens corner response of each window.
+
+    Uses float arithmetic; ``k`` defaults to the conventional 0.04.  The
+    gradient stencil shrinks the accumulation region by one pixel on each
+    side so no out-of-window samples are needed.
+    """
+
+    def __init__(self, window_size: int, *, k: float = 0.04) -> None:
+        if window_size < 4:
+            raise ConfigError(f"window_size must be >= 4, got {window_size}")
+        self.window_size = window_size
+        self.k = float(k)
+        self.name = f"harris{window_size}"
+
+    def apply(self, windows: np.ndarray) -> np.ndarray:
+        """Corner response per window."""
+        arr = check_window_shape(windows, self.window_size).astype(np.float64)
+        # Central differences on the window interior.
+        ix = 0.5 * (arr[..., 1:-1, 2:] - arr[..., 1:-1, :-2])
+        iy = 0.5 * (arr[..., 2:, 1:-1] - arr[..., :-2, 1:-1])
+        sxx = (ix * ix).sum(axis=(-2, -1))
+        syy = (iy * iy).sum(axis=(-2, -1))
+        sxy = (ix * iy).sum(axis=(-2, -1))
+        det = sxx * syy - sxy * sxy
+        trace = sxx + syy
+        return det - self.k * trace * trace

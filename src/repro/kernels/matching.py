@@ -1,0 +1,39 @@
+"""Window-based template matching for object detection.
+
+Section I's first motivating example: "in object detection algorithms, the
+maximum detectable size is limited by the window size supported in
+hardware".  This kernel scores each window against a stored template with
+the sum of absolute differences (SAD) — the standard hardware-friendly
+matching metric — negated so that *larger is better* like the other
+detector kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import check_window_shape
+
+
+class TemplateMatchKernel:
+    """Negated sum-of-absolute-differences against a fixed template."""
+
+    def __init__(self, template: np.ndarray, *, name: str | None = None) -> None:
+        arr = np.asarray(template)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ConfigError(f"template must be square 2D, got shape {arr.shape}")
+        self.template = arr.astype(np.int64)
+        self.window_size = arr.shape[0]
+        self.name = name or f"sad{self.window_size}"
+
+    def apply(self, windows: np.ndarray) -> np.ndarray:
+        """Negated SAD score per window (0 is a perfect match)."""
+        arr = check_window_shape(windows, self.window_size).astype(np.int64)
+        return -np.abs(arr - self.template).sum(axis=(-2, -1))
+
+    def best_match(self, scores: np.ndarray) -> tuple[int, ...]:
+        """Index of the best-scoring window in a score map."""
+        return tuple(
+            int(i) for i in np.unravel_index(int(np.argmax(scores)), scores.shape)
+        )

@@ -1,0 +1,40 @@
+"""Median filter kernel — a rank-order (non-linear) sliding-window operator.
+
+Included because rank filters exercise a code path convolutional kernels do
+not: the engine must hand the kernel raw window contents, not a weighted
+sum, which is precisely what the architecture's full-window shift-register
+access enables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import check_window_shape
+
+
+class MedianKernel:
+    """Median of all ``N^2`` window pixels.
+
+    For even sample counts NumPy averages the two central order statistics;
+    with integer inputs the result may be a ``x.5`` value, matching
+    ``np.median`` semantics (hardware designs typically use odd windows or
+    pick the lower statistic — set ``lower=True`` for that behaviour).
+    """
+
+    def __init__(self, window_size: int, *, lower: bool = False) -> None:
+        if window_size < 1:
+            raise ConfigError(f"window_size must be >= 1, got {window_size}")
+        self.window_size = window_size
+        self.lower = lower
+        self.name = f"median{window_size}" + ("-lower" if lower else "")
+
+    def apply(self, windows: np.ndarray) -> np.ndarray:
+        """Median over the trailing window axes."""
+        arr = check_window_shape(windows, self.window_size)
+        flat = arr.reshape(arr.shape[:-2] + (-1,))
+        if self.lower:
+            k = (flat.shape[-1] - 1) // 2
+            return np.partition(flat, k, axis=-1)[..., k]
+        return np.median(flat, axis=-1)

@@ -1,0 +1,58 @@
+"""Morphological window kernels: erosion, dilation, opening residue.
+
+Rank-order morphology is a staple of FPGA vision pipelines (and, like the
+median, exercises the full-window access the architecture provides rather
+than a weighted sum).  Erosion/dilation over the window are plain
+min / max reductions; :class:`MorphGradientKernel` gives the max-min
+gradient used for cheap edge maps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from .base import check_window_shape
+
+
+class ErodeKernel:
+    """Minimum over the window (grayscale erosion, square element)."""
+
+    def __init__(self, window_size: int) -> None:
+        if window_size < 1:
+            raise ConfigError(f"window_size must be >= 1, got {window_size}")
+        self.window_size = window_size
+        self.name = f"erode{window_size}"
+
+    def apply(self, windows: np.ndarray) -> np.ndarray:
+        """Window minimum."""
+        return check_window_shape(windows, self.window_size).min(axis=(-2, -1))
+
+
+class DilateKernel:
+    """Maximum over the window (grayscale dilation, square element)."""
+
+    def __init__(self, window_size: int) -> None:
+        if window_size < 1:
+            raise ConfigError(f"window_size must be >= 1, got {window_size}")
+        self.window_size = window_size
+        self.name = f"dilate{window_size}"
+
+    def apply(self, windows: np.ndarray) -> np.ndarray:
+        """Window maximum."""
+        return check_window_shape(windows, self.window_size).max(axis=(-2, -1))
+
+
+class MorphGradientKernel:
+    """Morphological gradient: window max minus window min."""
+
+    def __init__(self, window_size: int) -> None:
+        if window_size < 1:
+            raise ConfigError(f"window_size must be >= 1, got {window_size}")
+        self.window_size = window_size
+        self.name = f"morphgrad{window_size}"
+
+    def apply(self, windows: np.ndarray) -> np.ndarray:
+        """``max - min`` per window (0 on flat regions)."""
+        arr = check_window_shape(windows, self.window_size)
+        return arr.max(axis=(-2, -1)) - arr.min(axis=(-2, -1))

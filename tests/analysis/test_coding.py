@@ -1,0 +1,110 @@
+"""Tests for the coding-efficiency analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ArchitectureConfig
+from repro.analysis.coding import (
+    CodingEfficiencyReport,
+    coding_efficiency,
+    empirical_entropy_bits,
+)
+from repro.imaging import generate_scene
+
+from helpers import random_image
+
+
+class TestEntropy:
+    def test_constant_is_zero(self):
+        assert empirical_entropy_bits(np.full(100, 7)) == 0.0
+
+    def test_uniform_binary_is_one_bit(self):
+        data = np.array([0, 1] * 500)
+        assert empirical_entropy_bits(data) / data.size == 1.0
+
+    def test_empty(self):
+        assert empirical_entropy_bits(np.array([], dtype=int)) == 0.0
+
+    def test_uniform_256_is_eight_bits(self, rng):
+        data = np.repeat(np.arange(256), 4)
+        assert empirical_entropy_bits(data) / data.size == 8.0
+
+
+class TestRicePayload:
+    def test_all_zero_plane_costs_one_bit_each(self):
+        from repro.analysis.coding import rice_payload_bits
+
+        plane = np.zeros((8, 16), dtype=np.int64)
+        # k = 0: every zero codes as a single unary terminator bit.
+        assert rice_payload_bits(plane) == plane.size
+
+    def test_large_values_prefer_large_k(self):
+        from repro.analysis.coding import rice_payload_bits
+
+        plane = np.full((4, 4), 1000, dtype=np.int64)
+        bits = rice_payload_bits(plane)
+        # With optimal k the cost is near log2(2000) + 1 per sample, far
+        # below the k=0 cost of ~2000 bits per sample.
+        assert bits < 4 * 4 * 20
+
+    def test_negative_values_folded(self):
+        from repro.analysis.coding import rice_payload_bits
+
+        pos = np.full((4, 4), 7, dtype=np.int64)
+        neg = np.full((4, 4), -7, dtype=np.int64)
+        # Folding maps -7 -> 13 and 7 -> 14: nearly equal cost.
+        assert abs(rice_payload_bits(pos) - rice_payload_bits(neg)) <= 16
+
+
+class TestCodingEfficiency:
+    def make(self, threshold=0):
+        config = ArchitectureConfig(
+            image_width=128, image_height=128, window_size=16, threshold=threshold
+        )
+        img = generate_scene(seed=8, resolution=128).astype(np.int64)
+        return coding_efficiency(config, img)
+
+    def test_ladder_sane(self):
+        report = self.make()
+        assert isinstance(report, CodingEfficiencyReport)
+        assert report.raw_bpp == 8.0
+        assert 0 < report.nbits_payload_bpp < report.nbits_total_bpp < 8.0
+        assert 0 < report.coefficient_entropy_bpp < 8.0
+        assert 0 < report.rice_payload_bpp < 8.0
+        assert 0 < report.loco_bpp < 8.0
+
+    def test_rice_does_not_beat_nbits_plus_bitmap_on_scenes(self):
+        """The bitmap gives zeros a 1-bit cost; per-column Rice pays for
+        them inside the payload.  On sparse natural-scene coefficients the
+        paper's scheme holds its own against the Rice what-if."""
+        report = self.make()
+        assert report.rice_payload_bpp > report.nbits_payload_bpp * 0.8
+
+    def test_loco_beats_nbits_on_scenes(self):
+        report = self.make()
+        assert report.loco_bpp < report.nbits_total_bpp
+
+    def test_threshold_reduces_payload(self):
+        lossless = self.make(threshold=0)
+        lossy = self.make(threshold=6)
+        assert lossy.nbits_payload_bpp < lossless.nbits_payload_bpp
+        assert lossy.coefficient_entropy_bpp < lossless.coefficient_entropy_bpp
+
+    def test_overhead_ratio(self):
+        report = self.make()
+        assert 0.4 < report.nbits_overhead_vs_entropy < 2.0
+
+    def test_render(self):
+        out = self.make().render()
+        assert "LOCO" in out and "entropy" in out
+
+    def test_noise_shows_no_saving(self, rng):
+        config = ArchitectureConfig(
+            image_width=64, image_height=64, window_size=8
+        )
+        img = random_image(rng, 64, 64)
+        report = coding_efficiency(config, img)
+        # Incompressible input: every coder sits near or above 8 bpp.
+        assert report.nbits_total_bpp > 7.0
+        assert report.loco_bpp > 7.0

@@ -1,0 +1,46 @@
+"""Tests for the one-shot report builder."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ReportOptions, full_report
+
+
+class TestFullReport:
+    def test_contains_every_section(self):
+        text = full_report(
+            ReportOptions(
+                resolution=128,
+                fig13_resolution=256,
+                n_images=2,
+                processes=1,
+                validate=True,
+            )
+        )
+        for section in (
+            "Fig 3",
+            "Fig 13",
+            "Table I",
+            "Table II",
+            "Resources — overall",
+            "MSE vs threshold",
+            "Fig 11",
+            "Throughput",
+            "Ablation",
+            "Coding efficiency",
+            "Sensitivity",
+            "Engine validation",
+        ):
+            assert section in text, section
+        assert "MISMATCH" not in text
+
+    def test_validate_skippable(self):
+        text = full_report(
+            ReportOptions(
+                resolution=128,
+                fig13_resolution=256,
+                n_images=1,
+                processes=1,
+                validate=False,
+            )
+        )
+        assert "Engine validation" not in text

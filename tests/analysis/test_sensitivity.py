@@ -1,0 +1,57 @@
+"""Tests for the scene-statistics sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import SWEEPABLE, sensitivity_sweep
+from repro.errors import ConfigError
+
+
+class TestSensitivitySweep:
+    def test_noise_degrades_lossless_saving(self):
+        result = sensitivity_sweep(
+            "sensor_noise", resolution=128, seeds=(1,), values=(0.0, 4.0, 8.0)
+        )
+        savings = [p.saving_lossless for p in result.points]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_threshold_recovers_noise_losses(self):
+        """Lossy mode absorbs small-amplitude noise (its design purpose)."""
+        result = sensitivity_sweep(
+            "sensor_noise", resolution=128, seeds=(1,), values=(4.0,)
+        )
+        point = result.points[0]
+        assert point.saving_lossy > point.saving_lossless + 10
+
+    def test_texture_degrades_saving(self):
+        result = sensitivity_sweep(
+            "texture_amplitude", resolution=128, seeds=(2,), values=(0.0, 16.0, 32.0)
+        )
+        savings = [p.saving_lossless for p in result.points]
+        assert savings[0] > savings[-1]
+
+    def test_luminance_has_modest_effect(self):
+        """Brightness shifts LL magnitude by at most one NBits step; the
+        saving must not swing wildly with scene brightness."""
+        result = sensitivity_sweep(
+            "base_luminance", resolution=128, seeds=(3,), values=(80.0, 120.0, 180.0)
+        )
+        assert result.lossless_span < 15.0
+
+    def test_render(self):
+        result = sensitivity_sweep(
+            "sensor_noise", resolution=128, seeds=(1,), values=(0.0, 2.0)
+        )
+        assert "sensor_noise" in result.render()
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ConfigError):
+            sensitivity_sweep("contrast")
+
+    def test_all_registered_parameters_run(self):
+        for name in SWEEPABLE:
+            result = sensitivity_sweep(
+                name, resolution=128, seeds=(1,), values=SWEEPABLE[name][:2]
+            )
+            assert len(result.points) == 2

@@ -1,0 +1,56 @@
+"""Tests for the parallel sweep engine."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.sweep import default_workers, run_parallel
+from repro.errors import ConfigError
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+class TestRunParallel:
+    def test_inline_path(self):
+        assert run_parallel(square, [1, 2, 3], processes=1) == [1, 4, 9]
+
+    def test_parallel_path_preserves_order(self):
+        out = run_parallel(square, list(range(20)), processes=4)
+        assert out == [x * x for x in range(20)]
+
+    def test_empty_items(self):
+        assert run_parallel(square, [], processes=4) == []
+
+    def test_single_item_runs_inline(self):
+        assert run_parallel(square, [7], processes=8) == [49]
+
+    def test_invalid_processes(self):
+        with pytest.raises(ConfigError):
+            run_parallel(square, [1, 2], processes=0)
+
+    def test_accepts_generator(self):
+        assert run_parallel(square, (x for x in range(4)), processes=1) == [0, 1, 4, 9]
+
+
+class TestDefaultWorkers:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        with pytest.raises(ConfigError):
+            default_workers()
+
+    def test_env_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ConfigError):
+            default_workers()
+
+    def test_defaults_to_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert default_workers() == (os.cpu_count() or 1)

@@ -1,0 +1,53 @@
+"""Tests for the table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_table
+from repro.errors import ConfigError
+
+
+class TestRenderTable:
+    def test_basic_render(self):
+        out = render_table(["a", "b"], [[1, 2], [30, 40]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert out.splitlines()[1] == "========"
+
+    def test_numeric_right_alignment(self):
+        out = render_table(["n"], [[1], [100000]])
+        rows = out.splitlines()[-2:]
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100,000")
+
+    def test_text_left_alignment(self):
+        out = render_table(["name", "v"], [["ab", 1], ["c", 2]])
+        data = out.splitlines()[-2:]
+        assert data[0].startswith("ab")
+        assert data[1].startswith("c ")
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159]])
+        assert "3.14" in out
+
+    def test_large_float_thousands(self):
+        out = render_table(["v"], [[123456.7]])
+        assert "123,457" in out
+
+    def test_nan_rendered(self):
+        out = render_table(["v"], [[float("nan")]])
+        assert "nan" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ConfigError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,46 @@
+"""Tests for the BRAM-vs-LUT trade-off analysis."""
+
+from __future__ import annotations
+
+from repro.analysis.tradeoff import TradeoffPoint, bram_lut_tradeoff
+from repro.hardware.device import DEVICES
+
+
+class TestTradeoffPoint:
+    def test_exchange_rate(self):
+        p = TradeoffPoint(window=8, brams_saved=4, luts_spent=4000, fits_device=True)
+        assert p.luts_per_bram_saved == 1000.0
+
+    def test_no_saving_infinite_rate(self):
+        p = TradeoffPoint(window=8, brams_saved=0, luts_spent=100, fits_device=True)
+        assert p.luts_per_bram_saved == float("inf")
+
+
+class TestSweep:
+    def test_savings_grow_with_window(self):
+        result = bram_lut_tradeoff(
+            width=256, windows=(8, 16, 32), n_images=2
+        )
+        saved = [p.brams_saved for p in result.points]
+        assert saved == sorted(saved)
+        assert saved[-1] > 0
+
+    def test_window_128_does_not_fit_z020(self):
+        result = bram_lut_tradeoff(width=256, windows=(64, 128), n_images=1)
+        by_window = {p.window: p for p in result.points}
+        assert by_window[64].fits_device
+        assert not by_window[128].fits_device
+
+    def test_exchange_improves_with_window(self):
+        """Bigger windows reclaim BRAMs faster than they burn LUTs."""
+        result = bram_lut_tradeoff(width=512, windows=(16, 64), n_images=2)
+        rates = [p.luts_per_bram_saved for p in result.points]
+        assert rates[1] < rates[0] * 1.5  # at worst comparable, usually better
+
+    def test_render_and_device_choice(self):
+        result = bram_lut_tradeoff(
+            width=256, windows=(8,), n_images=1, device=DEVICES["XC7Z045"]
+        )
+        out = result.render()
+        assert "XC7Z045" in out
+        assert "BRAMs saved" in out

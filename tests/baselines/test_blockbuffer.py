@@ -1,0 +1,92 @@
+"""Tests for the block-buffering related-work baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ArchitectureConfig
+from repro.baselines.blockbuffer import BlockBufferingArchitecture
+from repro.core.window.golden import golden_apply
+from repro.errors import ConfigError
+from repro.kernels import BoxFilterKernel
+
+from helpers import random_image
+
+
+def make(config_kw=None, block_size=16):
+    kw = dict(image_width=48, image_height=48, window_size=8)
+    kw.update(config_kw or {})
+    cfg = ArchitectureConfig(**kw)
+    return cfg, BlockBufferingArchitecture(cfg, BoxFilterKernel(kw["window_size"]), block_size)
+
+
+class TestOutputs:
+    @pytest.mark.parametrize("block_size", [8, 12, 16, 48])
+    def test_matches_golden(self, rng, block_size):
+        cfg, arch = make(block_size=block_size)
+        img = random_image(rng, 48, 48)
+        out, _ = arch.run(img)
+        assert np.allclose(out, golden_apply(img, 8, BoxFilterKernel(8)))
+
+    def test_non_divisible_geometry(self, rng):
+        cfg, arch = make(block_size=13)
+        img = random_image(rng, 48, 48)
+        out, report = arch.run(img)
+        assert np.allclose(out, golden_apply(img, 8, BoxFilterKernel(8)))
+        assert report.outputs == out.size
+
+
+class TestCosts:
+    def test_reads_exceed_one_per_output(self, rng):
+        """Section II's criticism: average off-chip accesses > 1/window."""
+        _, arch = make(block_size=16)
+        _, report = arch.run(random_image(rng, 48, 48))
+        assert report.reads_per_output > 1.0
+
+    def test_bigger_blocks_reduce_traffic(self, rng):
+        img = random_image(rng, 48, 48)
+        reads = []
+        for b in (8, 16, 32):
+            _, arch = make(block_size=b)
+            _, report = arch.run(img)
+            reads.append(report.reads_per_output)
+        assert reads == sorted(reads, reverse=True)
+
+    def test_bigger_blocks_cost_more_onchip(self, rng):
+        img = random_image(rng, 48, 48)
+        bits = []
+        for b in (8, 16, 32):
+            _, arch = make(block_size=b)
+            _, report = arch.run(img)
+            bits.append(report.onchip_bits)
+        assert bits == sorted(bits)
+
+    def test_double_buffer_accounting(self, rng):
+        cfg, arch = make(block_size=16)
+        _, report = arch.run(random_image(rng, 48, 48))
+        assert report.onchip_bits == 2 * 16 * 16 * 8
+
+    def test_saving_vs_traditional_possible(self, rng):
+        """Small blocks use less on-chip memory than full line buffers."""
+        cfg, arch = make(
+            config_kw=dict(image_width=128, image_height=128, window_size=8),
+            block_size=12,
+        )
+        _, report = arch.run(random_image(rng, 128, 128))
+        assert report.onchip_saving_percent > 0
+
+
+class TestValidation:
+    def test_block_smaller_than_window_rejected(self):
+        with pytest.raises(ConfigError):
+            make(block_size=4)
+
+    def test_block_larger_than_image_rejected(self):
+        with pytest.raises(ConfigError):
+            make(block_size=64)
+
+    def test_wrong_image_shape(self, rng):
+        _, arch = make()
+        with pytest.raises(ConfigError):
+            arch.run(random_image(rng, 48, 50))

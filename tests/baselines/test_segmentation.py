@@ -1,0 +1,72 @@
+"""Tests for the segment-processing related-work baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ArchitectureConfig
+from repro.baselines.segmentation import SegmentedArchitecture
+from repro.core.window.golden import golden_apply
+from repro.errors import ConfigError
+from repro.kernels import BoxFilterKernel
+
+from helpers import random_image
+
+
+def make(segment_width=16, **config_kw):
+    kw = dict(image_width=48, image_height=32, window_size=8)
+    kw.update(config_kw)
+    cfg = ArchitectureConfig(**kw)
+    return cfg, SegmentedArchitecture(
+        cfg, BoxFilterKernel(kw["window_size"]), segment_width
+    )
+
+
+class TestOutputs:
+    @pytest.mark.parametrize("segment_width", [8, 12, 16, 48])
+    def test_matches_golden(self, rng, segment_width):
+        cfg, arch = make(segment_width=segment_width)
+        img = random_image(rng, 32, 48)
+        out, _ = arch.run(img)
+        assert np.allclose(out, golden_apply(img, 8, BoxFilterKernel(8)))
+
+
+class TestCosts:
+    def test_onchip_scales_with_segment(self, rng):
+        img = random_image(rng, 32, 48)
+        bits = []
+        for s in (8, 16, 32):
+            _, arch = make(segment_width=s)
+            _, report = arch.run(img)
+            bits.append(report.onchip_bits)
+        assert bits == sorted(bits)
+
+    def test_halo_refetch_traffic(self, rng):
+        """Narrow segments re-fetch their column halos: reads/output > 1."""
+        _, arch = make(segment_width=10)
+        _, report = arch.run(random_image(rng, 32, 48))
+        assert report.reads_per_output > 1.0
+
+    def test_full_width_segment_is_streaming(self, rng):
+        _, arch = make(segment_width=48)
+        _, report = arch.run(random_image(rng, 32, 48))
+        assert report.streaming_capable
+        assert report.onchip_saving_percent <= 0.0  # no saving at full width
+
+    def test_narrow_segments_not_streaming(self, rng):
+        _, arch = make(segment_width=16)
+        _, report = arch.run(random_image(rng, 32, 48))
+        assert not report.streaming_capable
+        assert report.onchip_saving_percent > 0.0
+
+
+class TestValidation:
+    def test_segment_below_window_rejected(self):
+        with pytest.raises(ConfigError):
+            make(segment_width=4)
+
+    def test_wrong_shape(self, rng):
+        _, arch = make()
+        with pytest.raises(ConfigError):
+            arch.run(random_image(rng, 30, 48))

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite.
+
+The ``sys.path`` hook makes ``helpers.py`` importable from test modules in
+sub-directories (the suite uses plain directories, not packages).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import ArchitectureConfig  # noqa: E402
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for each test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def small_config() -> ArchitectureConfig:
+    """A 32x32 image with an 8x8 window — fast enough for cycle engines."""
+    return ArchitectureConfig(image_width=32, image_height=32, window_size=8)

@@ -1,0 +1,41 @@
+"""Tests for the FPGA device catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.device import DEVICES, XC7Z020
+
+
+class TestXC7Z020:
+    def test_paper_quoted_resources(self):
+        """Section VI: 53,200 LUTs and 106,400 registers."""
+        assert XC7Z020.luts == 53200
+        assert XC7Z020.registers == 106400
+
+    def test_paper_quoted_bram_capacity(self):
+        """Section III: 'a total on-chip memory of 5,018Kb' (~= 280 x 18Kb)."""
+        assert abs(XC7Z020.bram_kbits - 5018) / 5018 < 0.01
+
+    def test_fits(self):
+        assert XC7Z020.fits(luts=53200, registers=106400, bram18k=280)
+        assert not XC7Z020.fits(luts=53201)
+
+    def test_fits_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            XC7Z020.fits(luts=-1)
+
+    def test_utilisation(self):
+        util = XC7Z020.utilisation_percent(luts=26600)
+        assert util["luts"] == 50.0
+
+
+class TestCatalog:
+    def test_catalog_contains_evaluation_device(self):
+        assert DEVICES["XC7Z020"] is XC7Z020
+
+    def test_catalog_is_ordered_by_size(self):
+        names = ["XC7Z010", "XC7Z020", "XC7Z030", "XC7Z045"]
+        luts = [DEVICES[n].luts for n in names]
+        assert luts == sorted(luts)

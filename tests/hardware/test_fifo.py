@@ -1,0 +1,62 @@
+"""Tests for the occupancy-tracked FIFO."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError, ConfigError
+from repro.hardware.fifo import Fifo
+
+
+class TestFifo:
+    def test_fifo_order(self):
+        f: Fifo[int] = Fifo(4)
+        for i in range(3):
+            f.push(i)
+        assert [f.pop() for _ in range(3)] == [0, 1, 2]
+
+    def test_overflow_raises(self):
+        f: Fifo[int] = Fifo(2)
+        f.push(1)
+        f.push(2)
+        assert f.full
+        with pytest.raises(CapacityError):
+            f.push(3)
+
+    def test_underflow_raises(self):
+        with pytest.raises(CapacityError):
+            Fifo(2).pop()
+
+    def test_bit_accounting(self):
+        f: Fifo[str] = Fifo(8, name="packed")
+        f.push("a", bits=100)
+        f.push("b", bits=50)
+        assert f.bits == 150
+        f.pop()
+        assert f.bits == 50
+        assert f.peak_bits == 150
+
+    def test_peak_entries(self):
+        f: Fifo[int] = Fifo(8)
+        f.push(1)
+        f.push(2)
+        f.pop()
+        f.push(3)
+        assert f.peak_entries == 2
+        assert f.total_pushed == 3
+
+    def test_clear_keeps_statistics(self):
+        f: Fifo[int] = Fifo(4)
+        f.push(1, bits=10)
+        f.clear()
+        assert f.empty and f.bits == 0
+        assert f.peak_bits == 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            Fifo(0)
+
+    def test_len(self):
+        f: Fifo[int] = Fifo(4)
+        f.push(7)
+        assert len(f) == 1

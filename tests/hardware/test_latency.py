@@ -1,0 +1,52 @@
+"""Tests for the pipeline latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ArchitectureConfig
+from repro.errors import ConfigError
+from repro.hardware.latency import (
+    STAGE_DEPTHS,
+    compressed_latency,
+    latency_overhead_percent,
+    traditional_latency,
+)
+
+
+def cfg(window=64, width=512):
+    return ArchitectureConfig(image_width=width, image_height=width, window_size=window)
+
+
+class TestLatency:
+    def test_traditional_fill_formula(self):
+        rep = traditional_latency(cfg())
+        assert rep.fill_cycles == 63 * 512 + 63
+        assert rep.pipeline_stages == 0
+        assert rep.first_output_cycle == rep.fill_cycles
+
+    def test_compressed_adds_constant_stages(self):
+        rep = compressed_latency(cfg())
+        assert rep.pipeline_stages == sum(STAGE_DEPTHS.values())
+        assert rep.latency_overhead_cycles == rep.pipeline_stages
+
+    def test_overhead_independent_of_window(self):
+        o8 = compressed_latency(cfg(window=8)).latency_overhead_cycles
+        o128 = compressed_latency(cfg(window=128)).latency_overhead_cycles
+        assert o8 == o128
+
+    def test_overhead_percent_is_tiny(self):
+        """The 'similar performance' claim: overhead well under 1 %."""
+        assert latency_overhead_percent(cfg()) < 0.1
+
+    def test_overhead_percent_largest_for_small_windows(self):
+        small = latency_overhead_percent(cfg(window=2, width=64))
+        large = latency_overhead_percent(cfg(window=64, width=512))
+        assert small > large
+
+    def test_microseconds(self):
+        rep = compressed_latency(cfg())
+        us = rep.latency_microseconds(230.3)
+        assert us == pytest.approx(rep.first_output_cycle / 230.3)
+        with pytest.raises(ConfigError):
+            rep.latency_microseconds(0)

@@ -1,0 +1,95 @@
+"""Tests for the runtime Memory Unit model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ArchitectureConfig
+from repro.errors import CapacityError, ConfigError
+from repro.hardware.mapping import plan_memory_mapping
+from repro.hardware.memory_unit import MemoryUnit
+
+
+def make_unit(window=8, width=64, row_bits=1000):
+    config = ArchitectureConfig(
+        image_width=width, image_height=width, window_size=window
+    )
+    plan = plan_memory_mapping(config, np.full(window, row_bits))
+    return MemoryUnit(plan), plan
+
+
+class TestMemoryUnit:
+    def test_push_pop_cycle(self):
+        unit, plan = make_unit()
+        rows = np.full(8, 10)
+        unit.push_column(rows, 5, 3, np.ones(8, dtype=bool))
+        assert unit.columns_resident == 1
+        assert unit.packed_bits_resident == 80
+        nbits, bitmap = unit.pop_column()
+        assert nbits == (5, 3)
+        assert bitmap.all()
+        assert unit.columns_resident == 0
+
+    def test_group_folding(self):
+        unit, plan = make_unit(window=8, row_bits=2000)
+        assert unit.rows_per_group == plan.rows_per_bram
+        rows = np.arange(8) * 10
+        unit.push_column(rows, 4, 4, np.zeros(8, dtype=bool))
+        occ = unit.group_occupancy_bits()
+        assert len(occ) == unit.n_groups
+        assert sum(occ) == rows.sum()
+
+    def test_capacity_enforced(self):
+        unit, _ = make_unit(window=8, row_bits=2000)  # 8 rows per BRAM
+        huge = np.full(8, 5000)  # 40000 bits per column into one group
+        with pytest.raises(CapacityError):
+            unit.push_column(huge, 4, 4, np.zeros(8, dtype=bool))
+
+    def test_fill_to_plan_capacity_passes(self):
+        unit, plan = make_unit(window=8, width=64, row_bits=2000)
+        # Worst-case provisioning: 2000-bit rows over 56 buffered columns
+        # means about 35 bits per row per column.
+        rows = np.full(8, 35)
+        for _ in range(plan.config.buffered_columns):
+            unit.push_column(rows, 4, 4, np.ones(8, dtype=bool))
+        assert unit.columns_resident == plan.config.buffered_columns
+
+    def test_column_depth_enforced(self):
+        unit, plan = make_unit()
+        rows = np.zeros(8, dtype=int)
+        for _ in range(plan.config.buffered_columns):
+            unit.push_column(rows, 1, 1, np.zeros(8, dtype=bool))
+        with pytest.raises(CapacityError):
+            unit.push_column(rows, 1, 1, np.zeros(8, dtype=bool))
+
+    def test_wrong_row_count_rejected(self):
+        unit, _ = make_unit()
+        with pytest.raises(ConfigError):
+            unit.push_column(np.zeros(4), 1, 1, np.zeros(8, dtype=bool))
+
+    def test_peak_report_keys(self):
+        unit, _ = make_unit()
+        unit.push_column(np.full(8, 10), 2, 2, np.ones(8, dtype=bool))
+        report = unit.peak_report()
+        assert "nbits" in report and "bitmap" in report
+        assert any(k.startswith("packed[") for k in report)
+
+    def test_streaming_real_band_fits_plan(self, rng):
+        """Columns of a real encoded band stream through the planned unit."""
+        from repro.core.stats import analyze_band
+
+        config = ArchitectureConfig(image_width=64, image_height=64, window_size=8)
+        band = rng.integers(0, 256, size=(8, 64))
+        analysis = analyze_band(config, band)
+        plan = plan_memory_mapping(config, analysis.payload_bits_per_row)
+        unit = MemoryUnit(plan)
+        widths = analysis.widths
+        for j in range(config.buffered_columns):
+            unit.push_column(
+                widths[:, j],
+                int(analysis.nbits[0, j]),
+                int(analysis.nbits[1, j]),
+                analysis.bitmap[:, j],
+            )
+        assert unit.columns_resident == config.buffered_columns

@@ -1,0 +1,117 @@
+"""Tests for the calibrated resource model (Tables VI-X)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hardware.device import DEVICES, XC7Z020
+from repro.hardware.resources import BLOCK_ANCHORS, ResourceModel
+
+
+@pytest.fixture(scope="module")
+def model() -> ResourceModel:
+    return ResourceModel()
+
+
+class TestAnchors:
+    @pytest.mark.parametrize("module", sorted(BLOCK_ANCHORS))
+    def test_anchored_values_reproduce_paper(self, model, module):
+        for n, (luts, regs) in BLOCK_ANCHORS[module].items():
+            est = model.estimate(module, n)
+            assert est.anchored
+            assert est.luts == luts
+            assert est.registers == regs
+
+    def test_paper_table6_values(self, model):
+        est = model.estimate("iwt", 64)
+        assert (est.luts, est.registers) == (3074, 1276)
+        assert est.fmax_mhz == 592.1
+
+    def test_paper_table10_values(self, model):
+        est = model.overall(32)
+        assert (est.luts, est.registers) == (17773, 5091)
+        assert est.fmax_mhz == 230.3
+
+
+class TestInterpolation:
+    @pytest.mark.parametrize("module", sorted(BLOCK_ANCHORS))
+    def test_fit_quality_at_anchors(self, module):
+        """The linear fit stays within 10 % of every anchor."""
+        model = ResourceModel(use_anchors=False)
+        for n, (luts, _) in BLOCK_ANCHORS[module].items():
+            est = model.estimate(module, n)
+            assert abs(est.luts - luts) / luts < 0.10
+
+    def test_monotone_in_window_size(self, model):
+        sizes = [10, 20, 40, 80, 100]
+        luts = [model.estimate("bit_packing", n).luts for n in sizes]
+        assert luts == sorted(luts)
+
+    def test_unanchored_sizes_interpolate(self, model):
+        est = model.estimate("iwt", 48)
+        assert not est.anchored
+        low = model.estimate("iwt", 32).luts
+        high = model.estimate("iwt", 64).luts
+        assert low < est.luts < high
+
+    def test_unknown_module_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.estimate("dsp", 8)
+
+    def test_tiny_window_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.estimate("iwt", 1)
+
+
+class TestDeviceFeasibility:
+    def test_window_128_exceeds_xc7z020(self, model):
+        """Table X dashes out window 128: it does not fit the Z020."""
+        est = model.overall(128)
+        assert not est.fits(XC7Z020)
+
+    def test_window_64_fits_xc7z020(self, model):
+        est = model.overall(64)
+        assert est.fits(XC7Z020)
+        assert 60 < est.utilisation(XC7Z020)["luts"] < 75  # paper: 67 %
+
+    def test_max_window_for_device(self, model):
+        n = model.max_window_for_device()
+        assert 64 <= n < 128
+        assert model.overall(n).fits(XC7Z020)
+        assert not model.overall(n + 2).fits(XC7Z020)
+
+    def test_larger_device_supports_larger_window(self, model):
+        z045 = DEVICES["XC7Z045"]
+        assert model.max_window_for_device(z045) > model.max_window_for_device()
+
+
+class TestBlockSum:
+    def test_overall_exceeds_block_sum(self, model):
+        """Overall includes the window registers and glue on top of blocks."""
+        for n in (8, 16, 32, 64):
+            assert model.overall(n).luts > 0.8 * model.block_sum(n).luts
+
+    def test_block_sum_fmax_is_slowest_block(self, model):
+        assert model.block_sum(32).fmax_mhz == 343.1  # bit_unpacking
+
+
+class TestWaveletScaling:
+    def test_haar_is_identity(self, model):
+        base = model.estimate("iwt", 32)
+        scaled = model.wavelet_scaled("iwt", 32, 2)
+        assert scaled.luts == base.luts
+
+    def test_97_costs_more_than_53(self, model):
+        w53 = model.wavelet_scaled("iwt", 32, 4)
+        w97 = model.wavelet_scaled("iwt", 32, 8)
+        base = model.estimate("iwt", 32)
+        assert base.luts < w53.luts < w97.luts
+
+    def test_only_transform_blocks_scale(self, model):
+        with pytest.raises(ConfigError):
+            model.wavelet_scaled("bit_packing", 32, 4)
+
+    def test_invalid_adder_count(self, model):
+        with pytest.raises(ConfigError):
+            model.wavelet_scaled("iwt", 32, 0)

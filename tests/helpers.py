@@ -1,0 +1,17 @@
+"""Shared test helpers (importable from every test via the conftest path hook)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_image(
+    rng: np.random.Generator, height: int, width: int, *, smooth: bool = False
+) -> np.ndarray:
+    """Random 8-bit test image; ``smooth=True`` gives compressible content."""
+    if not smooth:
+        return rng.integers(0, 256, size=(height, width), dtype=np.int64)
+    base = int(rng.integers(40, 200))
+    ramp = np.linspace(0, 30, width)[None, :] + np.linspace(0, 20, height)[:, None]
+    noise = rng.integers(-3, 4, size=(height, width))
+    return np.clip(base + ramp + noise, 0, 255).astype(np.int64)

@@ -1,0 +1,67 @@
+"""Tests for colour scene generation and plane handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DatasetError
+from repro.imaging.color import (
+    generate_color_scene,
+    merge_planes,
+    rgb_bits_per_pixel,
+    split_planes,
+)
+
+
+class TestGenerateColorScene:
+    def test_shape_and_dtype(self):
+        img = generate_color_scene(seed=1, resolution=64)
+        assert img.shape == (64, 64, 3)
+        assert img.dtype == np.uint8
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            generate_color_scene(seed=2, resolution=64),
+            generate_color_scene(seed=2, resolution=64),
+        )
+
+    def test_channels_correlated(self):
+        """Natural colour channels correlate strongly (shared luminance)."""
+        img = generate_color_scene(seed=3, resolution=128).astype(np.float64)
+        r, g, b = img[..., 0].ravel(), img[..., 1].ravel(), img[..., 2].ravel()
+        assert np.corrcoef(r, g)[0, 1] > 0.8
+        assert np.corrcoef(g, b)[0, 1] > 0.8
+
+    def test_channels_not_identical(self):
+        img = generate_color_scene(seed=4, resolution=64)
+        assert not np.array_equal(img[..., 0], img[..., 2])
+
+
+class TestPlanes:
+    def test_split_merge_roundtrip(self):
+        img = generate_color_scene(seed=5, resolution=32)
+        assert np.array_equal(merge_planes(list(split_planes(img))), img)
+
+    def test_split_returns_contiguous(self):
+        img = generate_color_scene(seed=6, resolution=32)
+        for plane in split_planes(img):
+            assert plane.flags["C_CONTIGUOUS"]
+
+    def test_split_rejects_2d(self):
+        with pytest.raises(ConfigError):
+            split_planes(np.zeros((4, 4)))
+
+    def test_merge_rejects_mismatched(self):
+        with pytest.raises(ConfigError):
+            merge_planes([np.zeros((2, 2)), np.zeros((2, 3))])
+
+    def test_merge_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            merge_planes([])
+
+    def test_rgb_bits(self):
+        img = generate_color_scene(seed=7, resolution=16)
+        assert rgb_bits_per_pixel(img) == 24
+        with pytest.raises(DatasetError):
+            rgb_bits_per_pixel(np.zeros((4, 4)))

@@ -1,0 +1,67 @@
+"""Tests for the ten-image benchmark suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.imaging.dataset import (
+    DATASET_SEED,
+    benchmark_dataset,
+    dataset_images,
+    dataset_specs,
+    dark_variant,
+)
+
+
+class TestSpecs:
+    def test_ten_specs_by_default(self):
+        specs = dataset_specs()
+        assert len(specs) == 10
+
+    def test_class_alternation(self):
+        specs = dataset_specs()
+        classes = [s.params.scene_class for s in specs]
+        assert classes[0] == "outdoor" and classes[1] == "indoor"
+        assert classes.count("indoor") == 5
+
+    def test_deterministic(self):
+        assert dataset_specs() == dataset_specs()
+
+    def test_names_stable(self):
+        assert dataset_specs()[3].name == "img03-indoor"
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(DatasetError):
+            dataset_specs(n_images=0)
+
+    def test_dark_variant(self):
+        spec = dataset_specs()[0]
+        dark = dark_variant(spec)
+        assert dark.params.base_luminance < spec.params.base_luminance
+
+
+class TestDataset:
+    def test_images_match_specs(self):
+        imgs = benchmark_dataset(128, n_images=3)
+        assert len(imgs) == 3
+        for img in imgs:
+            assert img.shape == (128, 128)
+            assert img.dtype == np.uint8
+
+    def test_cache_returns_same_objects(self):
+        a = benchmark_dataset(128, n_images=2)
+        b = benchmark_dataset(128, n_images=2)
+        assert a is b
+
+    def test_named_images(self):
+        named = dataset_images(128, n_images=2)
+        assert named[0][0] == "img00-outdoor"
+        assert named[0][1].shape == (128, 128)
+
+    def test_suite_diversity(self):
+        """Images span a range of mean luminances (dark to bright scenes)."""
+        imgs = benchmark_dataset(128, n_images=10, seed=DATASET_SEED)
+        means = [img.mean() for img in imgs]
+        assert max(means) - min(means) > 15

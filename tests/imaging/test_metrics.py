@@ -1,0 +1,77 @@
+"""Tests for image quality and compression metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.imaging.metrics import (
+    compression_ratio,
+    memory_saving_percent,
+    mse,
+    psnr,
+)
+
+
+class TestMse:
+    def test_identical_images(self):
+        img = np.arange(16).reshape(4, 4)
+        assert mse(img, img) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 2.0)
+        assert mse(a, b) == 4.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            mse(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            mse(np.zeros((0,)), np.zeros((0,)))
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, size=(8, 8))
+        b = rng.integers(0, 256, size=(8, 8))
+        assert mse(a, b) == mse(b, a)
+
+
+class TestPsnr:
+    def test_infinite_for_identical(self):
+        img = np.ones((4, 4))
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0)
+
+    def test_higher_is_better(self):
+        ref = np.full((8, 8), 100.0)
+        assert psnr(ref, ref + 1) > psnr(ref, ref + 10)
+
+
+class TestRatios:
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 500) == 2.0
+
+    def test_ratio_validation(self):
+        with pytest.raises(ConfigError):
+            compression_ratio(0, 10)
+        with pytest.raises(ConfigError):
+            compression_ratio(10, 0)
+
+    def test_memory_saving_eq5(self):
+        """Eq. (5): (1 - compressed/uncompressed) x 100."""
+        assert memory_saving_percent(1000, 500) == 50.0
+        assert memory_saving_percent(1000, 1000) == 0.0
+
+    def test_expansion_is_negative(self):
+        assert memory_saving_percent(1000, 1500) == -50.0
+
+    def test_saving_validation(self):
+        with pytest.raises(ConfigError):
+            memory_saving_percent(0, 10)

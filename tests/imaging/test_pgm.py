@@ -1,0 +1,59 @@
+"""Tests for PGM I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.imaging.pgm import read_pgm, write_pgm
+
+
+class TestRoundTrip:
+    def test_write_read(self, tmp_path, rng):
+        img = rng.integers(0, 256, size=(13, 17)).astype(np.uint8)
+        path = tmp_path / "x.pgm"
+        write_pgm(path, img)
+        assert np.array_equal(read_pgm(path), img)
+
+    def test_int_array_converted(self, tmp_path):
+        img = np.full((4, 4), 200, dtype=np.int64)
+        path = tmp_path / "y.pgm"
+        write_pgm(path, img)
+        out = read_pgm(path)
+        assert out.dtype == np.uint8
+        assert np.all(out == 200)
+
+    def test_header_format(self, tmp_path):
+        path = tmp_path / "z.pgm"
+        write_pgm(path, np.zeros((2, 3), dtype=np.uint8))
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n3 2\n255\n")
+
+
+class TestValidation:
+    def test_out_of_range_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_pgm(tmp_path / "bad.pgm", np.full((2, 2), 300))
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            write_pgm(tmp_path / "bad.pgm", np.zeros(4, dtype=np.uint8))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pgm"
+        path.write_bytes(b"P6\n2 2\n255\n" + b"\x00" * 12)
+        with pytest.raises(DatasetError):
+            read_pgm(path)
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "trunc.pgm"
+        path.write_bytes(b"P5\n4 4\n255\n" + b"\x00" * 3)
+        with pytest.raises(DatasetError):
+            read_pgm(path)
+
+    def test_comment_in_header_ok(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# comment\n2 2\n255\n" + b"\x01\x02\x03\x04")
+        out = read_pgm(path)
+        assert out.tolist() == [[1, 2], [3, 4]]

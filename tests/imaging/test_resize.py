@@ -1,0 +1,70 @@
+"""Tests for bilinear / nearest resampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.imaging.resize import bilinear_resize, nearest_resize
+
+
+class TestBilinear:
+    def test_identity_resize(self):
+        img = np.arange(16, dtype=np.uint8).reshape(4, 4)
+        assert np.array_equal(bilinear_resize(img, (4, 4)), img)
+
+    def test_constant_image_stays_constant(self):
+        img = np.full((8, 8), 73, dtype=np.uint8)
+        out = bilinear_resize(img, (32, 32))
+        assert np.all(out == 73)
+
+    def test_upscale_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        img = rng.integers(0, 256, size=(32, 32)).astype(np.uint8)
+        out = bilinear_resize(img, (128, 128))
+        assert abs(float(out.mean()) - float(img.mean())) < 3.0
+
+    def test_upscale_is_smooth(self):
+        """Adjacent output samples differ by less than the input contrast."""
+        img = np.zeros((4, 4), dtype=np.uint8)
+        img[:, 2:] = 200
+        out = bilinear_resize(img, (4, 16))
+        steps = np.abs(np.diff(out.astype(int), axis=1))
+        assert steps.max() < 200
+
+    def test_dtype_preserved(self):
+        img = np.zeros((4, 4), dtype=np.uint8)
+        assert bilinear_resize(img, (8, 8)).dtype == np.uint8
+        imgf = np.zeros((4, 4), dtype=np.float64)
+        assert bilinear_resize(imgf, (8, 8)).dtype == np.float64
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ConfigError):
+            bilinear_resize(np.zeros((4, 4)), (0, 4))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ConfigError):
+            bilinear_resize(np.zeros(4), (4, 4))
+
+    def test_downscale_shape(self):
+        out = bilinear_resize(np.zeros((16, 16), dtype=np.uint8), (4, 6))
+        assert out.shape == (4, 6)
+
+
+class TestNearest:
+    def test_integer_upscale_replicates(self):
+        img = np.array([[1, 2], [3, 4]], dtype=np.uint8)
+        out = nearest_resize(img, (4, 4))
+        assert out[0, 0] == 1 and out[0, 1] == 1
+        assert out[3, 3] == 4
+
+    def test_values_are_subset_of_input(self):
+        rng = np.random.default_rng(1)
+        img = rng.integers(0, 256, size=(8, 8)).astype(np.uint8)
+        out = nearest_resize(img, (20, 20))
+        assert set(np.unique(out)) <= set(np.unique(img))
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ConfigError):
+            nearest_resize(np.zeros((4, 4)), (4, -1))

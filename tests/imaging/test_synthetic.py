@@ -1,0 +1,73 @@
+"""Tests for the synthetic scene generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.imaging.synthetic import SceneParams, generate_scene
+
+
+class TestGenerateScene:
+    def test_deterministic(self):
+        a = generate_scene(seed=42, resolution=128)
+        b = generate_scene(seed=42, resolution=128)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = generate_scene(seed=1, resolution=128)
+        b = generate_scene(seed=2, resolution=128)
+        assert not np.array_equal(a, b)
+
+    def test_dtype_and_range(self):
+        img = generate_scene(seed=3, resolution=64)
+        assert img.dtype == np.uint8
+        assert img.shape == (64, 64)
+
+    def test_uses_dynamic_range(self):
+        img = generate_scene(seed=4, resolution=256)
+        assert img.std() > 10  # not flat
+        assert 40 < img.mean() < 215  # not saturated
+
+    def test_indoor_class(self):
+        img = generate_scene(
+            seed=5, resolution=128, params=SceneParams(scene_class="indoor")
+        )
+        assert img.shape == (128, 128)
+
+    def test_invalid_class_rejected(self):
+        with pytest.raises(DatasetError):
+            SceneParams(scene_class="underwater")
+
+    def test_tiny_native_resolution_rejected(self):
+        with pytest.raises(DatasetError):
+            SceneParams(native_resolution=8)
+
+    def test_small_resolution_rendered_natively(self):
+        img = generate_scene(seed=6, resolution=64)
+        assert img.shape == (64, 64)
+
+    def test_upscaled_image_is_smoother(self):
+        """The resolution-dependent-compression mechanism: upscaled scenes
+        have lower per-pixel gradient energy than native ones."""
+        params = SceneParams(sensor_noise=0.0)
+        native = generate_scene(seed=7, resolution=512, params=params).astype(float)
+        upscaled = generate_scene(seed=7, resolution=1024, params=params).astype(float)
+
+        def grad_energy(img):
+            return np.abs(np.diff(img, axis=1)).mean()
+
+        assert grad_energy(upscaled) < grad_energy(native)
+
+    def test_scene_is_compressible(self):
+        """Detail sub-bands must be sparse relative to noise images."""
+        from repro import ArchitectureConfig, analyze_band
+
+        img = generate_scene(seed=8, resolution=256).astype(np.int64)
+        config = ArchitectureConfig(
+            image_width=256, image_height=256, window_size=16
+        )
+        analysis = analyze_band(config, img[:16])
+        per_band = analysis.subband_payload_bits()
+        assert per_band["HH"] < per_band["LL"]

@@ -1,0 +1,76 @@
+"""Tests for the census transform kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import CensusKernel
+
+from helpers import random_image
+
+
+class TestCensus:
+    def test_flat_window_zero_signature(self):
+        assert CensusKernel(4).apply(np.full((4, 4), 100)) == 0
+
+    def test_deterministic(self, rng):
+        win = rng.integers(0, 256, size=(6, 6))
+        k = CensusKernel(6)
+        assert k.apply(win) == k.apply(win)
+
+    def test_monotone_illumination_invariance(self, rng):
+        """Census is invariant to adding a constant (its selling point)."""
+        win = rng.integers(0, 200, size=(6, 6))
+        k = CensusKernel(6)
+        assert k.apply(win) == k.apply(win + 50)
+
+    def test_different_patterns_differ(self, rng):
+        k = CensusKernel(4)
+        a = rng.integers(0, 256, size=(4, 4))
+        b = a.T.copy()
+        if np.array_equal(a, b):
+            b = 255 - a
+        assert k.apply(a) != k.apply(b)
+
+    def test_batch_shape(self, rng):
+        k = CensusKernel(4)
+        wins = rng.integers(0, 256, size=(3, 5, 4, 4))
+        out = k.apply(wins)
+        assert out.shape == (3, 5)
+        assert out.dtype == np.uint64
+
+    def test_hamming_distance(self):
+        d = CensusKernel.hamming_distance(
+            np.array([0b1011], dtype=np.uint64), np.array([0b0010], dtype=np.uint64)
+        )
+        assert d[0] == 2
+
+    def test_stereo_style_matching(self, rng):
+        """A shifted copy matches best at its true disparity."""
+        from repro.core.window.golden import golden_apply
+
+        left = random_image(rng, 24, 64, smooth=False)
+        disparity = 5
+        right = np.roll(left, -disparity, axis=1)
+        k = CensusKernel(8)
+        sig_l = golden_apply(left, 8, k)
+        sig_r = golden_apply(right, 8, k)
+        row = 6
+        costs = [
+            CensusKernel.hamming_distance(
+                sig_l[row, d : d + 30], sig_r[row, 0:30]
+            ).sum()
+            for d in range(10)
+        ]
+        assert int(np.argmin(costs)) == disparity
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            CensusKernel(1)
+
+    def test_large_window_folds_to_64_bits(self, rng):
+        k = CensusKernel(16)  # 255 comparison bits folded
+        win = rng.integers(0, 256, size=(16, 16))
+        assert k.apply(win).dtype == np.uint64

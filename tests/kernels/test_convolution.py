@@ -1,0 +1,52 @@
+"""Tests for convolution-family kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import BoxFilterKernel, ConvolutionKernel
+
+from helpers import random_image
+
+
+class TestConvolutionKernel:
+    def test_weighted_sum(self):
+        taps = np.array([[1, 0], [0, 1]])
+        k = ConvolutionKernel(taps)
+        window = np.array([[3, 5], [7, 9]])
+        assert k.apply(window) == 12
+
+    def test_batch_dims_preserved(self, rng):
+        k = ConvolutionKernel(np.ones((3, 3)))
+        windows = rng.integers(0, 10, size=(4, 5, 3, 3))
+        out = k.apply(windows)
+        assert out.shape == (4, 5)
+        assert out[2, 3] == windows[2, 3].sum()
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigError):
+            ConvolutionKernel(np.ones((2, 3)))
+
+    def test_window_size_attribute(self):
+        assert ConvolutionKernel(np.ones((5, 5))).window_size == 5
+
+    def test_wrong_window_size_rejected(self):
+        k = ConvolutionKernel(np.ones((3, 3)))
+        with pytest.raises(ConfigError):
+            k.apply(np.zeros((4, 4)))
+
+
+class TestBoxFilter:
+    def test_is_mean(self, rng):
+        img = random_image(rng, 6, 6)
+        k = BoxFilterKernel(6)
+        assert np.isclose(k.apply(img), img.mean())
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            BoxFilterKernel(0)
+
+    def test_name(self):
+        assert BoxFilterKernel(8).name == "box8"

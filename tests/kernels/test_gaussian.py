@@ -1,0 +1,64 @@
+"""Tests for the Gaussian kernel and the paper's 5-sigma sizing rule."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import GaussianKernel, gaussian_taps
+
+
+class TestGaussianTaps:
+    def test_normalised(self):
+        taps = gaussian_taps(2.0, 12)
+        assert taps.sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        taps = gaussian_taps(1.5, 8)
+        assert np.allclose(taps, taps[::-1, ::-1])
+        assert np.allclose(taps, taps.T)
+
+    def test_five_sigma_rule_default_size(self):
+        """Section I: window >= 5 x sigma, rounded up to even."""
+        taps = gaussian_taps(3.0)  # 5 * 3 = 15 -> 16
+        assert taps.shape == (16, 16)
+        taps2 = gaussian_taps(2.0)  # 5 * 2 = 10 (already even)
+        assert taps2.shape == (10, 10)
+
+    def test_small_window_trims_tails(self):
+        """Undersized windows lose mass — the precision argument."""
+        full = gaussian_taps(2.0, 10)
+        # Compare un-normalised energy inside the window.
+        def mass(size):
+            coords = np.arange(size) - (size - 1) / 2.0
+            g = np.exp(-(coords**2) / (2.0 * 4.0))
+            return np.outer(g, g).sum()
+
+        assert mass(4) < 0.8 * mass(10)
+        assert full.shape == (10, 10)
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ConfigError):
+            gaussian_taps(0.0)
+
+    def test_centre_is_peak(self):
+        taps = gaussian_taps(1.0, 7)
+        assert taps[3, 3] == taps.max()
+
+
+class TestGaussianKernel:
+    def test_smooths_noise(self, rng):
+        k = GaussianKernel(2.0, 10)
+        windows = rng.integers(0, 256, size=(50, 10, 10))
+        out = k.apply(windows)
+        assert out.std() < windows.reshape(50, -1).mean(axis=1).std() * 3
+
+    def test_constant_window_passthrough(self):
+        k = GaussianKernel(1.0, 6)
+        assert k.apply(np.full((6, 6), 42)) == pytest.approx(42.0)
+
+    def test_name_and_size(self):
+        k = GaussianKernel(2.5, 14)
+        assert k.window_size == 14
+        assert "2.5" in k.name

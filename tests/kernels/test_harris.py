@@ -1,0 +1,48 @@
+"""Tests for the Harris corner response kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import HarrisResponseKernel
+
+
+def corner_window(size: int) -> np.ndarray:
+    win = np.zeros((size, size), dtype=int)
+    win[size // 2 :, size // 2 :] = 200
+    return win
+
+
+def edge_window(size: int) -> np.ndarray:
+    win = np.zeros((size, size), dtype=int)
+    win[:, size // 2 :] = 200
+    return win
+
+
+class TestHarris:
+    def test_flat_region_zero(self):
+        k = HarrisResponseKernel(8)
+        assert k.apply(np.full((8, 8), 64)) == pytest.approx(0.0)
+
+    def test_corner_scores_higher_than_edge(self):
+        k = HarrisResponseKernel(8)
+        assert k.apply(corner_window(8)) > k.apply(edge_window(8))
+
+    def test_edge_response_negative(self):
+        """Edges give det ~ 0 with large trace -> negative response."""
+        k = HarrisResponseKernel(8)
+        assert k.apply(edge_window(8)) < 0
+
+    def test_corner_response_positive(self):
+        assert HarrisResponseKernel(8).apply(corner_window(8)) > 0
+
+    def test_batch_shape(self, rng):
+        k = HarrisResponseKernel(6)
+        wins = rng.integers(0, 256, size=(3, 4, 6, 6))
+        assert k.apply(wins).shape == (3, 4)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigError):
+            HarrisResponseKernel(3)

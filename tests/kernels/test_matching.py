@@ -1,0 +1,48 @@
+"""Tests for the template-matching (object detection) kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import TemplateMatchKernel
+
+from helpers import random_image
+
+
+class TestTemplateMatch:
+    def test_perfect_match_scores_zero(self, rng):
+        template = random_image(rng, 6, 6)
+        k = TemplateMatchKernel(template)
+        assert k.apply(template) == 0
+
+    def test_mismatch_scores_negative(self, rng):
+        template = random_image(rng, 6, 6)
+        k = TemplateMatchKernel(template)
+        other = (template + 10) % 256
+        assert k.apply(other) < 0
+
+    def test_finds_planted_object(self, rng):
+        """End-to-end: the best window in a scene is where the template is."""
+        from repro.core.window.golden import golden_apply
+
+        scene = random_image(rng, 40, 40)
+        template = random_image(rng, 8, 8)
+        scene[12:20, 25:33] = template
+        k = TemplateMatchKernel(template)
+        scores = golden_apply(scene, 8, k)
+        assert k.best_match(scores) == (12, 25)
+
+    def test_batch(self, rng):
+        k = TemplateMatchKernel(random_image(rng, 4, 4))
+        wins = rng.integers(0, 256, size=(9, 4, 4))
+        assert k.apply(wins).shape == (9,)
+
+    def test_non_square_template_rejected(self):
+        with pytest.raises(ConfigError):
+            TemplateMatchKernel(np.zeros((3, 4)))
+
+    def test_custom_name(self, rng):
+        k = TemplateMatchKernel(random_image(rng, 4, 4), name="face")
+        assert k.name == "face"

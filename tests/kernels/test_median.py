@@ -1,0 +1,36 @@
+"""Tests for the median kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import MedianKernel
+
+
+class TestMedian:
+    def test_matches_numpy(self, rng):
+        k = MedianKernel(4)
+        wins = rng.integers(0, 256, size=(10, 4, 4))
+        expected = np.median(wins.reshape(10, -1), axis=1)
+        assert np.allclose(k.apply(wins), expected)
+
+    def test_lower_statistic_mode(self):
+        k = MedianKernel(2, lower=True)
+        win = np.array([[1, 2], [3, 4]])
+        # Sorted: 1,2,3,4 -> lower-middle is 2.
+        assert k.apply(win) == 2
+
+    def test_rejects_impulse_noise(self):
+        win = np.full((4, 4), 100, dtype=int)
+        win[1, 1] = 255  # salt
+        assert MedianKernel(4).apply(win) == 100
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            MedianKernel(0)
+
+    def test_names(self):
+        assert MedianKernel(4).name == "median4"
+        assert MedianKernel(4, lower=True).name == "median4-lower"

@@ -1,0 +1,54 @@
+"""Tests for morphological kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import DilateKernel, ErodeKernel, MorphGradientKernel
+
+from helpers import random_image
+
+
+class TestErodeDilate:
+    def test_erode_is_min(self, rng):
+        wins = rng.integers(0, 256, size=(5, 4, 4))
+        assert np.array_equal(ErodeKernel(4).apply(wins), wins.min(axis=(1, 2)))
+
+    def test_dilate_is_max(self, rng):
+        wins = rng.integers(0, 256, size=(5, 4, 4))
+        assert np.array_equal(DilateKernel(4).apply(wins), wins.max(axis=(1, 2)))
+
+    def test_duality(self, rng):
+        """Erosion of the complement equals complement of dilation."""
+        win = rng.integers(0, 256, size=(6, 6))
+        assert ErodeKernel(6).apply(255 - win) == 255 - DilateKernel(6).apply(win)
+
+    def test_erode_le_dilate(self, rng):
+        win = rng.integers(0, 256, size=(4, 4))
+        assert ErodeKernel(4).apply(win) <= DilateKernel(4).apply(win)
+
+    def test_gradient_zero_on_flat(self):
+        assert MorphGradientKernel(4).apply(np.full((4, 4), 9)) == 0
+
+    def test_gradient_detects_edges(self):
+        win = np.zeros((4, 4), dtype=int)
+        win[:, 2:] = 200
+        assert MorphGradientKernel(4).apply(win) == 200
+
+    @pytest.mark.parametrize("cls", [ErodeKernel, DilateKernel, MorphGradientKernel])
+    def test_invalid_size(self, cls):
+        with pytest.raises(ConfigError):
+            cls(0)
+
+    def test_through_compressed_engine_lossless(self, rng):
+        """Morphology via the compressed architecture matches traditional."""
+        from repro import ArchitectureConfig, CompressedEngine, TraditionalEngine
+
+        config = ArchitectureConfig(image_width=32, image_height=32, window_size=4)
+        img = random_image(rng, 32, 32)
+        kernel = MorphGradientKernel(4)
+        comp = CompressedEngine(config, kernel).run(img)
+        trad = TraditionalEngine(config, kernel).run(img)
+        assert np.array_equal(comp.outputs, trad.outputs)

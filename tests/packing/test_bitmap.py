@@ -1,0 +1,92 @@
+"""Tests for thresholding and significance bitmaps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.packing.bitmap import (
+    apply_threshold,
+    ll_exempt_mask_interleaved,
+    significance_bitmap,
+)
+from repro.errors import ConfigError
+
+coeff_arrays = hnp.arrays(
+    dtype=np.int32, shape=st.integers(1, 64), elements=st.integers(-300, 300)
+)
+
+
+class TestApplyThreshold:
+    def test_zero_threshold_is_identity(self):
+        data = np.array([-3, 0, 2, 100])
+        out = apply_threshold(data, 0)
+        assert np.array_equal(out, data)
+        assert out is not data  # defensive copy
+
+    def test_strictly_below_threshold_zeroed(self):
+        out = apply_threshold(np.array([-3, -2, 0, 2, 3]), 3)
+        assert out.tolist() == [-3, 0, 0, 0, 3]
+
+    def test_exact_threshold_survives(self):
+        """The comparison is strict: |c| < T zeroes, |c| == T survives."""
+        out = apply_threshold(np.array([4, -4]), 4)
+        assert out.tolist() == [4, -4]
+
+    def test_exempt_mask(self):
+        data = np.array([1, 1, 1, 1])
+        exempt = np.array([True, False, True, False])
+        out = apply_threshold(data, 5, exempt_mask=exempt)
+        assert out.tolist() == [1, 0, 1, 0]
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            apply_threshold(np.array([1]), -1)
+
+    @given(coeff_arrays, st.integers(0, 50))
+    @settings(max_examples=150, deadline=None)
+    def test_survivors_meet_threshold(self, data, t):
+        out = apply_threshold(data, t)
+        nz = out[out != 0]
+        assert np.all(np.abs(nz) >= max(t, 1))
+        # Survivors are unchanged.
+        assert np.array_equal(out[out != 0], data[out != 0])
+
+    @given(coeff_arrays, st.integers(0, 50))
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent(self, data, t):
+        once = apply_threshold(data, t)
+        assert np.array_equal(apply_threshold(once, t), once)
+
+    @given(coeff_arrays, st.integers(0, 20), st.integers(0, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_threshold(self, data, t1, t2):
+        """A larger threshold never zeroes fewer coefficients."""
+        lo, hi = sorted((t1, t2))
+        z_lo = np.count_nonzero(apply_threshold(data, lo) == 0)
+        z_hi = np.count_nonzero(apply_threshold(data, hi) == 0)
+        assert z_hi >= z_lo
+
+
+class TestSignificanceBitmap:
+    def test_marks_nonzero(self):
+        assert significance_bitmap(np.array([0, 5, -1, 0])).tolist() == [
+            False,
+            True,
+            True,
+            False,
+        ]
+
+
+class TestLLExemptMask:
+    def test_parity_pattern(self):
+        mask = ll_exempt_mask_interleaved((4, 4))
+        assert mask[0, 0] and mask[0, 2] and mask[2, 0]
+        assert not mask[0, 1] and not mask[1, 0] and not mask[1, 1]
+
+    def test_quarter_density(self):
+        mask = ll_exempt_mask_interleaved((8, 8))
+        assert mask.sum() == 16

@@ -1,0 +1,198 @@
+"""Tests for the LSB-first bit stream layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packing.bitstream import (
+    BitReader,
+    BitWriter,
+    bits_to_values,
+    sign_extend,
+    values_to_bits,
+)
+from repro.errors import BitstreamError
+
+# Strategy: lists of (value, width) where the value fits its signed width.
+fields = st.integers(1, 16).flatmap(
+    lambda w: st.tuples(st.integers(-(2 ** (w - 1)), 2 ** (w - 1) - 1), st.just(w))
+)
+field_lists = st.lists(fields, min_size=0, max_size=64)
+
+
+class TestValuesToBits:
+    def test_single_positive_value(self):
+        bits = values_to_bits(np.array([0b1011]), np.array([4]))
+        assert bits.tolist() == [1, 1, 0, 1]  # LSB first
+
+    def test_negative_value_uses_twos_complement(self):
+        # -9 in 5 bits = 10111; LSB first = 1,1,1,0,1
+        bits = values_to_bits(np.array([-9]), np.array([5]))
+        assert bits.tolist() == [1, 1, 1, 0, 1]
+
+    def test_zero_width_fields_skipped(self):
+        bits = values_to_bits(np.array([5, 0, 3]), np.array([3, 0, 2]))
+        assert bits.size == 5
+
+    def test_all_zero_widths(self):
+        assert values_to_bits(np.array([1, 2]), np.array([0, 0])).size == 0
+
+    def test_empty(self):
+        assert values_to_bits(np.array([], dtype=int), np.array([], dtype=int)).size == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(BitstreamError):
+            values_to_bits(np.array([1, 2]), np.array([3]))
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(BitstreamError):
+            values_to_bits(np.array([1]), np.array([-1]))
+
+    def test_paper_fig2_example(self):
+        """Column 13, 12, -9, 7 at NBits=5 packs to 20 bits."""
+        vals = np.array([13, 12, -9, 7])
+        bits = values_to_bits(vals, np.full(4, 5))
+        assert bits.size == 20
+        back = bits_to_values(bits, np.full(4, 5))
+        assert back.tolist() == [13, 12, -9, 7]
+
+
+class TestSignExtend:
+    def test_positive_unchanged(self):
+        assert sign_extend(np.array([5]), np.array([4]))[0] == 5
+
+    def test_negative_extended(self):
+        # 0b10111 (width 5) -> -9
+        assert sign_extend(np.array([0b10111]), np.array([5]))[0] == -9
+
+    def test_width_one(self):
+        assert sign_extend(np.array([1]), np.array([1]))[0] == -1
+        assert sign_extend(np.array([0]), np.array([1]))[0] == 0
+
+    def test_zero_width_stays_zero(self):
+        assert sign_extend(np.array([0]), np.array([0]))[0] == 0
+
+
+class TestRoundTrip:
+    @given(field_lists)
+    @settings(max_examples=200, deadline=None)
+    def test_pack_unpack(self, pairs):
+        values = np.array([p[0] for p in pairs], dtype=np.int64)
+        widths = np.array([p[1] for p in pairs], dtype=np.int64)
+        bits = values_to_bits(values, widths)
+        back = bits_to_values(bits, widths)
+        assert np.array_equal(back, values)
+
+    @given(field_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_with_interspersed_zero_widths(self, pairs):
+        values = np.array([p[0] for p in pairs] + [99, 42], dtype=np.int64)
+        widths = np.array([p[1] for p in pairs] + [0, 0], dtype=np.int64)
+        back = bits_to_values(values_to_bits(values, widths), widths)
+        expected = values.copy()
+        expected[-2:] = 0  # zero-width fields decode to 0
+        assert np.array_equal(back, expected)
+
+    def test_unsigned_mode(self):
+        bits = values_to_bits(np.array([0b111]), np.array([3]))
+        assert bits_to_values(bits, np.array([3]), signed=False)[0] == 7
+
+    def test_underrun_rejected(self):
+        with pytest.raises(BitstreamError):
+            bits_to_values(np.array([1, 0]), np.array([3]))
+
+
+class TestBitWriter:
+    def test_append_value_lsb_first(self):
+        w = BitWriter()
+        w.append_value(0b101, 3)
+        assert w.to_bit_array().tolist() == [1, 0, 1]
+
+    def test_growth_beyond_initial_capacity(self):
+        w = BitWriter(capacity_hint=8)
+        for _ in range(100):
+            w.append_value(0xFF, 8)
+        assert w.n_bits == 800
+        assert np.all(w.to_bit_array() == 1)
+
+    def test_append_values_matches_scalar_appends(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(-128, 128, size=50)
+        widths = rng.integers(1, 12, size=50)
+        w1 = BitWriter()
+        w1.append_values(values, widths)
+        w2 = BitWriter()
+        for v, n in zip(values, widths):
+            w2.append_value(int(v), int(n))
+        assert np.array_equal(w1.to_bit_array(), w2.to_bit_array())
+
+    def test_zero_width_append_is_noop(self):
+        w = BitWriter()
+        w.append_value(123, 0)
+        assert w.n_bits == 0
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(BitstreamError):
+            BitWriter().append_value(1, -2)
+
+    def test_to_bytes_little_endian_bit_order(self):
+        w = BitWriter()
+        w.append_value(0x01, 8)  # bit0 set
+        assert w.to_bytes() == b"\x01"
+
+    def test_len(self):
+        w = BitWriter()
+        w.append_value(3, 2)
+        assert len(w) == 2
+
+
+class TestBitReader:
+    def test_reads_back_writer_output(self):
+        w = BitWriter()
+        w.append_value(-9, 5)
+        w.append_value(13, 5)
+        r = BitReader(w.to_bit_array())
+        assert r.read_value(5) == -9
+        assert r.read_value(5) == 13
+        assert r.remaining == 0
+
+    def test_from_bytes(self):
+        w = BitWriter()
+        w.append_value(0xAB, 8)
+        w.append_value(5, 3)
+        r = BitReader(w.to_bytes())
+        assert r.read_value(8, signed=False) == 0xAB
+        assert r.read_value(3, signed=False) == 5
+
+    def test_overrun_rejected(self):
+        r = BitReader(np.array([1, 0, 1], dtype=np.uint8))
+        with pytest.raises(BitstreamError):
+            r.read_value(4)
+
+    def test_read_values_bulk(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(-64, 64, size=30)
+        widths = np.full(30, 8)
+        w = BitWriter()
+        w.append_values(values, widths)
+        r = BitReader(w.to_bit_array())
+        assert np.array_equal(r.read_values(widths), values)
+
+    def test_read_values_overrun_rejected(self):
+        r = BitReader(np.zeros(4, dtype=np.uint8))
+        with pytest.raises(BitstreamError):
+            r.read_values(np.array([3, 3]))
+
+    def test_position_tracking(self):
+        r = BitReader(np.zeros(10, dtype=np.uint8))
+        r.read_value(4)
+        assert r.position == 4
+        assert r.remaining == 6
+
+    def test_zero_width_read(self):
+        r = BitReader(np.zeros(2, dtype=np.uint8))
+        assert r.read_value(0) == 0
+        assert r.position == 0

@@ -1,0 +1,98 @@
+"""Tests for the on-disk compressed-image container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ArchitectureConfig
+from repro.core.packing.container import (
+    compress_image,
+    container_ratio,
+    decompress_image,
+)
+from repro.errors import BitstreamError, ConfigError
+from repro.imaging import generate_scene
+
+from helpers import random_image
+
+
+def cfg(**kw):
+    defaults = dict(image_width=32, image_height=32, window_size=8)
+    defaults.update(kw)
+    return ArchitectureConfig(**defaults)
+
+
+class TestRoundTrip:
+    def test_lossless_exact(self, rng):
+        config = cfg()
+        img = random_image(rng, 32, 32)
+        out, config2 = decompress_image(compress_image(config, img))
+        assert np.array_equal(out, img)
+        assert config2.window_size == 8
+
+    @given(st.integers(0, 2**31 - 1), st.sampled_from([1, 2]), st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_lossless_across_options(self, seed, levels, dpcm):
+        config = cfg(decomposition_levels=levels, ll_dpcm=dpcm)
+        img = np.random.default_rng(seed).integers(0, 256, size=(32, 32))
+        out, config2 = decompress_image(compress_image(config, img))
+        assert np.array_equal(out, img)
+        assert config2.ll_dpcm == dpcm
+        assert config2.decomposition_levels == levels
+
+    def test_wrap_mode_roundtrip(self, rng):
+        config = cfg(coefficient_bits=8, wrap_coefficients=True)
+        img = random_image(rng, 32, 32)
+        out, config2 = decompress_image(compress_image(config, img))
+        assert np.array_equal(out, img)
+        assert config2.wrap_coefficients
+
+    def test_lossy_reconstruction_bounded(self, rng):
+        config = cfg(threshold=6)
+        img = random_image(rng, 32, 32, smooth=True)
+        out, _ = decompress_image(compress_image(config, img))
+        assert np.max(np.abs(out - img)) <= 20
+
+    def test_config_survives_the_trip(self):
+        config = cfg(threshold=4, pixel_bits=8)
+        img = generate_scene(seed=1, resolution=32).astype(np.int64)
+        _, config2 = decompress_image(compress_image(config, img))
+        assert config2.threshold == 4
+        assert config2.image_width == 32
+
+
+class TestCompression:
+    def test_scenes_compress(self):
+        config = ArchitectureConfig(
+            image_width=256, image_height=256, window_size=16, ll_dpcm=True
+        )
+        img = generate_scene(seed=2, resolution=256).astype(np.int64)
+        assert container_ratio(config, img) > 1.3
+
+    def test_noise_does_not_compress(self, rng):
+        config = cfg()
+        img = random_image(rng, 32, 32)
+        assert container_ratio(config, img) < 1.1
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(BitstreamError):
+            decompress_image(b"JPEG" + b"\x00" * 64)
+
+    def test_wrong_shape(self, rng):
+        with pytest.raises(ConfigError):
+            compress_image(cfg(), random_image(rng, 32, 30))
+
+    def test_height_not_band_multiple(self, rng):
+        config = ArchitectureConfig(image_width=32, image_height=36, window_size=8)
+        with pytest.raises(ConfigError):
+            compress_image(config, random_image(rng, 36, 32))
+
+    def test_truncated_container(self, rng):
+        blob = compress_image(cfg(), random_image(rng, 32, 32))
+        with pytest.raises(Exception):
+            decompress_image(blob[: len(blob) // 2])

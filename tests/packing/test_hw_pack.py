@@ -1,0 +1,162 @@
+"""Tests for the register-level Bit Packing unit (Fig 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packing.bitstream import values_to_bits
+from repro.core.packing.hw_pack import BitPackingUnit, PackedWord
+from repro.errors import ConfigError
+
+
+def collect_stream(unit: BitPackingUnit, coeffs, nbits):
+    """Drive the unit coefficient by coefficient; return (bitmaps, words)."""
+    bitmaps, words = [], []
+    for x, n in zip(coeffs, nbits):
+        bit, emitted = unit.step(int(x), int(n))
+        bitmaps.append(bit)
+        words.extend(emitted)
+    words.extend(unit.flush())
+    return bitmaps, words
+
+
+def words_to_bits(words: list[PackedWord]) -> np.ndarray:
+    """Concatenate emitted words back into an LSB-first bit array."""
+    out = []
+    for w in words:
+        out.extend((w.value >> k) & 1 for k in range(w.valid_bits))
+    return np.array(out, dtype=np.uint8)
+
+
+class TestStep:
+    def test_zero_coefficient_emits_bitmap_only(self):
+        unit = BitPackingUnit()
+        bit, words = unit.step(0, 5)
+        assert bit == 0 and words == []
+        assert unit.cbits == 0
+
+    def test_threshold_kills_small_values(self):
+        unit = BitPackingUnit(threshold=4)
+        bit, _ = unit.step(3, 5)
+        assert bit == 0
+        bit, _ = unit.step(-3, 5)
+        assert bit == 0
+        bit, _ = unit.step(4, 5)
+        assert bit == 1
+
+    def test_exempt_bypasses_threshold(self):
+        unit = BitPackingUnit(threshold=100)
+        bit, _ = unit.step(3, 5, exempt=True)
+        assert bit == 1
+
+    def test_word_emitted_when_full(self):
+        unit = BitPackingUnit(word_bits=8)
+        _, words = unit.step(0b1111, 4)
+        assert words == []
+        assert unit.cbits == 4
+        _, words = unit.step(0b1000, 4)
+        assert len(words) == 1
+        assert words[0].value == 0b10001111
+        assert unit.cbits == 0
+        assert unit.wen
+
+    def test_straddling_value(self):
+        """A value crossing a word boundary splits LSB-first."""
+        unit = BitPackingUnit(word_bits=8)
+        unit.step(0b11111, 5)  # cbits = 5
+        _, words = unit.step(0b10101, 5)  # 10 bits total -> one word + 2 left
+        assert len(words) == 1
+        # Word = first 8 bits: 11111 then 101 (LSB of second value first).
+        assert words[0].value == 0b10111111
+        assert unit.cbits == 2
+
+    def test_flush_partial_word(self):
+        unit = BitPackingUnit()
+        unit.step(0b101, 3)
+        words = unit.flush()
+        assert len(words) == 1
+        assert words[0].valid_bits == 3
+        assert words[0].value == 0b101
+        assert unit.cbits == 0
+
+    def test_flush_empty_is_noop(self):
+        assert BitPackingUnit().flush() == []
+
+    def test_negative_value_packs_low_bits(self):
+        unit = BitPackingUnit()
+        unit.step(-9, 5)  # low 5 bits of -9 = 10111
+        words = unit.flush()
+        assert words[0].value == 0b10111
+
+    def test_invalid_nbits_rejected(self):
+        with pytest.raises(ConfigError):
+            BitPackingUnit(max_nbits=8).step(1, 9)
+        with pytest.raises(ConfigError):
+            BitPackingUnit().step(1, 0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigError):
+            BitPackingUnit(word_bits=0)
+        with pytest.raises(ConfigError):
+            BitPackingUnit(threshold=-1)
+
+    def test_statistics(self):
+        unit = BitPackingUnit(threshold=2)
+        unit.step(5, 4)
+        unit.step(1, 4)
+        unit.step(0, 4)
+        assert unit.cycles == 3
+        assert unit.coefficients_seen == 3
+        assert unit.significant_seen == 1
+
+    def test_reset(self):
+        unit = BitPackingUnit()
+        unit.step(7, 3)
+        unit.reset()
+        assert unit.cbits == 0 and unit.cycles == 0 and unit.flush() == []
+
+
+class TestStreamEquivalence:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-511, 511), st.integers(10, 10)),
+            min_size=0,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_word_stream_matches_values_to_bits(self, pairs):
+        """The Fig 6 register machine emits exactly the vectorised stream."""
+        coeffs = np.array([p[0] for p in pairs], dtype=np.int64)
+        nbits = np.array([p[1] for p in pairs], dtype=np.int64)
+        unit = BitPackingUnit(max_nbits=10)
+        bitmaps, words = collect_stream(unit, coeffs, nbits)
+        widths = np.where(coeffs != 0, nbits, 0)
+        expected = values_to_bits(coeffs, widths)
+        assert np.array_equal(words_to_bits(words), expected)
+        assert bitmaps == [int(c != 0) for c in coeffs]
+
+    @given(
+        st.lists(st.integers(-127, 127), min_size=1, max_size=60),
+        st.integers(0, 12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_with_threshold_matches_prethresholded_stream(self, values, threshold):
+        coeffs = np.array(values, dtype=np.int64)
+        significant = np.where(np.abs(coeffs) < threshold, 0, coeffs)
+        nbits = np.full(coeffs.size, 8)
+        unit = BitPackingUnit(threshold=threshold, max_nbits=8)
+        bitmaps, words = collect_stream(unit, coeffs, nbits)
+        widths = np.where(significant != 0, nbits, 0)
+        expected = values_to_bits(significant, widths)
+        assert np.array_equal(words_to_bits(words), expected)
+
+    def test_pending_bits_invariant(self):
+        rng = np.random.default_rng(2)
+        unit = BitPackingUnit()
+        for _ in range(200):
+            unit.step(int(rng.integers(-128, 128)), int(rng.integers(1, 9)))
+            assert 0 <= unit.pending_bits < unit.word_bits

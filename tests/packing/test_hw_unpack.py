@@ -1,0 +1,121 @@
+"""Tests for the register-level Bit Unpacking unit (Figs 8, 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packing.hw_pack import BitPackingUnit, PackedWord
+from repro.core.packing.hw_unpack import BitUnpackingUnit
+from repro.errors import BitstreamError, ConfigError
+
+
+class TestStep:
+    def test_bitmap_zero_outputs_zero_and_consumes_nothing(self):
+        unit = BitUnpackingUnit([PackedWord(0xFF, 8)])
+        assert unit.step(0, 5) == 0
+        assert unit.fifo_depth == 1
+        assert unit.words_consumed == 0
+
+    def test_sign_extension(self):
+        # 0b10111 in 5 bits is -9.
+        unit = BitUnpackingUnit([PackedWord(0b10111, 8)])
+        assert unit.step(1, 5) == -9
+
+    def test_positive_value(self):
+        unit = BitUnpackingUnit([PackedWord(0b01101, 8)])
+        assert unit.step(1, 5) == 13
+
+    def test_remaining_bits_reused(self):
+        """Fig 9's worked example: leftovers carry into the next output."""
+        # Two 4-bit values packed into one byte: 0x5 then 0x3.
+        unit = BitUnpackingUnit([PackedWord(0x35, 8)])
+        assert unit.step(1, 4) == 5
+        assert unit.words_consumed == 1
+        assert unit.step(1, 4) == 3
+        assert unit.words_consumed == 1  # no new word needed
+
+    def test_underflow_detected(self):
+        unit = BitUnpackingUnit([])
+        with pytest.raises(BitstreamError):
+            unit.step(1, 3)
+
+    def test_invalid_nbits(self):
+        unit = BitUnpackingUnit([])
+        with pytest.raises(ConfigError):
+            unit.step(1, 0)
+        with pytest.raises(ConfigError):
+            BitUnpackingUnit([], max_nbits=8).step(1, 9)
+
+    def test_feed_accepts_ints(self):
+        unit = BitUnpackingUnit([0b00000001])
+        assert unit.step(1, 1) == -1  # single bit 1 sign-extends to -1
+
+    def test_invalid_word_bits(self):
+        with pytest.raises(ConfigError):
+            BitUnpackingUnit([], word_bits=0)
+
+
+class TestPackUnpackChain:
+    @given(
+        st.lists(
+            st.tuples(st.integers(-511, 511), st.integers(1, 10)),
+            min_size=1,
+            max_size=80,
+        ).map(
+            # Widen each nbits so its value actually fits (mirrors the real
+            # system where NBits comes from the column maximum).
+            lambda pairs: [
+                (v, max(n, int(v).bit_length() + 1)) for v, n in pairs
+            ]
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_roundtrip_through_register_models(self, pairs):
+        coeffs = [v for v, _ in pairs]
+        nbits = [n for _, n in pairs]
+        packer = BitPackingUnit(max_nbits=16)
+        bitmaps, words = [], []
+        for v, n in zip(coeffs, nbits):
+            bit, emitted = packer.step(v, n)
+            bitmaps.append(bit)
+            words.extend(emitted)
+        words.extend(packer.flush())
+        unpacker = BitUnpackingUnit(words, max_nbits=16)
+        out = [unpacker.step(b, n) for b, n in zip(bitmaps, nbits)]
+        assert out == coeffs
+
+    def test_one_output_per_cycle(self):
+        """The unit never stalls: every step produces its coefficient."""
+        rng = np.random.default_rng(3)
+        coeffs = rng.integers(-100, 100, size=500)
+        packer = BitPackingUnit(max_nbits=8)
+        bitmaps, words = [], []
+        for v in coeffs:
+            bit, emitted = packer.step(int(v), 8)
+            bitmaps.append(bit)
+            words.extend(emitted)
+        words.extend(packer.flush())
+        unpacker = BitUnpackingUnit(words, max_nbits=8)
+        out = [unpacker.step(b, 8) for b in bitmaps]
+        assert unpacker.cycles == 500
+        assert np.array_equal(np.array(out), np.where(coeffs != 0, coeffs, 0))
+
+    def test_yout_rem_register_never_overflows_paper_sizing(self):
+        """CBits stays under word_bits + max_nbits (the 16-bit register)."""
+        rng = np.random.default_rng(4)
+        packer = BitPackingUnit(max_nbits=8)
+        bitmaps, words, nbits = [], [], []
+        for _ in range(300):
+            n = int(rng.integers(1, 9))
+            v = int(rng.integers(-(2 ** (n - 1)), 2 ** (n - 1)))
+            bit, emitted = packer.step(v, n)
+            bitmaps.append(bit)
+            nbits.append(n)
+            words.extend(emitted)
+        words.extend(packer.flush())
+        unpacker = BitUnpackingUnit(words, max_nbits=8)
+        for b, n in zip(bitmaps, nbits):
+            unpacker.step(b, n)  # StateError would fire on overflow

@@ -1,0 +1,136 @@
+"""Tests for the NBits computation (arithmetic and Fig 7 gate model)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.packing.nbits import (
+    NBitsGateModel,
+    bit_widths_signed,
+    min_bits_signed,
+    min_bits_signed_scalar,
+)
+from repro.errors import ConfigError
+
+
+class TestScalar:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, 1),
+            (-1, 1),
+            (1, 2),
+            (-2, 2),
+            (3, 3),
+            (-4, 3),
+            (7, 4),
+            (-8, 4),
+            (13, 5),  # paper Fig 2
+            (-9, 5),  # paper Fig 2
+            (127, 8),
+            (-128, 8),
+            (128, 9),
+            (255, 9),
+        ],
+    )
+    def test_known_widths(self, value, expected):
+        assert min_bits_signed_scalar(value) == expected
+
+    @given(st.integers(-(2**30), 2**30))
+    @settings(max_examples=300, deadline=None)
+    def test_width_is_minimal(self, v):
+        n = min_bits_signed_scalar(v)
+        assert -(2 ** (n - 1)) <= v <= 2 ** (n - 1) - 1
+        if n > 1:
+            assert not (-(2 ** (n - 2)) <= v <= 2 ** (n - 2) - 1)
+
+
+class TestVectorised:
+    def test_paper_column(self):
+        assert min_bits_signed(np.array([13, 12, -9, 7])) == 5
+
+    def test_axis_reduction(self):
+        data = np.array([[0, 100], [0, -100]])
+        widths = min_bits_signed(data, axis=0)
+        assert widths.tolist() == [1, 8]
+
+    def test_empty_array_gives_one(self):
+        assert min_bits_signed(np.array([], dtype=int)) == 1
+
+    def test_float_rejected(self):
+        with pytest.raises(ConfigError):
+            min_bits_signed(np.array([1.5]))
+
+    @given(
+        hnp.arrays(
+            dtype=np.int32,
+            shape=st.integers(1, 50),
+            elements=st.integers(-(2**20), 2**20),
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_scalar_max(self, values):
+        expected = max(min_bits_signed_scalar(int(v)) for v in values)
+        assert min_bits_signed(values) == expected
+
+    @given(
+        hnp.arrays(
+            dtype=np.int32,
+            shape=st.integers(1, 40),
+            elements=st.integers(-512, 511),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_elementwise_widths(self, values):
+        widths = bit_widths_signed(values)
+        for v, n in zip(values, widths):
+            assert min_bits_signed_scalar(int(v)) == n
+
+
+class TestGateModel:
+    def test_paper_example(self):
+        """X1=-6, X2=-2, X3=6 (Section V.B) -> 4 bits."""
+        gate = NBitsGateModel(8)
+        assert gate.xor_vector(-6).tolist() == [1, 0, 1, 0, 0, 0, 0]
+        assert gate.xor_vector(-2).tolist() == [1, 0, 0, 0, 0, 0, 0]
+        assert gate.xor_vector(6).tolist() == [0, 1, 1, 0, 0, 0, 0]
+        assert gate.min_bits(np.array([-6, -2, 6])) == 4
+
+    def test_all_zero_column(self):
+        assert NBitsGateModel(8).min_bits(np.zeros(4, dtype=int)) == 1
+
+    def test_all_minus_one(self):
+        assert NBitsGateModel(8).min_bits(np.full(4, -1)) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigError):
+            NBitsGateModel(8).min_bits(np.array([200]))
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigError):
+            NBitsGateModel(1)
+
+    @given(
+        hnp.arrays(
+            dtype=np.int32, shape=st.integers(1, 16), elements=st.integers(-128, 127)
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_gate_model_equals_arithmetic_8bit(self, values):
+        assert NBitsGateModel(8).min_bits(values) == min_bits_signed(values)
+
+    @given(
+        hnp.arrays(
+            dtype=np.int32, shape=st.integers(1, 16), elements=st.integers(-512, 511)
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_gate_model_equals_arithmetic_10bit(self, values):
+        assert NBitsGateModel(10).min_bits(values) == min_bits_signed(values)
+
+    def test_empty_column(self):
+        assert NBitsGateModel(8).min_bits(np.array([], dtype=int)) == 1

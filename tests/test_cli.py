@@ -1,0 +1,109 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig3_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.resolution == 512
+        assert args.window == 64
+
+    def test_table_number_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "7"])
+
+    def test_resources_module_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resources", "alu"])
+
+
+class TestCommands:
+    def test_fig3(self, capsys):
+        assert main(["fig3", "--resolution", "128", "--window", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 3" in out and "LL" in out
+
+    def test_fig11(self, capsys):
+        assert main(["fig11"]) == 0
+        assert "87.50" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_resources(self, capsys):
+        assert main(["resources", "iwt"]) == 0
+        out = capsys.readouterr().out
+        assert "592.10" in out or "592.1" in out
+
+    def test_throughput(self, capsys):
+        assert main(["throughput"]) == 0
+        assert "traditional" in capsys.readouterr().out
+
+    def test_mse_small(self, capsys):
+        code = main(
+            ["mse", "--resolution", "128", "--window", "16", "--images", "2",
+             "--processes", "1"]
+        )
+        assert code == 0
+        assert "threshold" in capsys.readouterr().out
+
+    def test_fig13_small(self, capsys):
+        # Uses the small-resolution path through the same code.
+        code = main(
+            ["fig13", "--resolution", "256", "--images", "2", "--processes", "1"]
+        )
+        assert code == 0
+        assert "±" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "wavelets", "--resolution", "128"]) == 0
+        assert "haar" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        code = main(
+            ["validate", "--resolution", "16", "--window", "4", "--no-cycle"]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_full_small(self, capsys):
+        assert main(["validate", "--resolution", "16", "--window", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "pixel-stream" in out
+
+    def test_coding(self, capsys):
+        assert main(["coding", "--resolution", "128", "--window", "16"]) == 0
+        assert "LOCO" in capsys.readouterr().out
+
+    def test_dataset_render(self, tmp_path, capsys):
+        code = main(
+            ["dataset", "--out", str(tmp_path), "--resolution", "64", "--images", "2"]
+        )
+        assert code == 0
+        files = sorted(tmp_path.glob("*.pgm"))
+        assert len(files) == 2
+
+    def test_compress_decompress_roundtrip(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.imaging import generate_scene
+        from repro.imaging.pgm import read_pgm, write_pgm
+
+        src = tmp_path / "in.pgm"
+        rwc = tmp_path / "img.rwc"
+        back = tmp_path / "out.pgm"
+        write_pgm(src, generate_scene(seed=5, resolution=64))
+        assert main(["compress", str(src), str(rwc), "--ll-dpcm"]) == 0
+        assert "ratio" in capsys.readouterr().out
+        assert main(["decompress", str(rwc), str(back)]) == 0
+        assert np.array_equal(read_pgm(back), read_pgm(src))  # lossless

@@ -1,0 +1,58 @@
+"""Tests for the exception hierarchy and the public import surface."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.errors import (
+    BitstreamError,
+    CapacityError,
+    ConfigError,
+    DatasetError,
+    ReproError,
+    StateError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ConfigError, BitstreamError, CapacityError, StateError, DatasetError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_error_compat(self):
+        """Config/bitstream/dataset errors double as ValueError so generic
+        callers can catch them idiomatically."""
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(BitstreamError, ValueError)
+        assert issubclass(DatasetError, ValueError)
+
+    def test_runtime_error_compat(self):
+        assert issubclass(CapacityError, RuntimeError)
+        assert issubclass(StateError, RuntimeError)
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise CapacityError("boom")
+
+
+class TestPublicSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis as analysis
+        import repro.core.window as window
+        import repro.hardware as hardware
+        import repro.imaging as imaging
+        import repro.kernels as kernels
+
+        for module in (analysis, window, hardware, imaging, kernels):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script runs end to end.
+
+Examples are executed in-process with reduced geometry where they expose
+one, otherwise as-is (they are all laptop-fast).
+"""
+
+from __future__ import annotations
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path):
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_via_runpy(capsys):
+    """quickstart is importable machinery, not just a script."""
+    runpy.run_path(str(EXAMPLES[0].parent / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "lossless outputs identical: OK" in out

@@ -1,0 +1,183 @@
+"""Tests for the compression accounting module."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import ArchitectureConfig
+from repro.core.packing.packer import BandCodec
+from repro.core.stats import (
+    analyze_band,
+    analyze_image,
+    iter_bands,
+    sliding_occupancy,
+)
+from repro.errors import ConfigError
+
+
+def cfg(**kw):
+    defaults = dict(image_width=64, image_height=64, window_size=8)
+    defaults.update(kw)
+    return ArchitectureConfig(**defaults)
+
+
+class TestAnalyzeBand:
+    def test_matches_bit_exact_codec(self, rng):
+        band = rng.integers(0, 256, size=(8, 64))
+        config = cfg(threshold=4)
+        analysis = analyze_band(config, band)
+        encoded = BandCodec(config).encode_band(band)
+        assert analysis.payload_bits == encoded.payload_bits
+        assert np.array_equal(analysis.widths, encoded.widths)
+        assert np.array_equal(analysis.nbits, encoded.nbits)
+        assert np.array_equal(analysis.bitmap, encoded.bitmap)
+
+    def test_constant_band_payload_is_ll_only(self):
+        band = np.full((8, 64), 100, dtype=int)
+        analysis = analyze_band(cfg(), band)
+        per_band = analysis.subband_payload_bits()
+        assert per_band["LH"] == 0
+        assert per_band["HL"] == 0
+        assert per_band["HH"] == 0
+        assert per_band["LL"] > 0
+
+    def test_subband_split_sums_to_total(self, rng):
+        band = rng.integers(0, 256, size=(8, 64))
+        analysis = analyze_band(cfg(), band)
+        assert sum(analysis.subband_payload_bits().values()) == analysis.payload_bits
+        per_col = analysis.subband_payload_bits_per_column()
+        assert sum(int(v.sum()) for v in per_col.values()) == analysis.payload_bits
+
+    def test_reconstruct_lossless(self, rng):
+        band = rng.integers(0, 256, size=(8, 64))
+        assert np.array_equal(analyze_band(cfg(), band).reconstruct(), band)
+
+    @given(
+        hnp.arrays(dtype=np.int32, shape=(8, 16), elements=st.integers(0, 255)),
+        st.sampled_from([(0, 2), (2, 4), (4, 6), (0, 6)]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_payload_monotone_in_threshold(self, band, pair):
+        """Raising T never increases the packed payload size."""
+        t_lo, t_hi = pair
+        config = ArchitectureConfig(
+            image_width=16, image_height=16, window_size=8
+        )
+        lo = analyze_band(config.with_threshold(t_lo), band).payload_bits
+        hi = analyze_band(config.with_threshold(t_hi), band).payload_bits
+        assert hi <= lo
+
+    def test_odd_band_rejected(self):
+        with pytest.raises(ConfigError):
+            analyze_band(cfg(), np.zeros((7, 64), dtype=int))
+
+
+class TestIterBands:
+    def test_default_stride_is_window(self):
+        config = cfg()
+        image = np.zeros((64, 64), dtype=int)
+        positions = [y for y, _ in iter_bands(config, image)]
+        assert positions == [7, 15, 23, 31, 39, 47, 55, 63]
+
+    def test_stride_one_covers_every_traversal(self):
+        config = cfg()
+        image = np.zeros((64, 64), dtype=int)
+        assert len(list(iter_bands(config, image, row_stride=1))) == 64 - 8 + 1
+
+    def test_band_shapes(self):
+        config = cfg()
+        image = np.arange(64 * 64).reshape(64, 64) % 256
+        for y, band in iter_bands(config, image):
+            assert band.shape == (8, 64)
+            assert np.array_equal(band, image[y - 7 : y + 1])
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ConfigError):
+            list(iter_bands(cfg(), np.zeros((64, 64), dtype=int), row_stride=0))
+
+
+class TestSlidingOccupancy:
+    def test_uniform_sizes(self):
+        """With equal column sizes, occupancy is constant at (W-N) slots."""
+        sizes = np.full(32, 10)
+        occ = sliding_occupancy(sizes, sizes, 8, 3)
+        # (32 - 8) slots of 10 payload bits + 3 management bits each.
+        expected = (32 - 8) * 10 + 3 * (32 - 8)
+        assert np.all(occ == expected)
+
+    def test_transition_between_bands(self):
+        prev = np.full(16, 100)
+        cur = np.full(16, 10)
+        occ = sliding_occupancy(prev, cur, 4, 0)
+        # Early positions hold mostly prev columns (expensive), late mostly cur.
+        assert occ[3] > occ[15]
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ConfigError):
+            sliding_occupancy(np.zeros(8), np.zeros(9), 4, 0)
+
+    def test_exact_bookkeeping(self):
+        rng = np.random.default_rng(5)
+        prev = rng.integers(0, 50, size=12)
+        cur = rng.integers(0, 50, size=12)
+        occ = sliding_occupancy(prev, cur, 4, 2)
+        w, n = 12, 4
+        for x in range(w):
+            limit = min(max(x - n + 1, 0), w - n)
+            expected = prev[limit : w - n].sum() + cur[:limit].sum() + 2 * (w - n)
+            assert occ[x] == expected
+
+    def test_ring_never_exceeds_slot_count(self):
+        """Resident slots are always exactly W - N (the ring property)."""
+        rng = np.random.default_rng(6)
+        prev = rng.integers(1, 2, size=20)  # one bit per column
+        cur = rng.integers(1, 2, size=20)
+        occ = sliding_occupancy(prev, cur, 6, 0)
+        assert np.all(occ == 20 - 6)
+
+
+class TestAnalyzeImage:
+    def test_report_consistency(self, rng):
+        config = cfg()
+        image = rng.integers(0, 256, size=(64, 64))
+        report = analyze_image(config, image)
+        assert report.bands_sampled == 8
+        assert report.max_band_payload_bits >= report.mean_band_payload_bits
+        assert report.worst_row_bits == report.row_bits_worst.max()
+        assert report.row_bits_worst.shape == (8,)
+        assert report.traditional_bits == config.traditional_buffer_bits
+
+    def test_saving_sign_for_random_noise(self, rng):
+        """Random images do not compress (the paper's failure case)."""
+        config = cfg(image_width=256, image_height=256, window_size=16)
+        image = rng.integers(0, 256, size=(256, 256))
+        report = analyze_image(config, image)
+        assert report.memory_saving_percent < 5.0
+
+    def test_saving_positive_for_smooth_image(self):
+        from repro.imaging import generate_scene
+
+        config = ArchitectureConfig(
+            image_width=256, image_height=256, window_size=16
+        )
+        image = generate_scene(seed=1, resolution=256).astype(np.int64)
+        report = analyze_image(config, image)
+        assert report.memory_saving_percent > 0.0
+
+    def test_too_short_image_rejected(self):
+        config = cfg()
+        with pytest.raises(ConfigError):
+            analyze_image(config, np.zeros((4, 64), dtype=int))
+
+    def test_threshold_improves_saving(self):
+        from repro.imaging import generate_scene
+
+        image = generate_scene(seed=2, resolution=128).astype(np.int64)
+        base = ArchitectureConfig(image_width=128, image_height=128, window_size=16)
+        s0 = analyze_image(base, image).memory_saving_percent
+        s6 = analyze_image(base.with_threshold(6), image).memory_saving_percent
+        assert s6 > s0

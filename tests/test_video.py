@@ -1,0 +1,135 @@
+"""Tests for the frame-stream processor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import AdaptiveThresholdController, ArchitectureConfig, analyze_image
+from repro.core.video import FrameStreamProcessor
+from repro.errors import CapacityError, ConfigError
+from repro.imaging import generate_scene
+from repro.imaging.synthetic import SceneParams
+
+from helpers import random_image
+
+
+def make_config():
+    return ArchitectureConfig(image_width=128, image_height=128, window_size=16)
+
+
+def calm_frame(i: int) -> np.ndarray:
+    return generate_scene(400 + i, 128, SceneParams(texture_amplitude=4.0))
+
+
+def busy_frame(i: int) -> np.ndarray:
+    return generate_scene(
+        500 + i, 128, SceneParams(texture_amplitude=30.0, sensor_noise=5.0)
+    )
+
+
+@pytest.fixture(scope="module")
+def calm_budget() -> int:
+    config = make_config()
+    return analyze_image(
+        config.with_threshold(2), calm_frame(0).astype(np.int64)
+    ).peak_buffer_bits
+
+
+class TestPolicies:
+    def test_raise_policy(self, calm_budget):
+        proc = FrameStreamProcessor(
+            config=make_config(),
+            budget_bits=calm_budget,
+            policy="raise",
+            threshold=0,
+        )
+        with pytest.raises(CapacityError):
+            proc.process([busy_frame(0)])
+
+    def test_drop_policy_records_drop(self, calm_budget):
+        proc = FrameStreamProcessor(
+            config=make_config(),
+            budget_bits=calm_budget,
+            policy="drop",
+            threshold=0,
+        )
+        records = proc.process([calm_frame(0), busy_frame(0)])
+        # calm frame at T=0 may or may not fit; the busy one must drop.
+        assert records[1].dropped
+        assert proc.drop_rate >= 0.5
+
+    def test_degrade_policy_retries(self, calm_budget):
+        proc = FrameStreamProcessor(
+            config=make_config(),
+            budget_bits=calm_budget,
+            policy="degrade",
+            threshold=0,
+        )
+        records = proc.process([busy_frame(0)])
+        rec = records[0]
+        assert rec.retries > 0
+        assert rec.threshold > 0
+        assert rec.fits or rec.dropped
+
+    def test_degrade_exhaustion_drops(self):
+        proc = FrameStreamProcessor(
+            config=make_config(),
+            budget_bits=100,  # impossible
+            policy="degrade",
+            threshold=0,
+        )
+        records = proc.process([busy_frame(1)])
+        assert records[0].dropped
+
+    def test_invalid_policy(self):
+        with pytest.raises(ConfigError):
+            FrameStreamProcessor(
+                config=make_config(), budget_bits=100, policy="panic"
+            )
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigError):
+            FrameStreamProcessor(config=make_config(), budget_bits=0)
+
+
+class TestWithController:
+    def test_controller_adapts_across_frames(self, calm_budget):
+        controller = AdaptiveThresholdController(budget_bits=calm_budget)
+        proc = FrameStreamProcessor(
+            config=make_config(),
+            budget_bits=calm_budget,
+            policy="drop",
+            controller=controller,
+        )
+        frames = [busy_frame(i) for i in range(4)]
+        records = proc.process(frames)
+        # The controller walks the threshold up across the burst.
+        assert records[-1].threshold >= records[0].threshold
+        assert controller.history  # observations recorded
+
+    def test_calm_stream_stays_lossless(self, calm_budget):
+        controller = AdaptiveThresholdController(budget_bits=int(calm_budget * 1.3))
+        proc = FrameStreamProcessor(
+            config=make_config(),
+            budget_bits=int(calm_budget * 1.3),
+            policy="drop",
+            controller=controller,
+        )
+        records = proc.process([calm_frame(i) for i in range(3)])
+        assert all(not r.dropped for r in records)
+        assert all(r.threshold == 0 for r in records)
+
+    def test_random_noise_stream_saturates(self, rng, calm_budget):
+        controller = AdaptiveThresholdController(budget_bits=calm_budget)
+        proc = FrameStreamProcessor(
+            config=make_config(),
+            budget_bits=calm_budget,
+            policy="drop",
+            controller=controller,
+        )
+        frames = [random_image(rng, 128, 128) for _ in range(len(controller.levels))]
+        proc.process(frames)
+        # Incompressible noise pushes the ladder to its top (the paper's
+        # "random images" failure case).
+        assert controller.saturated

@@ -1,0 +1,128 @@
+"""Unit and property tests for the 1D integer Haar S-transform."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.transform.haar1d import forward_1d, inverse_1d
+from repro.errors import ConfigError
+
+
+class TestForward:
+    def test_constant_signal_has_zero_details(self):
+        low, high = forward_1d(np.full(16, 77))
+        assert np.all(high == 0)
+        assert np.all(low == 77)
+
+    def test_known_pair(self):
+        # H = x0 - x1 = 10 - 4 = 6; L = x1 + H//2 = 4 + 3 = 7
+        low, high = forward_1d(np.array([10, 4]))
+        assert high[0] == 6
+        assert low[0] == 7
+
+    def test_negative_difference_uses_floor_division(self):
+        # H = 4 - 10 = -6; L = 10 + (-6 >> 1) = 10 - 3 = 7
+        low, high = forward_1d(np.array([4, 10]))
+        assert high[0] == -6
+        assert low[0] == 7
+
+    def test_odd_difference_floor(self):
+        # H = 0 - 5 = -5; floor(-5/2) = -3; L = 5 - 3 = 2
+        low, high = forward_1d(np.array([0, 5]))
+        assert high[0] == -5
+        assert low[0] == 2
+
+    def test_axis_selection(self):
+        data = np.arange(24).reshape(4, 6)
+        low0, high0 = forward_1d(data, axis=0)
+        assert low0.shape == (2, 6)
+        low1, high1 = forward_1d(data, axis=1)
+        assert low1.shape == (4, 3)
+
+    def test_low_is_truncated_mean(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, size=100)
+        low, high = forward_1d(data)
+        pairs = data.reshape(-1, 2)
+        # L differs from the true mean by at most one (floor effects).
+        assert np.all(np.abs(low - pairs.mean(axis=1)) <= 1)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ConfigError):
+            forward_1d(np.arange(7))
+
+    def test_float_input_rejected(self):
+        with pytest.raises(ConfigError):
+            forward_1d(np.linspace(0, 1, 8))
+
+
+class TestInverse:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            inverse_1d(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+    def test_interleave_order(self):
+        # x0 occupies even indices, x1 odd indices.
+        out = inverse_1d(np.array([7]), np.array([6]))
+        assert out.tolist() == [10, 4]
+
+
+class TestRoundTrip:
+    @given(
+        hnp.arrays(
+            dtype=np.int32,
+            shape=st.integers(1, 64).map(lambda n: 2 * n),
+            elements=st.integers(-(2**20), 2**20),
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_perfect_reconstruction(self, data):
+        low, high = forward_1d(data)
+        assert np.array_equal(inverse_1d(low, high), data)
+
+    @given(
+        hnp.arrays(
+            dtype=np.int32,
+            shape=st.tuples(st.integers(1, 8), st.integers(1, 16).map(lambda n: 2 * n)),
+            elements=st.integers(0, 255),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_perfect_reconstruction_2d_batch(self, data):
+        low, high = forward_1d(data, axis=-1)
+        assert np.array_equal(inverse_1d(low, high, axis=-1), data)
+
+    @given(
+        hnp.arrays(
+            dtype=np.int32,
+            shape=st.integers(1, 32).map(lambda n: 2 * n),
+            elements=st.integers(0, 255),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_wrapped_roundtrip_exact_for_8bit_inputs(self, data):
+        """Mod-256 datapaths still reconstruct 8-bit pixels exactly."""
+        low, high = forward_1d(data, wrap_bits=8)
+        assert np.all(low >= -128) and np.all(low <= 127)
+        assert np.all(high >= -128) and np.all(high <= 127)
+        out = inverse_1d(low, high, wrap_bits=8)
+        assert np.array_equal(out & 0xFF, data & 0xFF)
+
+
+class TestDetailBounds:
+    @given(
+        hnp.arrays(
+            dtype=np.int32,
+            shape=st.integers(1, 16).map(lambda n: 2 * n),
+            elements=st.integers(0, 255),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_coefficient_ranges_for_8bit_pixels(self, data):
+        low, high = forward_1d(data)
+        assert np.all((high >= -255) & (high <= 255))
+        assert np.all((low >= 0) & (low <= 255))

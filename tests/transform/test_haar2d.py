@@ -1,0 +1,171 @@
+"""Tests for the 2D integer Haar transform and sub-band containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.transform.haar2d import (
+    Subbands,
+    forward_2d,
+    inverse_2d,
+    forward_column_pair,
+    inverse_column_pair,
+    forward_multilevel,
+    inverse_multilevel,
+)
+from repro.errors import ConfigError
+
+images = hnp.arrays(
+    dtype=np.int32,
+    shape=st.tuples(
+        st.integers(1, 8).map(lambda n: 2 * n), st.integers(1, 8).map(lambda n: 2 * n)
+    ),
+    elements=st.integers(0, 255),
+)
+
+
+class TestForward2D:
+    def test_constant_image(self):
+        bands = forward_2d(np.full((8, 8), 100))
+        assert np.all(bands.ll == 100)
+        assert np.all(bands.lh == 0)
+        assert np.all(bands.hl == 0)
+        assert np.all(bands.hh == 0)
+
+    def test_subband_shapes(self):
+        bands = forward_2d(np.zeros((6, 10), dtype=int))
+        assert bands.shape == (3, 5)
+
+    def test_vertical_edge_excites_hl(self):
+        img = np.zeros((8, 8), dtype=int)
+        img[:, 4:] = 200  # vertical edge between columns 3 and 4
+        bands = forward_2d(img)
+        assert np.all(bands.hh == 0)
+        assert np.all(bands.lh == 0)
+        # The edge falls between 2x2 blocks here, so HL stays 0 too...
+        img2 = np.zeros((8, 8), dtype=int)
+        img2[:, 3:] = 200  # edge inside a block
+        bands2 = forward_2d(img2)
+        assert np.any(bands2.hl != 0)
+
+    def test_horizontal_edge_excites_lh(self):
+        img = np.zeros((8, 8), dtype=int)
+        img[3:, :] = 200
+        bands = forward_2d(img)
+        assert np.any(bands.lh != 0)
+        assert np.all(bands.hl == 0)
+
+    def test_odd_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            forward_2d(np.zeros((7, 8), dtype=int))
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ConfigError):
+            forward_2d(np.zeros(8, dtype=int))
+
+
+class TestSubbands:
+    def test_mismatched_shapes_rejected(self):
+        z = np.zeros((2, 2), dtype=np.int32)
+        with pytest.raises(ConfigError):
+            Subbands(ll=z, lh=z, hl=z, hh=np.zeros((2, 3), dtype=np.int32))
+
+    def test_interleave_roundtrip(self):
+        rng = np.random.default_rng(3)
+        bands = forward_2d(rng.integers(0, 256, size=(8, 12)))
+        again = Subbands.from_interleaved(bands.interleaved())
+        assert np.array_equal(again.ll, bands.ll)
+        assert np.array_equal(again.lh, bands.lh)
+        assert np.array_equal(again.hl, bands.hl)
+        assert np.array_equal(again.hh, bands.hh)
+
+    def test_interleaved_layout_parities(self):
+        rng = np.random.default_rng(4)
+        bands = forward_2d(rng.integers(0, 256, size=(4, 4)))
+        plane = bands.interleaved()
+        assert plane[0, 0] == bands.ll[0, 0]
+        assert plane[0, 1] == bands.hl[0, 0]
+        assert plane[1, 0] == bands.lh[0, 0]
+        assert plane[1, 1] == bands.hh[0, 0]
+
+    def test_stacked_order(self):
+        bands = forward_2d(np.full((4, 4), 9))
+        stacked = bands.stacked()
+        assert stacked.shape == (4, 2, 2)
+        assert np.array_equal(stacked[0], bands.ll)
+
+    def test_as_dict_keys(self):
+        bands = forward_2d(np.zeros((4, 4), dtype=int))
+        assert set(bands.as_dict()) == {"LL", "LH", "HL", "HH"}
+
+    def test_from_interleaved_rejects_odd(self):
+        with pytest.raises(ConfigError):
+            Subbands.from_interleaved(np.zeros((3, 4), dtype=int))
+
+
+class TestRoundTrip:
+    @given(images)
+    @settings(max_examples=100, deadline=None)
+    def test_perfect_reconstruction(self, img):
+        assert np.array_equal(inverse_2d(forward_2d(img)), img)
+
+    @given(images)
+    @settings(max_examples=50, deadline=None)
+    def test_wrapped_roundtrip(self, img):
+        bands = forward_2d(img, wrap_bits=8)
+        out = inverse_2d(bands, wrap_bits=8)
+        assert np.array_equal(out & 0xFF, img & 0xFF)
+
+
+class TestColumnPair:
+    def test_matches_forward_2d(self):
+        rng = np.random.default_rng(5)
+        cols = rng.integers(0, 256, size=(16, 2))
+        pair = forward_column_pair(cols)
+        full = forward_2d(cols)
+        assert np.array_equal(pair.ll, full.ll)
+        assert np.array_equal(pair.hh, full.hh)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(6)
+        cols = rng.integers(0, 256, size=(8, 2))
+        assert np.array_equal(inverse_column_pair(forward_column_pair(cols)), cols)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ConfigError):
+            forward_column_pair(np.zeros((8, 3), dtype=int))
+
+    def test_odd_height_rejected(self):
+        with pytest.raises(ConfigError):
+            forward_column_pair(np.zeros((7, 2), dtype=int))
+
+
+class TestMultilevel:
+    def test_level_shapes_halve(self):
+        pyramid = forward_multilevel(np.zeros((16, 16), dtype=int), 3)
+        assert [b.shape for b in pyramid] == [(8, 8), (4, 4), (2, 2)]
+
+    @given(
+        hnp.arrays(dtype=np.int32, shape=(16, 16), elements=st.integers(0, 255)),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_multilevel_roundtrip(self, img, levels):
+        pyramid = forward_multilevel(img, levels)
+        assert np.array_equal(inverse_multilevel(pyramid), img)
+
+    def test_too_many_levels_rejected(self):
+        with pytest.raises(ConfigError):
+            forward_multilevel(np.zeros((4, 4), dtype=int), 4)
+
+    def test_zero_levels_rejected(self):
+        with pytest.raises(ConfigError):
+            forward_multilevel(np.zeros((4, 4), dtype=int), 0)
+
+    def test_empty_pyramid_rejected(self):
+        with pytest.raises(ConfigError):
+            inverse_multilevel([])

@@ -1,0 +1,91 @@
+"""Gate-level Fig 5 / Fig 10 block models vs the vectorised transform."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transform.haar2d import Subbands, forward_2d
+from repro.core.transform.hwmodel import Haar2DBlock, InverseHaar2DBlock
+
+pixels = st.integers(0, 255)
+
+
+class TestForwardBlock:
+    @given(pixels, pixels, pixels, pixels)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_vectorised_transform(self, x00, x01, x10, x11):
+        block = Haar2DBlock()
+        ll, lh, hl, hh = block.forward(x00, x01, x10, x11)
+        bands = forward_2d(np.array([[x00, x01], [x10, x11]]))
+        assert ll == bands.ll[0, 0]
+        assert lh == bands.lh[0, 0]
+        assert hl == bands.hl[0, 0]
+        assert hh == bands.hh[0, 0]
+
+    def test_operation_counts_per_block(self):
+        """One 2D block = four butterflies = 4 adds, 4 subs, 4 shifts."""
+        block = Haar2DBlock()
+        block.forward(1, 2, 3, 4)
+        assert block.ops.adds == 4
+        assert block.ops.subs == 4
+        assert block.ops.shifts == 4
+        assert block.ops.total == 12
+
+    def test_counter_reset(self):
+        block = Haar2DBlock()
+        block.forward(1, 2, 3, 4)
+        block.ops.reset()
+        assert block.ops.total == 0
+
+    def test_constant_block(self):
+        ll, lh, hl, hh = Haar2DBlock().forward(9, 9, 9, 9)
+        assert (ll, lh, hl, hh) == (9, 0, 0, 0)
+
+
+class TestInverseBlock:
+    @given(pixels, pixels, pixels, pixels)
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, x00, x01, x10, x11):
+        fwd = Haar2DBlock()
+        inv = InverseHaar2DBlock()
+        coeffs = fwd.forward(x00, x01, x10, x11)
+        assert inv.inverse(*coeffs) == (x00, x01, x10, x11)
+
+    @given(pixels, pixels, pixels, pixels)
+    @settings(max_examples=100, deadline=None)
+    def test_wrapped_roundtrip(self, x00, x01, x10, x11):
+        fwd = Haar2DBlock(wrap_bits=8)
+        inv = InverseHaar2DBlock(wrap_bits=8)
+        coeffs = fwd.forward(x00, x01, x10, x11)
+        out = inv.inverse(*coeffs)
+        assert tuple(v & 0xFF for v in out) == (x00, x01, x10, x11)
+
+    def test_inverse_op_counts(self):
+        inv = InverseHaar2DBlock()
+        inv.inverse(10, 0, 0, 0)
+        assert inv.ops.total == 12
+
+
+class TestBlockGridEquivalence:
+    def test_block_grid_equals_whole_image_transform(self):
+        """Tiling Fig 5 blocks over an image equals the separable transform."""
+        rng = np.random.default_rng(11)
+        img = rng.integers(0, 256, size=(8, 10))
+        block = Haar2DBlock()
+        plane = np.zeros_like(img)
+        for i in range(0, 8, 2):
+            for j in range(0, 10, 2):
+                ll, lh, hl, hh = block.forward(
+                    int(img[i, j]), int(img[i, j + 1]),
+                    int(img[i + 1, j]), int(img[i + 1, j + 1]),
+                )
+                plane[i, j], plane[i, j + 1] = ll, hl
+                plane[i + 1, j], plane[i + 1, j + 1] = lh, hh
+        expected = forward_2d(img).interleaved()
+        assert np.array_equal(plane, expected)
+        # Sanity: round-trip through the container too.
+        assert np.array_equal(
+            Subbands.from_interleaved(plane).ll, forward_2d(img).ll
+        )

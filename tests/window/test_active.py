@@ -1,0 +1,73 @@
+"""Tests for the active-window shift-register model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.window.active import ActiveWindow
+from repro.errors import ConfigError, StateError
+
+
+class TestActiveWindow:
+    def test_shift_moves_columns_right(self):
+        win = ActiveWindow(3)
+        win.shift_in(np.array([1, 2, 3]))
+        win.shift_in(np.array([4, 5, 6]))
+        contents = win.contents
+        assert contents[:, 0].tolist() == [4, 5, 6]  # newest on the left
+        assert contents[:, 1].tolist() == [1, 2, 3]
+
+    def test_exiting_column(self):
+        win = ActiveWindow(2)
+        win.shift_in(np.array([1, 2]))
+        win.shift_in(np.array([3, 4]))
+        exiting = win.shift_in(np.array([5, 6]))
+        assert exiting.tolist() == [1, 2]
+
+    def test_full_flag(self):
+        win = ActiveWindow(2)
+        assert not win.full
+        win.shift_in(np.array([1, 2]))
+        assert not win.full
+        win.shift_in(np.array([3, 4]))
+        assert win.full
+
+    def test_rightmost_column(self):
+        win = ActiveWindow(2)
+        win.shift_in(np.array([1, 2]))
+        win.shift_in(np.array([3, 4]))
+        assert win.rightmost_column.tolist() == [1, 2]
+
+    def test_load_row0_overwrites_input_register(self):
+        win = ActiveWindow(2)
+        win.shift_in(np.array([1, 2]))
+        win.load_row0(99)
+        assert win.contents[0, 0] == 99
+        assert win.contents[1, 0] == 2
+
+    def test_load_row0_before_shift_rejected(self):
+        with pytest.raises(StateError):
+            ActiveWindow(2).load_row0(1)
+
+    def test_wrong_column_shape_rejected(self):
+        with pytest.raises(ConfigError):
+            ActiveWindow(3).shift_in(np.array([1, 2]))
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ConfigError):
+            ActiveWindow(0)
+
+    def test_reset(self):
+        win = ActiveWindow(2)
+        win.shift_in(np.array([1, 2]))
+        win.reset()
+        assert not win.full
+        assert np.all(win.contents == 0)
+
+    def test_contents_is_copy(self):
+        win = ActiveWindow(2)
+        win.shift_in(np.array([1, 2]))
+        c = win.contents
+        c[:] = 77
+        assert win.contents[0, 0] != 77

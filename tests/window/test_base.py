@@ -1,0 +1,57 @@
+"""Tests for the shared engine base types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.window.base import EngineStats, WindowRun, pad_to_same
+
+
+class TestEngineStats:
+    def test_total_cycles(self):
+        stats = EngineStats(fill_cycles=10, process_cycles=90, drain_cycles=5)
+        assert stats.total_cycles == 105
+
+    def test_cycles_per_output(self):
+        stats = EngineStats(process_cycles=100, outputs=50)
+        assert stats.cycles_per_output == 2.0
+
+    def test_cycles_per_output_no_outputs(self):
+        assert EngineStats().cycles_per_output == float("inf")
+
+    def test_memory_saving_zero_reference(self):
+        assert EngineStats(buffer_bits_peak=10).memory_saving_percent == 0.0
+
+    def test_memory_saving(self):
+        stats = EngineStats(buffer_bits_peak=25, traditional_buffer_bits=100)
+        assert stats.memory_saving_percent == 75.0
+
+    def test_negative_saving_possible(self):
+        stats = EngineStats(buffer_bits_peak=150, traditional_buffer_bits=100)
+        assert stats.memory_saving_percent == -50.0
+
+
+class TestWindowRun:
+    def test_defaults(self):
+        run = WindowRun(outputs=np.zeros((2, 2)), stats=EngineStats())
+        assert run.reconstruction is None
+
+
+class TestPadToSame:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 8])
+    def test_restores_size(self, n):
+        valid = np.ones((16 - n + 1, 20 - n + 1))
+        assert pad_to_same(valid, n).shape == (16, 20)
+
+    def test_edge_mode_replicates(self):
+        valid = np.array([[5.0]])
+        out = pad_to_same(valid, 3)
+        assert out.shape == (3, 3)
+        assert np.all(out == 5.0)
+
+    def test_constant_mode(self):
+        valid = np.array([[5.0]])
+        out = pad_to_same(valid, 3, mode="constant")
+        assert out[0, 0] == 0.0
+        assert out[1, 1] == 5.0

@@ -1,0 +1,102 @@
+"""Tests for same-size output boundary handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ArchitectureConfig, CompressedEngine, TraditionalEngine
+from repro.core.window.boundary import SameSizeEngine, pad_image
+from repro.core.window.golden import golden_apply
+from repro.errors import ConfigError
+from repro.kernels import BoxFilterKernel
+
+from helpers import random_image
+
+
+def cfg(**kw):
+    defaults = dict(image_width=32, image_height=24, window_size=8)
+    defaults.update(kw)
+    return ArchitectureConfig(**defaults)
+
+
+class TestPadImage:
+    def test_pad_amounts(self):
+        img = np.zeros((24, 32), dtype=int)
+        padded, top, left = pad_image(img, 8, "edge")
+        # 24 + 7 = 31 -> +1 to keep even; same for 32 + 7.
+        assert padded.shape == (32, 40)
+        assert top == 3 and left == 3
+
+    def test_modes(self):
+        img = np.arange(16).reshape(4, 4)
+        for mode in ("edge", "reflect", "constant"):
+            padded, _, _ = pad_image(img, 4, mode)
+            assert padded.shape[0] >= 7
+
+    def test_constant_zero_fill(self):
+        img = np.full((4, 4), 9)
+        padded, top, left = pad_image(img, 4, "constant")
+        assert padded[0, 0] == 0
+
+    def test_bad_mode(self):
+        with pytest.raises(ConfigError):
+            pad_image(np.zeros((4, 4)), 4, "wrap")
+
+
+class TestSameSizeEngine:
+    @pytest.mark.parametrize("engine_cls", [TraditionalEngine, CompressedEngine])
+    def test_output_matches_input_size(self, rng, engine_cls):
+        config = cfg()
+        img = random_image(rng, 24, 32)
+        run = SameSizeEngine(config, BoxFilterKernel(8), engine_cls).run(img)
+        assert run.outputs.shape == (24, 32)
+
+    def test_interior_matches_valid_region(self, rng):
+        """Away from borders, padding must not change any output."""
+        config = cfg()
+        img = random_image(rng, 24, 32)
+        same = SameSizeEngine(config, BoxFilterKernel(8), TraditionalEngine).run(img)
+        valid = golden_apply(img, 8, BoxFilterKernel(8))
+        top = (8 - 1) // 2
+        interior = same.outputs[top : top + valid.shape[0], top : top + valid.shape[1]]
+        assert np.allclose(interior, valid)
+
+    def test_reconstruction_cropped_to_input(self, rng):
+        config = cfg()
+        img = random_image(rng, 24, 32)
+        run = SameSizeEngine(config, BoxFilterKernel(8), CompressedEngine).run(img)
+        assert run.reconstruction is not None
+        assert run.reconstruction.shape == (24, 32)
+        assert np.array_equal(run.reconstruction, img)  # lossless
+
+    def test_edge_vs_constant_differ_at_border(self, rng):
+        config = cfg()
+        img = random_image(rng, 24, 32, smooth=True) + 50
+        img = np.clip(img, 0, 255)
+        edge = SameSizeEngine(
+            config, BoxFilterKernel(8), TraditionalEngine, mode="edge"
+        ).run(img)
+        const = SameSizeEngine(
+            config, BoxFilterKernel(8), TraditionalEngine, mode="constant"
+        ).run(img)
+        assert not np.allclose(edge.outputs[0], const.outputs[0])
+        # but interiors agree
+        assert np.allclose(edge.outputs[10:14, 10:14], const.outputs[10:14, 10:14])
+
+    def test_engine_kwargs_forwarded(self, rng):
+        config = cfg(threshold=4)
+        img = random_image(rng, 24, 32, smooth=True)
+        run = SameSizeEngine(
+            config, BoxFilterKernel(8), CompressedEngine, recirculate=False
+        ).run(img)
+        assert run.outputs.shape == (24, 32)
+
+    def test_wrong_shape_rejected(self, rng):
+        engine = SameSizeEngine(cfg(), BoxFilterKernel(8), TraditionalEngine)
+        with pytest.raises(ConfigError):
+            engine.run(random_image(rng, 24, 30))
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            SameSizeEngine(cfg(), BoxFilterKernel(8), TraditionalEngine, mode="wrap")

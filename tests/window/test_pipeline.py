@@ -1,0 +1,105 @@
+"""Tests for multi-stage sliding-window pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ArchitectureConfig, PipelineStage, SlidingWindowPipeline
+from repro.core.window.golden import golden_apply
+from repro.errors import ConfigError
+from repro.imaging import generate_scene
+from repro.kernels import BoxFilterKernel, GaussianKernel, SobelMagnitudeKernel
+
+from helpers import random_image
+
+
+def base_cfg(**kw):
+    defaults = dict(image_width=48, image_height=48, window_size=4)
+    defaults.update(kw)
+    return ArchitectureConfig(**defaults)
+
+
+class TestPipelineExecution:
+    def test_two_stage_lossless_matches_manual_composition(self, rng):
+        img = random_image(rng, 48, 48)
+        stages = [
+            PipelineStage(kernel=BoxFilterKernel(4), window_size=4),
+            PipelineStage(kernel=SobelMagnitudeKernel(4), window_size=4),
+        ]
+        result = SlidingWindowPipeline(base_cfg(), stages, compressed=True).run(img)
+        # Manual composition with the same inter-stage quantisation and
+        # even-padding (valid maps have odd sides for even W and N).
+        mid = golden_apply(img, 4, BoxFilterKernel(4))
+        mid_q = np.clip(np.rint(mid), 0, 255).astype(np.int64)
+        mid_q = np.pad(mid_q, ((0, 1), (0, 1)), mode="edge")
+        expected = golden_apply(mid_q, 4, SobelMagnitudeKernel(4))
+        assert np.allclose(result.outputs, expected)
+
+    def test_output_shrinks_per_stage(self, rng):
+        img = random_image(rng, 48, 48)
+        stages = [
+            PipelineStage(kernel=BoxFilterKernel(4), window_size=4),
+            PipelineStage(kernel=BoxFilterKernel(6), window_size=6),
+        ]
+        result = SlidingWindowPipeline(base_cfg(), stages).run(img)
+        assert result.stages[0].run.outputs.shape == (45, 45)
+        # Stage 2 input is even-padded to 46x46, so output is 41x41.
+        assert result.outputs.shape == (41, 41)
+
+    def test_traditional_vs_compressed_same_outputs_lossless(self, rng):
+        img = random_image(rng, 48, 48)
+        stages = [
+            PipelineStage(kernel=BoxFilterKernel(4), window_size=4),
+            PipelineStage(kernel=BoxFilterKernel(4), window_size=4),
+        ]
+        comp = SlidingWindowPipeline(base_cfg(), stages, compressed=True).run(img)
+        trad = SlidingWindowPipeline(base_cfg(), stages, compressed=False).run(img)
+        assert np.allclose(comp.outputs, trad.outputs)
+
+    def test_aggregate_buffer_accounting(self):
+        img = generate_scene(seed=4, resolution=64).astype(np.int64)
+        cfg = base_cfg(image_width=64, image_height=64, threshold=6)
+        stages = [
+            PipelineStage(kernel=GaussianKernel(1.5, 8), window_size=8),
+            PipelineStage(kernel=BoxFilterKernel(8), window_size=8),
+        ]
+        comp = SlidingWindowPipeline(cfg, stages, compressed=True).run(img)
+        trad = SlidingWindowPipeline(cfg, stages, compressed=False).run(img)
+        assert comp.total_traditional_bits == trad.total_traditional_bits
+        assert trad.total_buffer_bits == trad.total_traditional_bits
+        assert trad.memory_saving_percent == 0.0
+        # Smooth scene + lossy threshold: the cascade buffers fewer bits.
+        assert comp.total_buffer_bits < comp.total_traditional_bits
+        assert comp.memory_saving_percent > 0.0
+
+    def test_per_stage_threshold_override(self, rng):
+        img = random_image(rng, 48, 48, smooth=True)
+        stages = [
+            PipelineStage(kernel=BoxFilterKernel(4), window_size=4, threshold=6),
+            PipelineStage(kernel=BoxFilterKernel(4), window_size=4, threshold=0),
+        ]
+        result = SlidingWindowPipeline(base_cfg(), stages).run(img)
+        assert result.stages[0].config.threshold == 6
+        assert result.stages[1].config.threshold == 0
+
+
+class TestValidation:
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ConfigError):
+            SlidingWindowPipeline(base_cfg(), [])
+
+    def test_oversized_stage_window_rejected(self, rng):
+        img = random_image(rng, 48, 48)
+        stages = [
+            PipelineStage(kernel=BoxFilterKernel(40), window_size=40),
+            PipelineStage(kernel=BoxFilterKernel(40), window_size=40),
+        ]
+        with pytest.raises(ConfigError):
+            SlidingWindowPipeline(base_cfg(), stages).run(img)
+
+    def test_float_input_quantised(self):
+        img = np.full((48, 48), 100.4)
+        stages = [PipelineStage(kernel=BoxFilterKernel(4), window_size=4)]
+        result = SlidingWindowPipeline(base_cfg(), stages).run(img)
+        assert np.allclose(result.outputs, 100.0)

@@ -1,0 +1,84 @@
+"""Tests for the pixel-level streaming simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ArchitectureConfig, CompressedEngine, TraditionalEngine
+from repro.core.window.stream import PixelStreamSimulator
+from repro.kernels import BoxFilterKernel, MedianKernel
+
+from helpers import random_image
+
+
+def cfg(**kw):
+    defaults = dict(image_width=16, image_height=14, window_size=4)
+    defaults.update(kw)
+    return ArchitectureConfig(**defaults)
+
+
+class TestStreamEquivalence:
+    @pytest.mark.parametrize("threshold", [0, 2, 6])
+    def test_bit_identical_to_fast_engine(self, rng, threshold):
+        """The pixel-level dataflow reproduces the band engine exactly —
+        lossless and lossy."""
+        config = cfg(threshold=threshold)
+        img = random_image(rng, 14, 16)
+        kernel = BoxFilterKernel(4)
+        sim = PixelStreamSimulator(config, kernel).run(img)
+        fast = CompressedEngine(config, kernel).run(img)
+        assert np.allclose(sim.outputs, fast.outputs)
+        assert np.array_equal(sim.reconstruction, fast.reconstruction)
+
+    def test_lossless_matches_traditional(self, rng):
+        config = cfg()
+        img = random_image(rng, 14, 16)
+        kernel = MedianKernel(4)
+        sim = PixelStreamSimulator(config, kernel).run(img)
+        trad = TraditionalEngine(config, kernel).run(img)
+        assert np.allclose(sim.outputs, trad.outputs)
+
+    def test_wrapped_datapath(self, rng):
+        config = cfg(coefficient_bits=8, wrap_coefficients=True)
+        img = random_image(rng, 14, 16)
+        kernel = BoxFilterKernel(4)
+        sim = PixelStreamSimulator(config, kernel).run(img)
+        trad = TraditionalEngine(config, kernel).run(img)
+        assert np.allclose(sim.outputs, trad.outputs)
+
+
+class TestDataflowInvariants:
+    def test_no_underflow_and_ordered_pops(self, rng):
+        """Completing a run without StateError is the causality proof —
+        the simulator checks order and availability at every pop."""
+        config = cfg(image_width=20, image_height=18, window_size=6)
+        img = random_image(rng, 18, 20)
+        PixelStreamSimulator(config, BoxFilterKernel(6)).run(img)
+
+    def test_fifo_peak_bounded_by_one_generation(self, rng):
+        """At most one traversal's worth of records is ever resident."""
+        config = cfg()
+        img = random_image(rng, 14, 16)
+        sim = PixelStreamSimulator(config, BoxFilterKernel(4))
+        sim.run(img)
+        assert sim.fifo_peak <= config.image_width
+
+    def test_bits_peak_tracks_compression(self, rng):
+        """Smooth input keeps fewer resident bits than noise."""
+        config = cfg(image_width=32, image_height=16, window_size=4, threshold=6)
+        noise = random_image(rng, 16, 32)
+        smooth = random_image(rng, 16, 32, smooth=True)
+        sim_n = PixelStreamSimulator(config, BoxFilterKernel(4))
+        sim_n.run(noise)
+        sim_s = PixelStreamSimulator(config, BoxFilterKernel(4))
+        sim_s.run(smooth)
+        assert sim_s.bits_peak < sim_n.bits_peak
+
+    def test_stats_fields(self, rng):
+        config = cfg()
+        img = random_image(rng, 14, 16)
+        run = PixelStreamSimulator(config, BoxFilterKernel(4)).run(img)
+        assert run.stats.outputs == 11 * 13
+        assert run.stats.pixels_in == 14 * 16
+        assert run.stats.buffer_bits_peak > 0
