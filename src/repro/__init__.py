@@ -60,6 +60,13 @@ from .core.window import (
     WindowRun,
 )
 from .core.video import FrameRecord, FrameStreamProcessor
+from .resilience import (
+    EngineFaultSummary,
+    FaultInjector,
+    ProtectionPolicy,
+    ResilientBandCodec,
+    resolve_policy,
+)
 
 __version__ = "1.0.0"
 
@@ -95,5 +102,10 @@ __all__ = [
     "SameSizeEngine",
     "FrameRecord",
     "FrameStreamProcessor",
+    "EngineFaultSummary",
+    "FaultInjector",
+    "ProtectionPolicy",
+    "ResilientBandCodec",
+    "resolve_policy",
     "__version__",
 ]

@@ -7,6 +7,8 @@
 - :mod:`repro.analysis.sweep` — multiprocessing parameter sweeps.
 - :mod:`repro.analysis.experiments` — one entry point per paper artifact
   (Fig 3, Fig 13, Tables I-X, the MSE sweep, ablations, throughput).
+- :mod:`repro.analysis.faults` — the soft-error injection campaign over
+  the protected memory path.
 """
 
 from .ci import mean_confidence_interval, ConfidenceInterval
@@ -16,6 +18,12 @@ from .coding import coding_efficiency, CodingEfficiencyReport, empirical_entropy
 from .sensitivity import sensitivity_sweep, SensitivityResult
 from .validation import validate_engines, ValidationReport
 from .tradeoff import bram_lut_tradeoff, TradeoffResult
+from .faults import (
+    fault_campaign,
+    measured_storage_overhead,
+    FaultCampaignPoint,
+    FaultCampaignResult,
+)
 
 __all__ = [
     "mean_confidence_interval",
@@ -31,4 +39,8 @@ __all__ = [
     "ValidationReport",
     "bram_lut_tradeoff",
     "TradeoffResult",
+    "fault_campaign",
+    "measured_storage_overhead",
+    "FaultCampaignPoint",
+    "FaultCampaignResult",
 ]

@@ -12,6 +12,7 @@ artifact can be regenerated from a shell::
     repro dataset --out /tmp/scenes --resolution 512
     repro headline
     repro ablation wavelets
+    repro fault-campaign --schemes none secded --rates 1e-3
 """
 
 from __future__ import annotations
@@ -100,6 +101,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--width", type=int, default=512)
     p_tr.add_argument("--threshold", type=int, default=6)
     p_tr.add_argument("--images", type=int, default=3)
+
+    p_fc = sub.add_parser(
+        "fault-campaign", help="SEU injection sweep over protection schemes"
+    )
+    p_fc.add_argument("--resolution", type=int, default=96)
+    p_fc.add_argument("--window", type=int, default=8)
+    p_fc.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        choices=("none", "parity", "tmr-nbits", "secded"),
+        help="protection levels to sweep (default: all)",
+    )
+    p_fc.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=(1e-4, 1e-3),
+        help="per-bit upset probabilities",
+    )
+    p_fc.add_argument(
+        "--thresholds",
+        type=int,
+        nargs="+",
+        default=(0,),
+        help="compression thresholds to sweep",
+    )
+    p_fc.add_argument(
+        "--flips-per-word",
+        type=int,
+        default=None,
+        help="exactly-k mode: flip k bits in every stored word",
+    )
+    p_fc.add_argument("--seed", type=int, default=0)
+    p_fc.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast sweep (none vs secded at one rate)",
+    )
 
     p_rep = sub.add_parser("report", help="one-shot reproduction report")
     p_rep.add_argument("--resolution", type=int, default=512)
@@ -228,6 +268,30 @@ def main(argv: list[str] | None = None) -> int:
                 width=args.width, threshold=args.threshold, n_images=args.images
             ).render()
         )
+    elif args.command == "fault-campaign":
+        from .analysis.faults import DEFAULT_SCHEMES, fault_campaign
+
+        if args.smoke:
+            result = fault_campaign(
+                resolution=48,
+                window=4,
+                schemes=("none", "secded"),
+                upset_rates=(1e-3,),
+                thresholds=(0,),
+                flips_per_word=args.flips_per_word,
+                seed=args.seed,
+            )
+        else:
+            result = fault_campaign(
+                resolution=args.resolution,
+                window=args.window,
+                schemes=tuple(args.schemes) if args.schemes else DEFAULT_SCHEMES,
+                upset_rates=tuple(args.rates),
+                thresholds=tuple(args.thresholds),
+                flips_per_word=args.flips_per_word,
+                seed=args.seed,
+            )
+        print(result.render())
     elif args.command == "report":
         from .analysis.report import ReportOptions, full_report
 

@@ -72,6 +72,9 @@ class WindowRun:
     #: Reconstructed image as seen by the processing kernel (compressed
     #: engines only; ``None`` for engines that operate on raw pixels).
     reconstruction: np.ndarray | None = None
+    #: Fault-injection outcome (:class:`repro.resilience.EngineFaultSummary`)
+    #: when the engine ran with a protected/injected memory path.
+    faults: object | None = None
 
 
 class SlidingWindowEngine(ABC):

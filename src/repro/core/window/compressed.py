@@ -26,9 +26,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from math import ceil
+
 from ...config import ArchitectureConfig
-from ...errors import CapacityError
+from ...errors import CapacityError, ConfigError
 from ...kernels.base import WindowKernel, as_kernel
+from ...resilience.band import EngineFaultSummary, ResilientBandCodec
+from ...resilience.injector import FaultInjector
+from ...resilience.protection import ProtectionPolicy, resolve_policy
 from ..packing.hw_pack import BitPackingUnit, PackedWord
 from ..packing.hw_unpack import BitUnpackingUnit
 from ..packing.nbits import NBitsGateModel
@@ -52,6 +57,9 @@ class CompressedEngine(SlidingWindowEngine):
         bit_exact: bool = False,
         memory_budget_bits: int | None = None,
         memory_plan=None,
+        protection: ProtectionPolicy | str | None = None,
+        injector: FaultInjector | None = None,
+        fault_policy: str = "degrade",
     ) -> None:
         super().__init__(config, kernel)
         self.recirculate = recirculate
@@ -64,7 +72,30 @@ class CompressedEngine(SlidingWindowEngine):
         #: :class:`~repro.errors.CapacityError` naming the group, exactly
         #: the Section V.E failure mode.
         self.memory_plan = memory_plan
+        if fault_policy not in ("degrade", "raise"):
+            raise ConfigError(
+                f"fault_policy must be 'degrade' or 'raise', got {fault_policy!r}"
+            )
+        #: Memory-path protection level; the line buffers are stored through
+        #: the scheme's code words and occupancy accounting carries its
+        #: storage overhead.
+        self.protection = resolve_policy(protection)
+        #: Optional SEU injector; with ``fault_policy="degrade"`` a
+        #: detected-but-uncorrectable word triggers column re-sync
+        #: (zero-fill plus corrupted-pixel counting) instead of raising.
+        self.injector = injector
+        self.fault_policy = fault_policy
         self._codec = BandCodec(config)
+        self._resilient: ResilientBandCodec | None = None
+        if injector is not None or not self.protection.is_trivial:
+            self._resilient = ResilientBandCodec(
+                config,
+                self.protection,
+                injector=injector,
+                on_uncorrectable="resync" if fault_policy == "degrade" else "raise",
+            )
+        #: Fault outcome of the most recent :meth:`run` (protected path only).
+        self.fault_summary: EngineFaultSummary | None = None
 
     def _roundtrip(self, band: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
         """Compress+reconstruct one band.
@@ -125,6 +156,21 @@ class CompressedEngine(SlidingWindowEngine):
         peak = 0
         prev_cols: np.ndarray | None = None
         prev_widths: np.ndarray | None = None
+        resilient = self._resilient
+        faults = (
+            EngineFaultSummary(policy_name=self.protection.name)
+            if resilient is not None
+            else None
+        )
+        self.fault_summary = faults
+        # Stored-size scaling of the protected memory path: payload bits
+        # expand by the payload scheme; the per-column management cost by
+        # the NBits / BitMap schemes.
+        payload_expansion = self.protection.payload.expansion
+        mgmt_stored = ceil(
+            2 * cfg.nbits_field_width * self.protection.nbits.expansion
+            + n * self.protection.bitmap.expansion
+        )
 
         # State entering traversal y = rows y-n+1..y-1 reconstructed on the
         # previous traversal plus the raw new row y.  The first traversal
@@ -135,8 +181,17 @@ class CompressedEngine(SlidingWindowEngine):
             # Kernel outputs for this traversal come from the current state.
             out_rows.append(golden_apply(state, n, self.kernel)[0])
             reconstruction[y - n + 1 : y + 1] = state
-            decoded, widths, mgmt = self._roundtrip(state)
-            cols = widths.sum(axis=0)
+            if resilient is not None:
+                decoded, report, encoded = resilient.roundtrip(state)
+                faults.add(y, report)
+                widths = encoded.widths
+                mgmt = mgmt_stored
+                cols = np.ceil(
+                    widths.sum(axis=0) * payload_expansion
+                ).astype(np.int64)
+            else:
+                decoded, widths, mgmt = self._roundtrip(state)
+                cols = widths.sum(axis=0)
             band_totals.append(int(cols.sum()) + mgmt * (w - n))
             reference = cols if prev_cols is None else prev_cols
             occ = sliding_occupancy(reference, cols, n, mgmt)
@@ -169,7 +224,12 @@ class CompressedEngine(SlidingWindowEngine):
             traditional_buffer_bits=cfg.traditional_buffer_bits,
             band_total_bits=band_totals,
         )
-        return WindowRun(outputs=outputs, stats=stats, reconstruction=reconstruction)
+        return WindowRun(
+            outputs=outputs,
+            stats=stats,
+            reconstruction=reconstruction,
+            faults=faults,
+        )
 
 
 class CompressedCycleEngine(SlidingWindowEngine):

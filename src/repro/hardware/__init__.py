@@ -28,7 +28,12 @@ from .mapping import (
     plan_memory_mapping,
 )
 from .memory_unit import MemoryUnit
-from .resources import ResourceEstimate, ResourceModel, BLOCK_ANCHORS
+from .resources import (
+    ResourceEstimate,
+    ResourceModel,
+    BLOCK_ANCHORS,
+    protection_resources,
+)
 from .device import FPGADevice, DEVICES, XC7Z020
 from .ecc import SecdedCodec
 from .latency import (
@@ -56,6 +61,7 @@ __all__ = [
     "ResourceEstimate",
     "ResourceModel",
     "BLOCK_ANCHORS",
+    "protection_resources",
     "FPGADevice",
     "DEVICES",
     "XC7Z020",

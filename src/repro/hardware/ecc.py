@@ -38,6 +38,12 @@ class SecdedCodec:
         self.hamming_parity_bits = r
         #: Total code word width including the overall parity bit.
         self.code_bits = data_bits + r + 1
+        # Check matrix for the vectorised block path: check k covers every
+        # 1-based position whose binary expansion has bit k set.
+        total = data_bits + r
+        positions = np.arange(1, total + 1)
+        self._checks = ((positions[None, :] & _parity_positions(r)[:, None]) != 0)
+        self._check_weights = _parity_positions(r).astype(np.int64)
 
     # ------------------------------------------------------------------
 
@@ -107,6 +113,68 @@ class SecdedCodec:
             # Even flips with non-zero syndrome -> double error.
             raise BitstreamError("SECDED double-bit error detected")
         return payload[data_pos].astype(np.uint8), corrected
+
+    # ------------------------------------------------------------------
+    # Vectorised block path (fault-injection campaigns encode/decode many
+    # thousands of words per band; the scalar path above stays as the
+    # reference the block path is property-tested against).
+    # ------------------------------------------------------------------
+
+    def encode_block(self, data_words: np.ndarray) -> np.ndarray:
+        """Encode ``(n_words, data_bits)`` 0/1 flags into code words at once.
+
+        Equivalent to calling :meth:`encode` per row (property-tested).
+        """
+        words = np.atleast_2d(np.asarray(data_words, dtype=np.uint8))
+        if words.shape[1] != self.data_bits:
+            raise ConfigError(
+                f"expected {self.data_bits} data bits per word, got {words.shape[1]}"
+            )
+        data_pos, parity_pos = self._layout()
+        total = self.data_bits + self.hamming_parity_bits
+        payload = np.zeros((words.shape[0], total), dtype=np.uint8)
+        payload[:, data_pos - 1] = words
+        # Parity positions are powers of two, so no check covers another
+        # parity bit: the parities can be computed over the data bits alone.
+        parities = (payload @ self._checks.T.astype(np.uint8)) % 2
+        payload[:, parity_pos - 1] = parities
+        overall = payload.sum(axis=1, dtype=np.int64) % 2
+        return np.concatenate([payload, overall[:, None].astype(np.uint8)], axis=1)
+
+    def decode_block(
+        self, code_words: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Decode ``(n_words, code_bits)`` words; never raises.
+
+        Returns ``(data_words, corrected, uncorrectable)`` where the two
+        masks are per-word booleans.  Single flips are corrected in place;
+        words flagged *uncorrectable* (double errors, or a syndrome pointing
+        outside the word) return their raw — possibly corrupt — data bits so
+        the caller can decide between re-sync and raising.
+        """
+        words = np.atleast_2d(np.asarray(code_words, dtype=np.uint8))
+        if words.shape[1] != self.code_bits:
+            raise ConfigError(
+                f"expected {self.code_bits} code bits per word, got {words.shape[1]}"
+            )
+        total = self.data_bits + self.hamming_parity_bits
+        payload = words[:, :total].copy()
+        overall_stored = words[:, total].astype(np.int64)
+        syndrome = (
+            ((payload @ self._checks.T.astype(np.uint8)) % 2).astype(np.int64)
+            @ self._check_weights
+        )
+        overall_now = (payload.sum(axis=1, dtype=np.int64) + overall_stored) % 2
+
+        single = overall_now == 1
+        # Syndrome 0 with odd overall parity: the overall bit itself flipped.
+        fixable = single & (syndrome > 0) & (syndrome <= total)
+        rows = np.flatnonzero(fixable)
+        payload[rows, syndrome[rows] - 1] ^= 1
+        uncorrectable = (single & (syndrome > total)) | (~single & (syndrome != 0))
+        corrected = single & ~uncorrectable
+        data_pos, _ = self._layout()
+        return payload[:, data_pos - 1], corrected, uncorrectable
 
     # ------------------------------------------------------------------
 

@@ -4,12 +4,17 @@ The hardware maps each FIFO onto one or more BRAMs; the model enforces the
 provisioned capacity and records the high-water mark, which is how the
 "bad frame overflows the memory unit" failure mode of Section V.E
 surfaces as a :class:`~repro.errors.CapacityError` in simulation.
+
+For soft-error studies a ``fault_hook`` can be attached: it sees every
+entry as it leaves the FIFO (name, item, bit cost) and may return a
+corrupted replacement — the injection point where a real SEU would strike
+resident BRAM contents.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Generic, TypeVar
+from typing import Callable, Generic, TypeVar
 
 from ..errors import CapacityError, ConfigError
 
@@ -22,14 +27,26 @@ class Fifo(Generic[T]):
     ``capacity`` is measured in entries; entries may carry a ``bits`` cost
     via :meth:`push`'s keyword, letting one object model a bit-granular
     buffer (the packed-pixel FIFOs) or an entry-granular one (NBits,
-    BitMap).
+    BitMap).  An optional ``bit_capacity`` additionally bounds the summed
+    bit cost — the BRAM allocation of a packed group.
     """
 
-    def __init__(self, capacity: int, *, name: str = "fifo") -> None:
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        name: str = "fifo",
+        bit_capacity: int | None = None,
+        fault_hook: Callable[[str, T, int], T] | None = None,
+    ) -> None:
         if capacity < 1:
             raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if bit_capacity is not None and bit_capacity < 1:
+            raise ConfigError(f"bit_capacity must be >= 1, got {bit_capacity}")
         self.capacity = capacity
+        self.bit_capacity = bit_capacity
         self.name = name
+        self.fault_hook = fault_hook
         self._entries: deque[tuple[T, int]] = deque()
         self._bits = 0
         self.peak_entries = 0
@@ -55,10 +72,23 @@ class Fifo(Generic[T]):
         return len(self._entries) >= self.capacity
 
     def push(self, item: T, *, bits: int = 1) -> None:
-        """Enqueue ``item``; raises :class:`CapacityError` when full."""
+        """Enqueue ``item``; raises :class:`CapacityError` when full.
+
+        The error message names the FIFO, its capacity and the offending
+        push so overflow diagnostics do not depend on the caller adding
+        context.
+        """
+        if bits < 0:
+            raise ConfigError(f"{self.name}: negative bit cost {bits}")
         if self.full:
             raise CapacityError(
-                f"{self.name}: push onto full FIFO (capacity {self.capacity})"
+                f"{self.name}: push of {bits} bit(s) onto full FIFO — "
+                f"{len(self._entries)}/{self.capacity} entries resident"
+            )
+        if self.bit_capacity is not None and self._bits + bits > self.bit_capacity:
+            raise CapacityError(
+                f"{self.name}: push of {bits} bit(s) overflows bit capacity "
+                f"{self.bit_capacity} ({self._bits} bits resident)"
             )
         self._entries.append((item, bits))
         self._bits += bits
@@ -67,11 +97,17 @@ class Fifo(Generic[T]):
         self.peak_bits = max(self.peak_bits, self._bits)
 
     def pop(self) -> T:
-        """Dequeue the oldest entry; raises :class:`CapacityError` when empty."""
+        """Dequeue the oldest entry; raises :class:`CapacityError` when empty.
+
+        When a ``fault_hook`` is attached the entry passes through it on the
+        way out, modelling upsets accumulated while resident.
+        """
         if not self._entries:
             raise CapacityError(f"{self.name}: pop from empty FIFO")
         item, bits = self._entries.popleft()
         self._bits -= bits
+        if self.fault_hook is not None:
+            item = self.fault_hook(self.name, item, bits)
         return item
 
     def clear(self) -> None:

@@ -89,17 +89,25 @@ def packed_bram_count(
     return count, 1
 
 
-def management_bram_count(config: ArchitectureConfig) -> int:
+def management_bram_count(
+    config: ArchitectureConfig,
+    protection: object | None = None,
+) -> int:
     """BRAMs for the NBits and BitMap streams (Tables II-V right column).
 
     NBits: one ``2 x nbits_field_width``-bit word per buffered column.
     BitMap: one N-bit word per buffered column.  Each stream independently
-    picks the geometry minimising its BRAM count.
+    picks the geometry minimising its BRAM count.  With a
+    :class:`~repro.resilience.protection.ProtectionPolicy` (or level name)
+    the stored word widths grow by each stream's code expansion.
     """
+    from ..resilience.protection import resolve_policy
+
+    policy = resolve_policy(protection)
     cols = config.buffered_columns
-    nbits_brams = min_brams(cols, 2 * config.nbits_field_width)
-    bitmap_brams = min_brams(cols, config.window_size)
-    return nbits_brams + bitmap_brams
+    nbits_width = ceil(2 * config.nbits_field_width * policy.nbits.expansion)
+    bitmap_width = ceil(config.window_size * policy.bitmap.expansion)
+    return min_brams(cols, nbits_width) + min_brams(cols, bitmap_width)
 
 
 @dataclass(frozen=True, slots=True)
@@ -112,6 +120,8 @@ class MemoryMappingPlan:
     management_brams: int
     #: Worst-case per-row packed bits the plan was provisioned for.
     row_bits_worst: np.ndarray
+    #: Memory-path protection level the plan was provisioned for.
+    protection: str = "none"
 
     @property
     def total_brams(self) -> int:
@@ -138,10 +148,11 @@ class MemoryMappingPlan:
 
     def describe(self) -> str:
         """Human-readable one-liner for tables and logs."""
+        guard = f", {self.protection} ECC" if self.protection != "none" else ""
         return (
             f"{self.config.describe()}: {self.packed_brams} packed + "
-            f"{self.management_brams} mgmt BRAMs ({self.rows_per_bram} rows/BRAM), "
-            f"traditional {self.traditional_brams}"
+            f"{self.management_brams} mgmt BRAMs ({self.rows_per_bram} rows/BRAM)"
+            f"{guard}, traditional {self.traditional_brams}"
         )
 
 
@@ -150,17 +161,30 @@ def plan_memory_mapping(
     row_bits_worst: np.ndarray,
     *,
     capacity_bits: int = BRAM_CAPACITY_BITS,
+    protection: object | None = None,
 ) -> MemoryMappingPlan:
-    """Produce the design-time BRAM plan for one configuration."""
+    """Produce the design-time BRAM plan for one configuration.
+
+    With ``protection`` the packed rows are provisioned for their *stored*
+    size (raw bits times the payload scheme's code expansion) and the
+    management streams for their widened code words, so enabling ECC costs
+    real BRAMs in the plan exactly as it costs occupancy at runtime.
+    """
+    from ..resilience.protection import resolve_policy
+
+    policy = resolve_policy(protection)
+    rows = np.asarray(row_bits_worst, dtype=np.int64)
+    stored_rows = np.ceil(rows * policy.payload.expansion).astype(np.int64)
     packed, r = packed_bram_count(
-        config.window_size, row_bits_worst, capacity_bits=capacity_bits
+        config.window_size, stored_rows, capacity_bits=capacity_bits
     )
     return MemoryMappingPlan(
         config=config,
         rows_per_bram=r,
         packed_brams=packed,
-        management_brams=management_bram_count(config),
-        row_bits_worst=np.asarray(row_bits_worst, dtype=np.int64),
+        management_brams=management_bram_count(config, policy),
+        row_bits_worst=rows,
+        protection=policy.name,
     )
 
 

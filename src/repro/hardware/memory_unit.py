@@ -7,16 +7,32 @@ design-time :class:`~repro.hardware.mapping.MemoryMappingPlan` and raises
 :class:`~repro.errors.CapacityError` the moment a frame compresses worse
 than the plan provisioned for — the failure mode the paper's *Current
 Limitations* paragraph describes for "bad frames or random images".
+
+The memory path can optionally be *protected*: a
+:class:`~repro.resilience.protection.ProtectionPolicy` encodes the NBits
+and BitMap management words into ECC/parity/TMR code words on push and
+decodes (correcting what it can) on pop, while the packed-payload
+occupancy accounting is scaled by the payload scheme's storage expansion.
+A :class:`~repro.resilience.injector.FaultInjector` threads through the
+FIFOs' fault hooks so upsets strike the resident code words exactly where
+a real SEU would.
 """
 
 from __future__ import annotations
 
+from math import ceil
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from ..errors import CapacityError, ConfigError
+from ..errors import BitstreamError, CapacityError, ConfigError
 from .bram import BRAM_CAPACITY_BITS
 from .fifo import Fifo
 from .mapping import MemoryMappingPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..resilience.injector import FaultInjector
+    from ..resilience.protection import ProtectionPolicy
 
 
 class MemoryUnit:
@@ -27,8 +43,29 @@ class MemoryUnit:
         plan: MemoryMappingPlan,
         *,
         capacity_bits: int = BRAM_CAPACITY_BITS,
+        protection: "ProtectionPolicy | str | None" = None,
+        injector: "FaultInjector | None" = None,
+        on_uncorrectable: str = "raise",
     ) -> None:
+        # Imported here: repro.hardware's package init is consumed by the
+        # resilience package, so a module-level import would cycle.
+        from ..resilience.protection import resolve_policy
+
+        if on_uncorrectable not in ("raise", "resync"):
+            raise ConfigError(
+                f"on_uncorrectable must be 'raise' or 'resync', "
+                f"got {on_uncorrectable!r}"
+            )
         self.plan = plan
+        self.policy = resolve_policy(protection)
+        self.injector = injector
+        self.on_uncorrectable = on_uncorrectable
+        #: Management words whose single upset was corrected transparently.
+        self.corrected_words = 0
+        #: Detected-but-uncorrectable management words.
+        self.uncorrectable_words = 0
+        #: Columns zero-substituted after an uncorrectable word (resync mode).
+        self.resync_columns = 0
         cfg = plan.config
         n = cfg.window_size
         r = plan.rows_per_bram
@@ -43,10 +80,28 @@ class MemoryUnit:
         self._groups: list[Fifo[int]] = [
             Fifo(depth, name=f"packed[{g}]") for g in range(self.n_groups)
         ]
-        self._nbits: Fifo[tuple[int, int]] = Fifo(depth, name="nbits")
-        self._bitmap: Fifo[np.ndarray] = Fifo(depth, name="bitmap")
+        self._nbits: Fifo[tuple[np.ndarray, tuple[int, int]]] = Fifo(
+            depth, name="nbits", fault_hook=self._code_hook("nbits")
+        )
+        self._bitmap: Fifo[tuple[np.ndarray, int]] = Fifo(
+            depth, name="bitmap", fault_hook=self._code_hook("bitmap")
+        )
 
     # ------------------------------------------------------------------
+
+    def _code_hook(self, stream: str):
+        """Fault hook corrupting resident protected code words on pop."""
+        injector = self.injector
+        if injector is None:
+            return None
+
+        def hook(name: str, item, bits: int):
+            """Upset the resident ``(code_words, meta)`` entry."""
+            code, meta = item
+            corrupted, _ = injector.inject_words(code, stream)
+            return corrupted, meta
+
+        return hook
 
     @property
     def columns_resident(self) -> int:
@@ -59,7 +114,7 @@ class MemoryUnit:
         return sum(g.bits for g in self._groups)
 
     def group_occupancy_bits(self) -> list[int]:
-        """Per-group resident payload bits."""
+        """Per-group resident payload bits (storage overhead included)."""
         return [g.bits for g in self._groups]
 
     # ------------------------------------------------------------------
@@ -75,7 +130,8 @@ class MemoryUnit:
 
         ``row_payload_bits`` gives the packed bit count each window row
         contributed for this column; rows are folded into their BRAM group
-        and the group's capacity is enforced.
+        and the group's capacity is enforced against the *stored* size —
+        payload bits times the protection scheme's expansion.
         """
         rows = np.asarray(row_payload_bits, dtype=np.int64)
         cfg = self.plan.config
@@ -83,28 +139,85 @@ class MemoryUnit:
             raise ConfigError(
                 f"expected {cfg.window_size} row sizes, got {rows.shape}"
             )
+        expansion = self.policy.payload.expansion
         for g, fifo in enumerate(self._groups):
             group_bits = int(
                 rows[g * self.rows_per_group : (g + 1) * self.rows_per_group].sum()
             )
-            if fifo.bits + group_bits > self.group_capacity_bits:
+            stored = ceil(group_bits * expansion)
+            if fifo.bits + stored > self.group_capacity_bits:
+                protected = (
+                    f" ({self.policy.name} protection adds "
+                    f"{self.policy.payload.overhead_percent:.1f}%)"
+                    if expansion > 1.0
+                    else ""
+                )
                 raise CapacityError(
                     f"packed group {g} would hold "
-                    f"{fifo.bits + group_bits} bits, BRAM allocation is "
-                    f"{self.group_capacity_bits} bits — frame compresses "
-                    f"worse than the design-time plan"
+                    f"{fifo.bits + stored} bits, BRAM allocation is "
+                    f"{self.group_capacity_bits} bits{protected} — frame "
+                    f"compresses worse than the design-time plan"
                 )
-            fifo.push(group_bits, bits=group_bits)
-        self._nbits.push((int(nbits_even), int(nbits_odd)), bits=2 * cfg.nbits_field_width)
-        self._bitmap.push(np.asarray(bitmap, dtype=bool), bits=cfg.window_size)
+            fifo.push(stored, bits=stored)
+
+        from ..core.packing.bitstream import values_to_bits
+
+        fw = cfg.nbits_field_width
+        nbits_raw = values_to_bits(
+            np.array([int(nbits_even), int(nbits_odd)], dtype=np.int64),
+            np.full(2, fw),
+        )
+        nbits_code = self.policy.nbits.encode_stream(nbits_raw)
+        self._nbits.push(
+            (nbits_code, (int(nbits_even), int(nbits_odd))),
+            bits=ceil(2 * fw * self.policy.nbits.expansion),
+        )
+        bitmap_raw = np.asarray(bitmap, dtype=np.uint8).ravel()
+        bitmap_code = self.policy.bitmap.encode_stream(bitmap_raw)
+        self._bitmap.push(
+            (bitmap_code, int(bitmap_raw.size)),
+            bits=ceil(cfg.window_size * self.policy.bitmap.expansion),
+        )
 
     def pop_column(self) -> tuple[tuple[int, int], np.ndarray]:
-        """Release the oldest column; returns its (NBits pair, bitmap)."""
+        """Release the oldest column; returns its (NBits pair, bitmap).
+
+        Protected management words are decoded (and, where the scheme
+        allows, corrected) here.  A detected-but-uncorrectable word either
+        raises :class:`~repro.errors.BitstreamError` (``on_uncorrectable=
+        "raise"``) or zero-substitutes the column and counts a re-sync
+        (``"resync"`` — the graceful-degradation mode).
+        """
+        cfg = self.plan.config
+        fw = cfg.nbits_field_width
         for fifo in self._groups:
             fifo.pop()
-        nbits = self._nbits.pop()
-        bitmap = self._bitmap.pop()
-        return nbits, bitmap
+        nbits_code, _ = self._nbits.pop()
+        bitmap_code, bitmap_len = self._bitmap.pop()
+
+        from ..core.packing.bitstream import bits_to_values
+
+        resync = False
+        nbits_out = self.policy.nbits.decode_stream(nbits_code, 2 * fw)
+        bitmap_out = self.policy.bitmap.decode_stream(bitmap_code, bitmap_len)
+        self.corrected_words += nbits_out.corrected_words + bitmap_out.corrected_words
+        bad = nbits_out.uncorrectable_words + bitmap_out.uncorrectable_words
+        if bad:
+            self.uncorrectable_words += bad
+            if self.on_uncorrectable == "raise":
+                raise BitstreamError(
+                    f"{bad} uncorrectable management word(s) under "
+                    f"{self.policy.name} protection"
+                )
+            resync = True
+        if resync:
+            self.resync_columns += 1
+            return (0, 0), np.zeros(bitmap_len, dtype=bool)
+        even, odd = (
+            int(v)
+            for v in bits_to_values(nbits_out.bits, np.full(2, fw), signed=False)
+        )
+        return (even, odd), bitmap_out.bits.astype(bool)
 
     def peak_report(self) -> dict[str, int]:
         """High-water marks for every stream (bits)."""

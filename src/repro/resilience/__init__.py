@@ -1,0 +1,57 @@
+"""Soft-error resilience: fault injection, protected storage, degradation.
+
+The compressed sliding-window architecture concentrates many image rows
+into few BRAMs, so a single event upset (SEU) corrupts far more output
+pixels than in the traditional line-buffer design.  This package
+quantifies and hardens that trade:
+
+- :mod:`repro.resilience.injector` — deterministic, seedable bit-flip
+  injection into the modelled storage streams (packed payload, NBits,
+  BitMap);
+- :mod:`repro.resilience.protection` — selectable protection levels
+  (``none`` / ``parity`` / ``tmr-nbits`` / ``secded``) with per-stream
+  storage-overhead accounting;
+- :mod:`repro.resilience.band` — the protected band round-trip with
+  graceful column re-sync, plus the :class:`FaultRecord` /
+  :class:`EngineFaultSummary` reporting types the campaign sweeps consume.
+
+The campaign driver lives in :mod:`repro.analysis.faults` and is exposed
+as the ``repro fault-campaign`` CLI subcommand.
+"""
+
+from .injector import STREAM_NAMES, FaultInjector
+from .protection import (
+    PROTECTION_LEVELS,
+    NoProtection,
+    ParityProtection,
+    ProtectionPolicy,
+    ProtectionScheme,
+    SecdedProtection,
+    StreamDecode,
+    TmrProtection,
+    resolve_policy,
+)
+from .band import (
+    BandFaultReport,
+    EngineFaultSummary,
+    FaultRecord,
+    ResilientBandCodec,
+)
+
+__all__ = [
+    "STREAM_NAMES",
+    "FaultInjector",
+    "PROTECTION_LEVELS",
+    "NoProtection",
+    "ParityProtection",
+    "ProtectionPolicy",
+    "ProtectionScheme",
+    "SecdedProtection",
+    "StreamDecode",
+    "TmrProtection",
+    "resolve_policy",
+    "BandFaultReport",
+    "EngineFaultSummary",
+    "FaultRecord",
+    "ResilientBandCodec",
+]

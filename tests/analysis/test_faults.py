@@ -1,0 +1,126 @@
+"""Tests for the soft-error campaign driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.faults import (
+    fault_campaign,
+    measured_storage_overhead,
+)
+from repro.config import ArchitectureConfig
+from repro.imaging import generate_scene
+
+
+class TestMeasuredOverhead:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return ArchitectureConfig(image_width=48, image_height=48, window_size=4)
+
+    @pytest.fixture(scope="class")
+    def image(self):
+        return generate_scene(seed=1, resolution=48)
+
+    def test_none_is_free(self, config, image):
+        assert measured_storage_overhead(config, image, None) == 0.0
+
+    def test_secded_is_12_5(self, config, image):
+        assert measured_storage_overhead(config, image, "secded") == pytest.approx(
+            12.5
+        )
+
+    def test_tmr_nbits_is_cheap(self, config, image):
+        """TMR triples only the NBits stream — below its naive 200 %."""
+        overhead = measured_storage_overhead(config, image, "tmr-nbits")
+        assert 0.0 < overhead < 200.0
+
+
+class TestCampaignSmoke:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fault_campaign(
+            resolution=48,
+            window=4,
+            schemes=("none", "secded"),
+            upset_rates=(1e-3,),
+            thresholds=(0,),
+            seed=0,
+        )
+
+    def test_point_grid(self, result):
+        assert len(result.points) == 2
+        assert {p.scheme for p in result.points} == {"none", "secded"}
+
+    def test_secded_beats_unprotected(self, result):
+        by_scheme = {p.scheme: p for p in result.points}
+        assert by_scheme["none"].corrupted_pixels > 0
+        assert (
+            by_scheme["secded"].corrupted_pixels
+            < by_scheme["none"].corrupted_pixels
+        )
+        assert by_scheme["secded"].output_mse < by_scheme["none"].output_mse
+        assert by_scheme["secded"].corrected_words > 0
+
+    def test_silent_corruption_only_without_protection(self, result):
+        by_scheme = {p.scheme: p for p in result.points}
+        assert by_scheme["secded"].silent_corruption_rate == 0.0
+
+    def test_render(self, result):
+        table = result.render()
+        assert "SEU campaign" in table
+        assert "secded" in table
+        assert "12.5%" in table
+
+    def test_intensity_label(self, result):
+        assert all(p.intensity == "1e-03" for p in result.points)
+
+
+class TestExactFlipMode:
+    def test_acceptance_single_flip_per_word(self):
+        """The acceptance sweep: k=1 is transparent under SECDED."""
+        result = fault_campaign(
+            resolution=48,
+            window=4,
+            schemes=("none", "secded"),
+            flips_per_word=1,
+            seed=0,
+        )
+        by_scheme = {p.scheme: p for p in result.points}
+        secded = by_scheme["secded"]
+        assert secded.corrupted_pixels == 0
+        assert secded.output_mse == 0.0
+        assert secded.flips_injected > 0
+        assert secded.storage_overhead_percent == pytest.approx(12.5)
+        assert by_scheme["none"].corrupted_pixels > 0
+        assert secded.intensity == "1/word"
+
+
+@pytest.mark.slow
+class TestCampaignSweep:
+    def test_full_grid_shape_and_monotonicity(self):
+        result = fault_campaign(
+            resolution=64,
+            window=8,
+            schemes=("none", "parity", "secded"),
+            upset_rates=(1e-4, 1e-3),
+            thresholds=(0, 4),
+            seed=1,
+        )
+        assert len(result.points) == 3 * 2 * 2
+        # More upsets never reduce the unprotected damage.
+        for threshold in (0, 4):
+            low = next(
+                p
+                for p in result.points
+                if p.scheme == "none"
+                and p.upset_rate == 1e-4
+                and p.threshold == threshold
+            )
+            high = next(
+                p
+                for p in result.points
+                if p.scheme == "none"
+                and p.upset_rate == 1e-3
+                and p.threshold == threshold
+            )
+            assert high.flips_injected > low.flips_injected

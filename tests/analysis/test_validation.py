@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro import ArchitectureConfig
 from repro.analysis.validation import validate_engines
 from repro.kernels import BoxFilterKernel
 
 from helpers import random_image
+
+#: Cross-checks include the register-level cycle engines.
+pytestmark = pytest.mark.slow
 
 
 def cfg(**kw):

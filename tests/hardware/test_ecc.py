@@ -71,6 +71,119 @@ class TestRoundTrip:
             codec.decode(code)
 
 
+class TestEveryGeometry:
+    """Property tests across the BRAM-relevant word widths."""
+
+    WIDTHS = (8, 16, 32, 64)
+
+    @pytest.mark.parametrize("data_bits", WIDTHS)
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, data_bits, data):
+        codec = SecdedCodec(data_bits)
+        bits = data.draw(
+            st.lists(st.integers(0, 1), min_size=data_bits, max_size=data_bits)
+        )
+        word = np.array(bits, dtype=np.uint8)
+        out, corrected = codec.decode(codec.encode(word))
+        assert not corrected
+        assert np.array_equal(out, word)
+
+    @pytest.mark.parametrize("data_bits", WIDTHS)
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_single_flip_corrected(self, data_bits, data):
+        codec = SecdedCodec(data_bits)
+        bits = data.draw(
+            st.lists(st.integers(0, 1), min_size=data_bits, max_size=data_bits)
+        )
+        pos = data.draw(st.integers(0, codec.code_bits - 1))
+        word = np.array(bits, dtype=np.uint8)
+        code = codec.encode(word)
+        code[pos] ^= 1
+        out, corrected = codec.decode(code)
+        assert corrected
+        assert np.array_equal(out, word)
+
+    @pytest.mark.parametrize("data_bits", WIDTHS)
+    @given(data=st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_double_flip_detected(self, data_bits, data):
+        codec = SecdedCodec(data_bits)
+        bits = data.draw(
+            st.lists(st.integers(0, 1), min_size=data_bits, max_size=data_bits)
+        )
+        a = data.draw(st.integers(0, codec.code_bits - 1))
+        b = data.draw(st.integers(0, codec.code_bits - 2))
+        if b >= a:
+            b += 1  # distinct positions
+        word = np.array(bits, dtype=np.uint8)
+        code = codec.encode(word)
+        code[a] ^= 1
+        code[b] ^= 1
+        with pytest.raises(BitstreamError):
+            codec.decode(code)
+
+
+class TestBlockApi:
+    """The vectorised block codec must agree with the scalar path."""
+
+    @pytest.mark.parametrize("data_bits", (8, 16, 32, 64))
+    def test_encode_block_matches_scalar(self, data_bits, rng):
+        codec = SecdedCodec(data_bits)
+        words = rng.integers(0, 2, size=(20, data_bits)).astype(np.uint8)
+        block = codec.encode_block(words)
+        for i in range(words.shape[0]):
+            assert np.array_equal(block[i], codec.encode(words[i]))
+
+    def test_decode_block_clean(self, rng):
+        codec = SecdedCodec(32)
+        words = rng.integers(0, 2, size=(16, 32)).astype(np.uint8)
+        data, corrected, uncorrectable = codec.decode_block(codec.encode_block(words))
+        assert np.array_equal(data, words)
+        assert not corrected.any()
+        assert not uncorrectable.any()
+
+    def test_decode_block_single_flips(self, rng):
+        codec = SecdedCodec(32)
+        words = rng.integers(0, 2, size=(16, 32)).astype(np.uint8)
+        code = codec.encode_block(words)
+        positions = rng.integers(0, codec.code_bits, size=16)
+        code[np.arange(16), positions] ^= 1
+        data, corrected, uncorrectable = codec.decode_block(code)
+        assert np.array_equal(data, words)
+        assert corrected.all()
+        assert not uncorrectable.any()
+
+    def test_decode_block_double_flips_flagged_not_raised(self, rng):
+        """Unlike the scalar decode, the block path reports per-word masks."""
+        codec = SecdedCodec(32)
+        words = rng.integers(0, 2, size=(8, 32)).astype(np.uint8)
+        code = codec.encode_block(words)
+        code[3, 1] ^= 1
+        code[3, 20] ^= 1
+        data, corrected, uncorrectable = codec.decode_block(code)
+        assert uncorrectable[3]
+        assert not uncorrectable[[0, 1, 2, 4, 5, 6, 7]].any()
+        clean = np.delete(np.arange(8), 3)
+        assert np.array_equal(data[clean], words[clean])
+
+    def test_mixed_flip_block(self, rng):
+        """Clean, corrected and uncorrectable words coexist in one block."""
+        codec = SecdedCodec(16)
+        words = rng.integers(0, 2, size=(3, 16)).astype(np.uint8)
+        code = codec.encode_block(words)
+        code[1, 5] ^= 1  # single: corrected
+        code[2, 2] ^= 1  # double: detected
+        code[2, 9] ^= 1
+        data, corrected, uncorrectable = codec.decode_block(code)
+        assert not corrected[0] and not uncorrectable[0]
+        assert corrected[1] and not uncorrectable[1]
+        assert uncorrectable[2]
+        assert np.array_equal(data[0], words[0])
+        assert np.array_equal(data[1], words[1])
+
+
 class TestStream:
     def test_protect_recover_roundtrip(self, rng):
         codec = SecdedCodec(32)

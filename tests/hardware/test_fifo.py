@@ -23,6 +23,42 @@ class TestFifo:
         with pytest.raises(CapacityError):
             f.push(3)
 
+    def test_overflow_message_names_fifo_and_sizes(self):
+        """The error identifies the FIFO, its capacity and the push size."""
+        f: Fifo[int] = Fifo(2, name="packed[3]")
+        f.push(1, bits=40)
+        f.push(2, bits=40)
+        with pytest.raises(CapacityError, match=r"packed\[3\]") as exc:
+            f.push(3, bits=25)
+        message = str(exc.value)
+        assert "25" in message  # offending push size
+        assert "2/2" in message  # occupancy vs capacity
+
+    def test_bit_capacity_overflow_message(self):
+        f: Fifo[int] = Fifo(16, name="nbits", bit_capacity=100)
+        f.push(1, bits=80)
+        with pytest.raises(CapacityError, match="nbits") as exc:
+            f.push(2, bits=30)
+        message = str(exc.value)
+        assert "30" in message and "100" in message and "80" in message
+
+    def test_bit_capacity_boundary_push_fits(self):
+        f: Fifo[int] = Fifo(16, bit_capacity=100)
+        f.push(1, bits=100)
+        assert f.bits == 100
+
+    def test_fault_hook_applied_on_pop(self):
+        seen: list[tuple[str, int, int]] = []
+
+        def hook(name: str, item: int, bits: int) -> int:
+            seen.append((name, item, bits))
+            return item + 1000
+
+        f: Fifo[int] = Fifo(4, name="hooked", fault_hook=hook)
+        f.push(7, bits=12)
+        assert f.pop() == 1007
+        assert seen == [("hooked", 7, 12)]
+
     def test_underflow_raises(self):
         with pytest.raises(CapacityError):
             Fifo(2).pop()

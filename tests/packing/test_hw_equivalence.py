@@ -21,6 +21,9 @@ from repro.core.packing.packer import BandCodec
 from repro.core.window.compressed import CompressedCycleEngine
 from repro.kernels import BoxFilterKernel
 
+#: Bit-true register-level streaming is the slowest fidelity check.
+pytestmark = pytest.mark.slow
+
 bands = hnp.arrays(
     dtype=np.int32,
     shape=st.tuples(

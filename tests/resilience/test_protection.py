@@ -1,0 +1,161 @@
+"""Tests for the selectable memory-protection schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import (
+    FaultInjector,
+    NoProtection,
+    ParityProtection,
+    ProtectionPolicy,
+    SecdedProtection,
+    TmrProtection,
+    resolve_policy,
+)
+
+ALL_SCHEMES = [
+    NoProtection(16),
+    ParityProtection(16),
+    TmrProtection(8),
+    SecdedProtection(16),
+]
+
+
+class TestStreamRoundTrip:
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_clean_roundtrip(self, scheme, rng):
+        bits = rng.integers(0, 2, size=333).astype(np.uint8)
+        code = scheme.encode_stream(bits)
+        out = scheme.decode_stream(code, bits.size)
+        assert np.array_equal(out.bits, bits)
+        assert out.corrected_words == 0
+        assert out.uncorrectable_words == 0
+
+    @pytest.mark.parametrize("scheme", ALL_SCHEMES, ids=lambda s: s.name)
+    def test_empty_stream(self, scheme):
+        code = scheme.encode_stream(np.zeros(0, dtype=np.uint8))
+        out = scheme.decode_stream(code, 0)
+        assert out.bits.size == 0
+
+    def test_short_stream_rejected(self):
+        scheme = ParityProtection(8)
+        code = scheme.encode_stream(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ConfigError):
+            scheme.decode_stream(code, 100)
+
+
+class TestParity:
+    def test_single_flip_detected_not_corrected(self, rng):
+        scheme = ParityProtection(16)
+        bits = rng.integers(0, 2, size=64).astype(np.uint8)
+        code = scheme.encode_stream(bits)
+        code[0, 3] ^= 1
+        out = scheme.decode_stream(code, bits.size)
+        assert out.uncorrectable_words == 1
+        assert out.corrected_words == 0
+
+    def test_double_flip_is_silent(self, rng):
+        scheme = ParityProtection(16)
+        bits = rng.integers(0, 2, size=64).astype(np.uint8)
+        code = scheme.encode_stream(bits)
+        code[0, 3] ^= 1
+        code[0, 9] ^= 1
+        out = scheme.decode_stream(code, bits.size)
+        assert out.uncorrectable_words == 0
+        assert not np.array_equal(out.bits, bits)  # silent corruption
+
+
+class TestTmr:
+    def test_single_flip_voted_away(self, rng):
+        scheme = TmrProtection(8)
+        bits = rng.integers(0, 2, size=32).astype(np.uint8)
+        code = scheme.encode_stream(bits)
+        code[0, 5] ^= 1
+        out = scheme.decode_stream(code, bits.size)
+        assert np.array_equal(out.bits, bits)
+        assert out.corrected_words == 1
+        assert out.uncorrectable_words == 0
+
+    def test_double_flip_same_bit_outvotes_truth(self, rng):
+        scheme = TmrProtection(8)
+        bits = rng.integers(0, 2, size=8).astype(np.uint8)
+        code = scheme.encode_stream(bits)
+        # Flip bit 2 in two of the three copies: majority is now wrong.
+        code[0, 2] ^= 1
+        code[0, 2 + 8] ^= 1
+        out = scheme.decode_stream(code, bits.size)
+        assert out.bits[2] != bits[2]
+        assert out.uncorrectable_words == 0  # TMR never *detects*
+
+    def test_expansion(self):
+        assert TmrProtection(8).expansion == 3.0
+
+
+class TestSecdedScheme:
+    def test_single_flip_per_word_corrected(self, rng):
+        scheme = SecdedProtection(64)
+        bits = rng.integers(0, 2, size=640).astype(np.uint8)
+        code = scheme.encode_stream(bits)
+        for w in range(code.shape[0]):
+            code[w, int(rng.integers(0, scheme.code_bits))] ^= 1
+        out = scheme.decode_stream(code, bits.size)
+        assert np.array_equal(out.bits, bits)
+        assert out.corrected_words == code.shape[0]
+        assert out.uncorrectable_words == 0
+
+    def test_double_flip_detected(self, rng):
+        scheme = SecdedProtection(64)
+        bits = rng.integers(0, 2, size=64).astype(np.uint8)
+        code = scheme.encode_stream(bits)
+        code[0, 1] ^= 1
+        code[0, 40] ^= 1
+        out = scheme.decode_stream(code, bits.size)
+        assert out.uncorrectable_words == 1
+
+    def test_overhead_is_12_5_percent(self):
+        assert SecdedProtection(64).overhead_percent == pytest.approx(12.5)
+
+
+class TestPolicy:
+    @pytest.mark.parametrize("name", ["none", "parity", "tmr-nbits", "secded"])
+    def test_resolve_by_name(self, name):
+        policy = resolve_policy(name)
+        assert policy.name == name
+        assert policy.is_trivial == (name == "none")
+
+    def test_resolve_none_and_passthrough(self):
+        assert resolve_policy(None).name == "none"
+        policy = resolve_policy("secded")
+        assert resolve_policy(policy) is policy
+
+    def test_unknown_level(self):
+        with pytest.raises(ConfigError):
+            resolve_policy("chilled")
+
+    def test_scheme_for_streams(self):
+        policy = resolve_policy("tmr-nbits")
+        assert policy.scheme_for("nbits").name == "tmr"
+        assert policy.scheme_for("payload").name == "none"
+        with pytest.raises(ConfigError):
+            policy.scheme_for("cache")
+
+    def test_secded_policy_bounds_overhead(self):
+        policy = resolve_policy("secded")
+        assert policy.storage_overhead_percent == pytest.approx(12.5)
+        assert "secded" in policy.describe()
+
+    def test_policy_with_injected_upsets_end_to_end(self, rng):
+        """One flip per stored word through each stream: SECDED transparent."""
+        policy = resolve_policy("secded")
+        injector = FaultInjector(flips_per_word=1, seed=3)
+        for stream in ("payload", "nbits", "bitmap"):
+            bits = rng.integers(0, 2, size=500).astype(np.uint8)
+            code = policy.scheme_for(stream).encode_stream(bits)
+            code, flips = injector.inject_words(code, stream)
+            out = policy.scheme_for(stream).decode_stream(code, bits.size)
+            assert flips == code.shape[0]
+            assert np.array_equal(out.bits, bits)
+            assert out.corrected_words == flips

@@ -25,6 +25,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["resources", "alu"])
 
+    def test_fault_campaign_scheme_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fault-campaign", "--schemes", "raid5"])
+
+    def test_fault_campaign_defaults(self):
+        args = build_parser().parse_args(["fault-campaign"])
+        assert args.resolution == 96
+        assert args.window == 8
+        assert not args.smoke
+
 
 class TestCommands:
     def test_fig3(self, capsys):
@@ -48,6 +58,13 @@ class TestCommands:
     def test_throughput(self, capsys):
         assert main(["throughput"]) == 0
         assert "traditional" in capsys.readouterr().out
+
+    def test_fault_campaign_smoke(self, capsys):
+        assert main(["fault-campaign", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "SEU campaign" in out
+        assert "secded" in out and "none" in out
+        assert "12.5%" in out
 
     def test_mse_small(self, capsys):
         code = main(

@@ -7,9 +7,10 @@ import pytest
 
 from repro import AdaptiveThresholdController, ArchitectureConfig, analyze_image
 from repro.core.video import FrameStreamProcessor
-from repro.errors import CapacityError, ConfigError
+from repro.errors import BitstreamError, CapacityError, ConfigError
 from repro.imaging import generate_scene
 from repro.imaging.synthetic import SceneParams
+from repro.resilience import FaultInjector
 
 from helpers import random_image
 
@@ -82,6 +83,48 @@ class TestPolicies:
         records = proc.process([busy_frame(1)])
         assert records[0].dropped
 
+    def test_all_three_policies_on_one_overflowing_frame(self, calm_budget):
+        """One frame, three policies: the FrameRecord tells each story."""
+        frame = busy_frame(0)
+
+        with pytest.raises(CapacityError):
+            FrameStreamProcessor(
+                config=make_config(),
+                budget_bits=calm_budget,
+                policy="raise",
+                threshold=0,
+            ).process([frame])
+
+        drop_proc = FrameStreamProcessor(
+            config=make_config(),
+            budget_bits=calm_budget,
+            policy="drop",
+            threshold=0,
+        )
+        drop_rec = drop_proc.process([frame])[0]
+        assert drop_rec.dropped
+        assert drop_rec.retries == 0
+        assert drop_rec.threshold == 0
+
+        # Budget sized so the busy frame fits once degrade walks the
+        # threshold ladder high enough (but not at the starting T=0).
+        degrade_budget = max(
+            calm_budget,
+            analyze_image(
+                make_config().with_threshold(8), frame.astype(np.int64)
+            ).peak_buffer_bits,
+        )
+        degrade_proc = FrameStreamProcessor(
+            config=make_config(),
+            budget_bits=degrade_budget,
+            policy="degrade",
+            threshold=0,
+        )
+        degrade_rec = degrade_proc.process([frame])[0]
+        assert degrade_rec.retries > 0
+        assert degrade_rec.threshold > drop_rec.threshold
+        assert degrade_rec.fits and not degrade_rec.dropped
+
     def test_invalid_policy(self):
         with pytest.raises(ConfigError):
             FrameStreamProcessor(
@@ -91,6 +134,82 @@ class TestPolicies:
     def test_invalid_budget(self):
         with pytest.raises(ConfigError):
             FrameStreamProcessor(config=make_config(), budget_bits=0)
+
+
+class TestFaultPath:
+    def make_proc(self, budget: int, **kwargs) -> FrameStreamProcessor:
+        return FrameStreamProcessor(
+            config=make_config(), budget_bits=budget, threshold=2, **kwargs
+        )
+
+    def test_records_stay_zero_without_injection(self, calm_budget):
+        proc = self.make_proc(calm_budget * 2)
+        rec = proc.process([calm_frame(0)])[0]
+        assert rec.flips == 0
+        assert rec.corrupted_pixels == 0
+        assert proc.corrupted_pixel_total == 0
+
+    def test_secded_absorbs_single_flips(self, calm_budget):
+        proc = self.make_proc(
+            calm_budget * 2,
+            protection="secded",
+            injector=FaultInjector(flips_per_word=1, seed=3),
+        )
+        rec = proc.process([calm_frame(0)])[0]
+        assert rec.flips > 0
+        assert rec.corrected_words == rec.flips
+        assert rec.corrupted_pixels == 0
+        assert not rec.dropped
+
+    def test_unprotected_flips_corrupt_kept_frame(self, calm_budget):
+        proc = self.make_proc(
+            calm_budget * 2,
+            injector=FaultInjector(flips_per_word=1, seed=3),
+        )
+        rec = proc.process([calm_frame(0)])[0]
+        assert rec.corrupted_pixels > 0
+        assert proc.corrupted_pixel_total == rec.corrupted_pixels
+
+    def test_drop_policy_invalidates_detected_corruption(self, calm_budget):
+        proc = self.make_proc(
+            calm_budget * 2,
+            policy="drop",
+            protection="secded",
+            injector=FaultInjector(flips_per_word=2, seed=3),
+        )
+        rec = proc.process([calm_frame(0)])[0]
+        assert rec.uncorrectable_words > 0
+        assert rec.dropped
+
+    def test_raise_policy_propagates_uncorrectable(self, calm_budget):
+        proc = self.make_proc(
+            calm_budget * 2,
+            policy="raise",
+            protection="secded",
+            injector=FaultInjector(flips_per_word=2, seed=3),
+        )
+        with pytest.raises(BitstreamError):
+            proc.process([calm_frame(0)])
+
+    def test_degrade_policy_counts_resyncs_and_keeps_frame(self, calm_budget):
+        proc = self.make_proc(
+            calm_budget * 2,
+            policy="degrade",
+            protection="secded",
+            injector=FaultInjector(flips_per_word=2, seed=3),
+        )
+        rec = proc.process([calm_frame(0)])[0]
+        assert rec.resyncs > 0
+        assert not rec.dropped
+
+    def test_protection_consumes_budget_headroom(self, calm_budget):
+        """The SECDED premium can push a fitting frame over budget."""
+        plain = self.make_proc(calm_budget * 2)
+        plain.process([calm_frame(0)])
+        peak = plain.records[0].peak_buffer_bits
+        shielded = self.make_proc(calm_budget * 2, protection="secded")
+        shielded.process([calm_frame(0)])
+        assert shielded.records[0].peak_buffer_bits > peak
 
 
 class TestWithController:

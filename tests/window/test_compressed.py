@@ -151,6 +151,7 @@ class TestStatsAndCapacity:
         assert peak_smooth < peak_noise
 
 
+@pytest.mark.slow
 class TestCycleEngine:
     def test_matches_fast_engine_lossless(self, rng):
         config = cfg(image_width=16, image_height=16, window_size=4)

@@ -55,6 +55,7 @@ class TestTraditionalEngine:
         assert stats.cycles_per_output < 1.4
 
 
+@pytest.mark.slow
 class TestTraditionalCycleEngine:
     @pytest.mark.parametrize("n,h,w", [(2, 8, 10), (4, 12, 16), (6, 14, 12)])
     def test_cycle_simulation_matches_golden(self, rng, n, h, w):
