@@ -1,0 +1,44 @@
+"""Wall-clock engine throughput — the software-model perf trajectory.
+
+Times pixels/second for the golden oracle, the traditional engine and
+both execution strategies of the compressed engine (per-traversal
+sequential loop vs the frame-at-once vectorised fast path) across window
+sizes and thresholds.  Besides the rendered table under
+``benchmarks/out/perf.txt`` this bench writes ``BENCH_perf.json`` at the
+repo root — the machine-readable trajectory point future changes regress
+against.
+
+``REPRO_BENCH_IMAGES=2`` (or lower) selects a smoke-sized sweep;
+``REPRO_BENCH_FULL=1`` runs the paper-scale 2048 x 2048 frame.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.perf import PerfOptions, measure_perf, write_bench_json
+
+from _util import bench_images, full_geometry, report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _options() -> PerfOptions:
+    if full_geometry():
+        return PerfOptions(resolution=2048, windows=(8, 16, 32, 64))
+    if bench_images() <= 2:  # smoke: default geometry only, single repeat
+        return PerfOptions(windows=(), thresholds=(0,), repeats=1)
+    return PerfOptions()
+
+
+def test_bench_perf(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure_perf(_options()),
+        rounds=1,
+        iterations=1,
+    )
+    report("perf", result.render())
+    write_bench_json(result, REPO_ROOT / "BENCH_perf.json")
+    # The fast path's acceptance bar: >= 5x the sequential engine on the
+    # default lossless geometry (measured ~7-13x; 5 leaves CI headroom).
+    assert result.fast_speedup >= 5.0

@@ -1,0 +1,274 @@
+"""Wall-clock performance of the sliding-window engines.
+
+The paper's headline throughput property is architectural — 1 pixel per
+cycle, fully pipelined — but the software model has its own throughput
+story: the frame-at-once vectorised fast path of
+:class:`~repro.core.window.compressed.CompressedEngine` versus the
+per-traversal sequential reference loop.  This module measures real
+pixels/second for every engine on a common frame, renders the comparison
+table, and serialises a machine-readable ``BENCH_perf.json`` so future
+changes have a perf trajectory to regress against.
+
+``speedup_vs_seed`` is each engine's throughput relative to
+``compressed-sequential`` at the same geometry — the per-traversal loop
+is the seed repo's only execution strategy, so it is the fixed baseline
+every future fast-path improvement is compared to.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..core.window import (
+    CompressedEngine,
+    GoldenEngine,
+    SlidingWindowEngine,
+    TraditionalEngine,
+)
+from ..errors import ConfigError
+from ..imaging import generate_scene
+from ..kernels import BoxFilterKernel
+from ..kernels.base import WindowKernel
+from .tables import render_table
+
+#: Version tag of the ``BENCH_perf.json`` schema.
+PERF_SCHEMA = "repro-perf/1"
+
+#: Engine order used in tables and JSON (baseline last-but-one).
+ENGINE_ORDER = (
+    "golden",
+    "traditional",
+    "compressed-sequential",
+    "compressed-fast",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PerfSample:
+    """One engine timed on one geometry."""
+
+    engine: str
+    width: int
+    height: int
+    window: int
+    threshold: int
+    #: Best-of-``repeats`` wall-clock seconds for one frame.
+    seconds: float
+
+    @property
+    def pixels_per_sec(self) -> float:
+        """Input throughput: frame pixels over the best wall-clock run."""
+        return self.width * self.height / self.seconds
+
+    @property
+    def geometry(self) -> dict[str, int]:
+        """Geometry as the JSON schema's nested object."""
+        return {
+            "width": self.width,
+            "height": self.height,
+            "window": self.window,
+            "threshold": self.threshold,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class PerfOptions:
+    """Knobs of one perf run (defaults are the headline geometry)."""
+
+    resolution: int = 512
+    window: int = 16
+    threshold: int = 0
+    #: Extra window sizes swept beyond the headline geometry.
+    windows: tuple[int, ...] = (8, 16, 32)
+    #: Extra thresholds swept (compressed engines only).
+    thresholds: tuple[int, ...] = (0, 6)
+    #: Timing repeats per engine; the best run is reported.
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
+
+
+@dataclass(frozen=True)
+class PerfReport:
+    """All samples of one perf run plus the headline geometry."""
+
+    options: PerfOptions
+    samples: tuple[PerfSample, ...]
+
+    def _at(self, engine: str, window: int, threshold: int) -> PerfSample:
+        for s in self.samples:
+            if (s.engine, s.window, s.threshold) == (engine, window, threshold):
+                return s
+        raise ConfigError(
+            f"no sample for {engine} at window={window} T={threshold}"
+        )
+
+    def headline(self, engine: str) -> PerfSample:
+        """The sample of ``engine`` at the default (headline) geometry."""
+        return self._at(engine, self.options.window, self.options.threshold)
+
+    def speedup_vs_seed(self, sample: PerfSample) -> float:
+        """Throughput of ``sample`` over the sequential loop's, same geometry."""
+        base = self._at("compressed-sequential", sample.window, sample.threshold)
+        return sample.pixels_per_sec / base.pixels_per_sec
+
+    @property
+    def fast_speedup(self) -> float:
+        """Headline number: fast path over sequential at the default geometry."""
+        return self.speedup_vs_seed(self.headline("compressed-fast"))
+
+    def render(self) -> str:
+        """Monospace table of every sample, speedups included."""
+        rows = []
+        for s in self.samples:
+            rows.append(
+                (
+                    s.engine,
+                    f"{s.width}x{s.height}",
+                    s.window,
+                    s.threshold,
+                    s.seconds * 1000.0,
+                    s.pixels_per_sec / 1e6,
+                    self.speedup_vs_seed(s),
+                )
+            )
+        table = render_table(
+            ("engine", "frame", "N", "T", "ms/frame", "Mpx/s", "vs seed"),
+            rows,
+            title="Engine wall-clock throughput",
+        )
+        head = self.headline("compressed-fast")
+        return (
+            f"{table}\n\n"
+            f"headline ({head.width}x{head.height}, N={head.window}, "
+            f"T={head.threshold}): compressed-fast is "
+            f"{self.fast_speedup:.1f}x the sequential engine"
+        )
+
+    def to_json_dict(self) -> dict:
+        """``BENCH_perf.json`` payload (see README for the schema)."""
+        engines = {}
+        for name in ENGINE_ORDER:
+            s = self.headline(name)
+            engines[name] = {
+                "pixels_per_sec": s.pixels_per_sec,
+                "speedup_vs_seed": self.speedup_vs_seed(s),
+                "geometry": s.geometry,
+            }
+        sweep = [
+            {
+                "engine": s.engine,
+                "pixels_per_sec": s.pixels_per_sec,
+                "speedup_vs_seed": self.speedup_vs_seed(s),
+                "geometry": s.geometry,
+            }
+            for s in self.samples
+        ]
+        return {"schema": PERF_SCHEMA, "engines": engines, "sweep": sweep}
+
+
+def _time_engine(
+    engine: SlidingWindowEngine, image: np.ndarray, repeats: int
+) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one ``run`` call."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        engine.run(image)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _engines(
+    config: ArchitectureConfig, kernel: WindowKernel
+) -> dict[str, SlidingWindowEngine]:
+    """The four measured engines for one configuration.
+
+    Compressed engines run with ``recirculate=False`` so the sequential
+    and fast strategies stay comparable on lossy sweeps (with
+    recirculation a lossy run is inherently sequential).
+    """
+    return {
+        "golden": GoldenEngine(config, kernel),
+        "traditional": TraditionalEngine(config, kernel),
+        "compressed-sequential": CompressedEngine(
+            config, kernel, recirculate=False, fast_path=False
+        ),
+        "compressed-fast": CompressedEngine(
+            config, kernel, recirculate=False, fast_path=True
+        ),
+    }
+
+
+def measure_perf(
+    options: PerfOptions = PerfOptions(),
+    *,
+    kernel_factory: Callable[[int], WindowKernel] = BoxFilterKernel,
+) -> PerfReport:
+    """Time every engine over the option sweep on one synthetic frame.
+
+    The golden and traditional engines ignore the threshold, so they are
+    measured once per window size; the compressed strategies sweep the
+    full window x threshold grid.
+    """
+    res = options.resolution
+    image = generate_scene(seed=1, resolution=res).astype(np.int64)
+    windows = _ordered_unique((options.window, *options.windows))
+    thresholds = _ordered_unique((options.threshold, *options.thresholds))
+    samples: list[PerfSample] = []
+    for n in windows:
+        for t in thresholds:
+            config = ArchitectureConfig(
+                image_width=res, image_height=res, window_size=n, threshold=t
+            )
+            engines = _engines(config, kernel_factory(n))
+            for name, engine in engines.items():
+                if t != thresholds[0] and name in ("golden", "traditional"):
+                    continue  # threshold-independent; measured once
+                samples.append(
+                    PerfSample(
+                        engine=name,
+                        width=res,
+                        height=res,
+                        window=n,
+                        threshold=t,
+                        seconds=_time_engine(engine, image, options.repeats),
+                    )
+                )
+    return PerfReport(options=options, samples=tuple(samples))
+
+
+def _ordered_unique(values: Iterable[int]) -> tuple[int, ...]:
+    """Stable de-duplication (the headline value leads the sweep)."""
+    return tuple(dict.fromkeys(values))
+
+
+def write_bench_json(report: PerfReport, path: Path) -> None:
+    """Serialise ``report`` as a ``BENCH_perf.json`` trajectory point."""
+    path.write_text(json.dumps(report.to_json_dict(), indent=2) + "\n")
+
+
+def load_bench_json(path: Path) -> dict:
+    """Load and structurally validate a ``BENCH_perf.json`` file."""
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != PERF_SCHEMA:
+        raise ConfigError(
+            f"unexpected perf schema {payload.get('schema')!r} in {path}"
+        )
+    for name in ENGINE_ORDER:
+        entry = payload["engines"].get(name)
+        if entry is None:
+            raise ConfigError(f"{path} is missing engine {name!r}")
+        for key in ("pixels_per_sec", "speedup_vs_seed", "geometry"):
+            if key not in entry:
+                raise ConfigError(f"{path}: {name} lacks {key!r}")
+    return payload

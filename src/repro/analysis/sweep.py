@@ -12,12 +12,33 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from math import ceil
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..errors import ConfigError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Target chunks handed to each worker by :func:`auto_chunksize`.  More
+#: than one chunk per worker keeps the pool load-balanced when item
+#: runtimes vary; four bounds the per-item IPC overhead to ~once per
+#: quarter of a worker's share.
+CHUNKS_PER_WORKER = 4
+
+
+def auto_chunksize(n_items: int, processes: int) -> int:
+    """Pool chunk size: ``len(work) / processes`` split into a few chunks.
+
+    ``Pool.map``'s default chunk size of 1 round-trips every item through
+    the result queue individually, which thrashes the fork pool on large
+    sweeps (one pickle + wakeup per 2048 x 2048 frame config).  Sizing
+    chunks so each worker receives :data:`CHUNKS_PER_WORKER` of them
+    amortises the IPC while still rebalancing work a few times per sweep.
+    """
+    if n_items < 1 or processes < 1:
+        return 1
+    return max(1, ceil(n_items / (processes * CHUNKS_PER_WORKER)))
 
 
 def default_workers() -> int:
@@ -39,14 +60,15 @@ def run_parallel(
     items: Sequence[T] | Iterable[T],
     *,
     processes: int | None = None,
-    chunksize: int = 1,
+    chunksize: int | None = None,
 ) -> list[R]:
     """Map ``fn`` over ``items``, preserving order.
 
     ``processes=None`` auto-sizes; ``processes=1`` (or fewer than two
     items) runs inline, which keeps tracebacks readable and avoids fork
-    cost for small sweeps.  ``fn`` and items must be picklable in the
-    parallel path.
+    cost for small sweeps.  ``chunksize=None`` auto-sizes via
+    :func:`auto_chunksize`; pass an explicit value to override.  ``fn``
+    and items must be picklable in the parallel path.
     """
     work = list(items)
     n = default_workers() if processes is None else processes
@@ -55,5 +77,7 @@ def run_parallel(
     if n == 1 or len(work) < 2:
         return [fn(item) for item in work]
     n = min(n, len(work))
+    if chunksize is None:
+        chunksize = auto_chunksize(len(work), n)
     with mp.get_context("fork").Pool(processes=n) as pool:
         return pool.map(fn, work, chunksize=max(1, chunksize))

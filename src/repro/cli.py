@@ -13,6 +13,7 @@ artifact can be regenerated from a shell::
     repro headline
     repro ablation wavelets
     repro fault-campaign --schemes none secded --rates 1e-3
+    repro perf --json BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -139,6 +140,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke",
         action="store_true",
         help="tiny fast sweep (none vs secded at one rate)",
+    )
+
+    p_perf = sub.add_parser("perf", help="wall-clock pixels/sec of every engine")
+    p_perf.add_argument("--resolution", type=int, default=512)
+    p_perf.add_argument("--window", type=int, default=16)
+    p_perf.add_argument("--threshold", type=int, default=0)
+    p_perf.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best is kept)"
+    )
+    p_perf.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write a BENCH_perf.json trajectory point here",
+    )
+    p_perf.add_argument(
+        "--smoke", action="store_true", help="headline geometry only, one repeat"
     )
 
     p_rep = sub.add_parser("report", help="one-shot reproduction report")
@@ -292,6 +310,30 @@ def main(argv: list[str] | None = None) -> int:
                 seed=args.seed,
             )
         print(result.render())
+    elif args.command == "perf":
+        from .analysis.perf import PerfOptions, measure_perf, write_bench_json
+
+        if args.smoke:
+            options = PerfOptions(
+                resolution=args.resolution,
+                window=min(args.window, args.resolution),
+                threshold=args.threshold,
+                windows=(),
+                thresholds=(),
+                repeats=1,
+            )
+        else:
+            options = PerfOptions(
+                resolution=args.resolution,
+                window=args.window,
+                threshold=args.threshold,
+                repeats=args.repeats,
+            )
+        result = measure_perf(options)
+        print(result.render())
+        if args.json is not None:
+            write_bench_json(result, args.json)
+            print(f"wrote {args.json}")
     elif args.command == "report":
         from .analysis.report import ReportOptions, full_report
 

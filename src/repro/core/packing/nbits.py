@@ -30,6 +30,35 @@ from ...errors import ConfigError
 _POW2 = (1 << np.arange(63, dtype=np.int64)).astype(np.int64)
 
 
+def _bit_length(magnitude: np.ndarray) -> np.ndarray:
+    """Element-wise ``int.bit_length`` of a non-negative integer array.
+
+    ``frexp`` returns the exponent ``e`` with ``2**(e-1) <= m < 2**e``,
+    which is exactly the bit length — and is exact while ``m`` fits a
+    float64 mantissa.  Larger magnitudes (only reachable with >52-bit
+    coefficients) take the binary-search path.
+    """
+    if magnitude.size == 0 or int(magnitude.max()) < (1 << 52):
+        return np.frexp(magnitude)[1].astype(np.int64)
+    return np.searchsorted(
+        _POW2, magnitude.astype(np.int64), side="right"
+    ).astype(np.int64)
+
+
+def _signed_magnitude(arr: np.ndarray) -> np.ndarray:
+    """Map each value to ``v if v >= 0 else ~v`` (its width-determining bits).
+
+    ``v ^ (v >> (bits-1))`` computes this branch-free: the arithmetic
+    shift yields all-zeros for non-negative values and all-ones for
+    negative ones (XOR with all-ones is ``~``).  Unsigned dtypes are
+    already their own magnitude.
+    """
+    if np.issubdtype(arr.dtype, np.unsignedinteger):
+        return arr
+    shift = arr.dtype.itemsize * 8 - 1
+    return arr ^ (arr >> shift)
+
+
 def min_bits_signed_scalar(value: int) -> int:
     """Minimum two's-complement width of a single integer."""
     v = int(value)
@@ -42,20 +71,18 @@ def min_bits_signed(values: np.ndarray, axis: int | None = None) -> np.ndarray |
 
     With ``axis=None`` returns a single Python int covering the whole
     array; otherwise reduces along ``axis`` (e.g. per sub-band column).
-    An empty reduction yields width 1 (a single bitmap-only zero column
-    still stores NBits = 1 in the management stream).
+    The computation is fully vectorised over every other axis, so a
+    ``(T, N/2, W)`` traversal stack reduces along its row axis in one
+    call — this is the form the engine fast path uses.  An empty
+    reduction yields width 1 (a single bitmap-only zero column still
+    stores NBits = 1 in the management stream).
     """
     arr = np.asarray(values)
     if not np.issubdtype(arr.dtype, np.integer):
         raise ConfigError(f"NBits requires integer coefficients, got {arr.dtype}")
-    arr64 = arr.astype(np.int64, copy=False)
-    magnitude = np.where(arr64 >= 0, arr64, ~arr64)
-    # bit_length via binary search over powers of two: searchsorted on the
-    # right gives exactly floor(log2(m)) + 1 for m >= 1 and 0 for m == 0.
-    bl = np.searchsorted(_POW2, magnitude, side="right").astype(np.int64)
-    widths = bl + 1
+    widths = _bit_length(_signed_magnitude(arr)) + 1
     if axis is None:
-        if arr64.size == 0:
+        if arr.size == 0:
             return 1
         return int(widths.max())
     return np.maximum(widths.max(axis=axis), 1)
@@ -70,9 +97,7 @@ def bit_widths_signed(values: np.ndarray) -> np.ndarray:
     arr = np.asarray(values)
     if not np.issubdtype(arr.dtype, np.integer):
         raise ConfigError(f"NBits requires integer coefficients, got {arr.dtype}")
-    arr64 = arr.astype(np.int64, copy=False)
-    magnitude = np.where(arr64 >= 0, arr64, ~arr64)
-    return np.searchsorted(_POW2, magnitude, side="right").astype(np.int64) + 1
+    return _bit_length(_signed_magnitude(arr)) + 1
 
 
 class NBitsGateModel:

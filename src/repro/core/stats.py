@@ -24,7 +24,7 @@ import numpy as np
 from ..config import ArchitectureConfig
 from ..errors import ConfigError
 from .packing.bitmap import apply_threshold
-from .packing.nbits import min_bits_signed
+from .packing.nbits import bit_widths_signed, min_bits_signed
 from .transform.haar2d import (
     forward_inplace,
     inverse_inplace,
@@ -151,6 +151,216 @@ def analyze_band(config: ArchitectureConfig, band: np.ndarray) -> BandAnalysis:
     return BandAnalysis(config=config, plane=plane, nbits=nbits, bitmap=plane != 0)
 
 
+@dataclass(frozen=True)
+class BandStackAnalysis:
+    """Compression analysis of a ``(T, N, W)`` stack of bands.
+
+    The frame-at-once counterpart of :class:`BandAnalysis`: every
+    per-band quantity gains a leading traversal axis, and all of them are
+    computed in single vectorised passes (no per-band Python loop).
+    Element ``[t]`` of every array is bit-identical to what
+    :func:`analyze_band` produces for band ``t`` — property-tested.
+    """
+
+    config: ArchitectureConfig
+    #: Thresholded interleaved coefficient planes, shape ``(T, N, W)``.
+    plane: np.ndarray
+    #: Per-parity NBits, shape ``(T, 2, W)`` (even rows, odd rows).
+    nbits: np.ndarray
+    #: Significance flags, shape ``(T, N, W)``.
+    bitmap: np.ndarray
+
+    @cached_property
+    def widths(self) -> np.ndarray:
+        """Per-coefficient packed widths, shape ``(T, N, W)``."""
+        parity = np.arange(self.plane.shape[1]) % 2
+        per_element = self.nbits[:, parity, :]
+        return np.multiply(per_element, self.bitmap)
+
+    @property
+    def payload_bits_per_column(self) -> np.ndarray:
+        """Packed payload bits per plane column, shape ``(T, W)``."""
+        return self.widths.sum(axis=1)
+
+    @property
+    def payload_bits_per_row(self) -> np.ndarray:
+        """Packed payload bits per row stream, shape ``(T, N)``."""
+        return self.widths.sum(axis=2)
+
+    @property
+    def payload_bits(self) -> np.ndarray:
+        """Total packed payload bits of each band, shape ``(T,)``."""
+        return self.widths.sum(axis=(1, 2))
+
+    @property
+    def management_bits_per_column(self) -> int:
+        """NBits fields plus bitmap bits per column (same for every band)."""
+        return 2 * self.config.nbits_field_width + self.plane.shape[1]
+
+    def reconstruct(self, *, clip: bool = True) -> np.ndarray:
+        """Inverse-transform every thresholded plane back to pixels."""
+        wrap = (
+            self.config.coefficient_bits if self.config.wrap_coefficients else None
+        )
+        plane = self.plane
+        if self.config.ll_dpcm:
+            plane = ll_dpcm_inverse(plane, self.config.decomposition_levels)
+        bands = inverse_inplace(
+            plane, self.config.decomposition_levels, wrap_bits=wrap
+        )
+        if clip:
+            if self.config.wrap_coefficients:
+                bands = bands & self.config.pixel_max
+            else:
+                bands = np.clip(bands, 0, self.config.pixel_max)
+        return bands
+
+
+def analyze_band_stack(
+    config: ArchitectureConfig, bands: np.ndarray
+) -> BandStackAnalysis:
+    """Transform, threshold and size a whole ``(T, N, W)`` band stack.
+
+    One vectorised pass over all T bands: the batched
+    :func:`~repro.core.transform.haar2d.forward_inplace`, a broadcast
+    threshold and a stack-wide :func:`min_bits_signed` replace T separate
+    :func:`analyze_band` calls.  Bit-identical per band to the scalar
+    analysis (no payload bits are materialised here either).
+    """
+    arr = np.asarray(bands)
+    if arr.ndim != 3 or arr.shape[1] % 2 or arr.shape[2] % 2:
+        raise ConfigError(
+            f"band stack must be (T, N, W) with even N and W, got {arr.shape}"
+        )
+    wrap = config.coefficient_bits if config.wrap_coefficients else None
+    plane = forward_inplace(arr, config.decomposition_levels, wrap_bits=wrap)
+    if config.ll_dpcm:
+        plane = ll_dpcm_forward(plane, config.decomposition_levels)
+    exempt = None
+    if config.threshold_bands == "details" or config.ll_dpcm:
+        # (N, W) mask broadcasts over the traversal axis.
+        exempt = ll_mask_inplace(plane.shape[-2:], config.decomposition_levels)
+    plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
+    nbits = np.stack(
+        [
+            min_bits_signed(plane[:, 0::2, :], axis=1),
+            min_bits_signed(plane[:, 1::2, :], axis=1),
+        ],
+        axis=1,
+    ).astype(np.int64)
+    return BandStackAnalysis(
+        config=config, plane=plane, nbits=nbits, bitmap=plane != 0
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BandStackSizes:
+    """Per-traversal compressed-size accounting of a whole frame.
+
+    The slimmed-down product of :func:`band_stack_sizes`: just the
+    quantities the engine's occupancy/budget accounting needs, without
+    materialising per-coefficient planes for every traversal.
+    """
+
+    config: ArchitectureConfig
+    #: Packed payload bits per plane column, shape ``(T, W)``.
+    payload_bits_per_column: np.ndarray
+    #: Per-parity NBits, shape ``(T, 2, W)``.
+    nbits: np.ndarray
+
+    @property
+    def management_bits_per_column(self) -> int:
+        """NBits fields plus bitmap bits per column (same for every band)."""
+        return 2 * self.config.nbits_field_width + self.config.window_size
+
+
+def band_stack_sizes(
+    config: ArchitectureConfig, image: np.ndarray
+) -> BandStackSizes:
+    """Compressed sizes of every traversal band in shared-row dataflow.
+
+    Adjacent bands overlap in ``N - 1`` rows, and the single-level 2x2
+    block transform of band ``t`` only ever combines image row pairs
+    ``(t + 2i, t + 2i + 1)``.  So instead of transforming a ``(T, N, W)``
+    stack (``~N/2`` redundant copies of every pair), transform each of
+    the ``H - 1`` adjacent row *pairs* once — an O(H·W) pass — then
+    reduce per-band NBits and significance counts with sliding-window
+    max/sum over pair space.  Bit-identical to reducing
+    :func:`analyze_band_stack` (property-tested); restricted to
+    ``decomposition_levels == 1`` (deeper pyramids mix rows more than
+    one pair apart — use :func:`analyze_band_stack` for those).
+    """
+    arr = np.asarray(image)
+    if arr.ndim != 2:
+        raise ConfigError(f"image must be 2D, got shape {arr.shape}")
+    if config.decomposition_levels != 1:
+        raise ConfigError(
+            "band_stack_sizes models the single-level dataflow; use "
+            "analyze_band_stack for deeper decompositions"
+        )
+    n = config.window_size
+    h, w = arr.shape
+    if h < n:
+        raise ConfigError(f"image height {h} shorter than one {n}-band")
+    wrap = config.coefficient_bits if config.wrap_coefficients else None
+    pairs = sliding_band_stack(arr, 2)  # (H-1, 2, W) zero-copy
+    plane = forward_inplace(pairs, 1, wrap_bits=wrap)
+    if config.ll_dpcm:
+        plane = ll_dpcm_forward(plane, 1)
+    if config.threshold:  # T=0 thresholding is the identity; skip the copy
+        exempt = None
+        if config.threshold_bands == "details" or config.ll_dpcm:
+            exempt = ll_mask_inplace((2, w), 1)
+        plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
+    element_widths = bit_widths_signed(plane)  # (H-1, 2, W)
+    significant = plane != 0
+    half = n // 2
+    t_total = h - n + 1
+    nbits = np.empty((t_total, 2, w), dtype=np.int64)
+    counts = np.empty((t_total, 2, w), dtype=np.int64)
+    # Band t uses pairs t, t+2, .., t+N-2: a length-N/2 window over the
+    # pairs of t's parity class.  Accumulating N/2 shifted slices keeps
+    # every pass contiguous (a strided window-view reduce gathers).
+    for q in (0, 1):
+        if t_total <= q:
+            break
+        widths_q = element_widths[q::2]
+        signif_q = significant[q::2]
+        length = widths_q.shape[0] - half + 1
+        nbits_q = widths_q[:length].copy()
+        counts_q = signif_q[:length].astype(np.int64)
+        for i in range(1, half):
+            np.maximum(nbits_q, widths_q[i : i + length], out=nbits_q)
+            counts_q += signif_q[i : i + length]
+        nbits[q::2] = nbits_q
+        counts[q::2] = counts_q
+    # Every element of a band row packs its parity's band NBits when
+    # significant; summing a column is counts x NBits per parity.
+    cols = counts[:, 0] * nbits[:, 0] + counts[:, 1] * nbits[:, 1]
+    return BandStackSizes(
+        config=config, payload_bits_per_column=cols, nbits=nbits
+    )
+
+
+def sliding_band_stack(image: np.ndarray, window_size: int) -> np.ndarray:
+    """Zero-copy ``(T, N, W)`` view of every traversal band of ``image``.
+
+    Band ``t`` is rows ``t .. t+N-1`` — exactly the band the compressed
+    engine compresses on traversal ``y = t + N - 1``.  Built with
+    ``sliding_window_view``, so no pixel data is duplicated.
+    """
+    arr = np.asarray(image)
+    if arr.ndim != 2:
+        raise ConfigError(f"image must be 2D, got shape {arr.shape}")
+    if not 1 <= window_size <= arr.shape[0]:
+        raise ConfigError(
+            f"window {window_size} exceeds image height {arr.shape[0]}"
+        )
+    # (H-N+1, W, N) view -> (T, N, W) without copying.
+    view = np.lib.stride_tricks.sliding_window_view(arr, window_size, axis=0)
+    return view.transpose(0, 2, 1)
+
+
 def iter_bands(
     config: ArchitectureConfig,
     image: np.ndarray,
@@ -185,22 +395,29 @@ def sliding_occupancy(
     ``x-N+1 .. W-N-1`` (not yet replaced) plus the *current* band's
     columns ``0 .. x-N`` (already compressed and stored) — always
     ``W - N`` slots in total.  Management bits are a constant per slot.
+
+    The column axis is the last one; leading axes are batch dimensions,
+    so a whole frame's ``(T, W)`` size stacks resolve in one call (the
+    engine fast path relies on this).
     """
     prev = np.asarray(prev_sizes, dtype=np.int64)
     cur = np.asarray(cur_sizes, dtype=np.int64)
-    if prev.shape != cur.shape or prev.ndim != 1:
+    if prev.shape != cur.shape or prev.ndim < 1:
         raise ConfigError(
-            f"size arrays must be equal-length 1D, got {prev.shape} vs {cur.shape}"
+            f"size arrays must be equal-shape (..., W), "
+            f"got {prev.shape} vs {cur.shape}"
         )
-    w = prev.size
+    w = prev.shape[-1]
     n = window_size
-    prefix_prev = np.concatenate([[0], np.cumsum(prev)])
-    prefix_cur = np.concatenate([[0], np.cumsum(cur)])
-    total_prev = int(prefix_prev[w - n])  # prev columns 0 .. W-N-1
+    zero = np.zeros(prev.shape[:-1] + (1,), dtype=np.int64)
+    prefix_prev = np.concatenate([zero, np.cumsum(prev, axis=-1)], axis=-1)
+    prefix_cur = np.concatenate([zero, np.cumsum(cur, axis=-1)], axis=-1)
+    # prev columns 0 .. W-N-1 (kept as (..., 1) so the batch case broadcasts)
+    total_prev = prefix_prev[..., w - n : w - n + 1]
     x = np.arange(w)
     limit = np.clip(x - n + 1, 0, w - n)
-    prev_part = total_prev - prefix_prev[limit]
-    cur_part = prefix_cur[limit]
+    prev_part = total_prev - prefix_prev[..., limit]
+    cur_part = prefix_cur[..., limit]
     return prev_part + cur_part + management_bits_per_column * (w - n)
 
 

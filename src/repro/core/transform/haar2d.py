@@ -35,7 +35,9 @@ class Subbands:
 
     Each plane has half the parent resolution along both axes.  Planes are
     ``COEFF_DTYPE`` arrays; ``ll`` of the final level carries the residual
-    approximation.
+    approximation.  Planes may carry leading batch axes (the last two axes
+    are always the spatial ones) — a ``(T, N, W)`` band stack transforms
+    in one shot, which is what the frame-at-once engine fast path uses.
     """
 
     ll: np.ndarray
@@ -68,27 +70,27 @@ class Subbands:
         and ``(2i+1, 2j+1)`` HH of block ``(i, j)`` — the layout a streaming
         datapath naturally produces.
         """
-        h, w = self.ll.shape
-        out = np.empty((2 * h, 2 * w), dtype=COEFF_DTYPE)
-        out[0::2, 0::2] = self.ll
-        out[0::2, 1::2] = self.hl
-        out[1::2, 0::2] = self.lh
-        out[1::2, 1::2] = self.hh
+        h, w = self.ll.shape[-2:]
+        out = np.empty(self.ll.shape[:-2] + (2 * h, 2 * w), dtype=COEFF_DTYPE)
+        out[..., 0::2, 0::2] = self.ll
+        out[..., 0::2, 1::2] = self.hl
+        out[..., 1::2, 0::2] = self.lh
+        out[..., 1::2, 1::2] = self.hh
         return out
 
     @classmethod
     def from_interleaved(cls, plane: np.ndarray) -> "Subbands":
         """Inverse of :meth:`interleaved`."""
         arr = np.asarray(plane)
-        if arr.ndim != 2 or arr.shape[0] % 2 or arr.shape[1] % 2:
+        if arr.ndim < 2 or arr.shape[-2] % 2 or arr.shape[-1] % 2:
             raise ConfigError(
-                f"interleaved plane must be 2D with even sides, got {arr.shape}"
+                f"interleaved plane must be >= 2D with even sides, got {arr.shape}"
             )
         return cls(
-            ll=arr[0::2, 0::2].astype(COEFF_DTYPE),
-            hl=arr[0::2, 1::2].astype(COEFF_DTYPE),
-            lh=arr[1::2, 0::2].astype(COEFF_DTYPE),
-            hh=arr[1::2, 1::2].astype(COEFF_DTYPE),
+            ll=arr[..., 0::2, 0::2].astype(COEFF_DTYPE),
+            hl=arr[..., 0::2, 1::2].astype(COEFF_DTYPE),
+            lh=arr[..., 1::2, 0::2].astype(COEFF_DTYPE),
+            hh=arr[..., 1::2, 1::2].astype(COEFF_DTYPE),
         )
 
 
@@ -102,15 +104,17 @@ def forward_2d(
     Rows are transformed first (horizontal low/high split), then columns,
     matching the hardware block wiring of Fig 5 up to butterfly ordering
     (the composition is identical; see the block-model equivalence test).
+    Leading axes (anything before the last two) are treated as batch
+    dimensions and transformed independently.
     """
     arr = np.asarray(image)
-    if arr.ndim != 2:
-        raise ConfigError(f"expected a 2D image, got shape {arr.shape}")
-    if arr.shape[0] % 2 or arr.shape[1] % 2:
+    if arr.ndim < 2:
+        raise ConfigError(f"expected a >= 2D image, got shape {arr.shape}")
+    if arr.shape[-2] % 2 or arr.shape[-1] % 2:
         raise ConfigError(f"image sides must be even, got {arr.shape}")
-    low_h, high_h = forward_1d(arr, axis=1, wrap_bits=wrap_bits)
-    ll, lh = forward_1d(low_h, axis=0, wrap_bits=wrap_bits)
-    hl, hh = forward_1d(high_h, axis=0, wrap_bits=wrap_bits)
+    low_h, high_h = forward_1d(arr, axis=-1, wrap_bits=wrap_bits)
+    ll, lh = forward_1d(low_h, axis=-2, wrap_bits=wrap_bits)
+    hl, hh = forward_1d(high_h, axis=-2, wrap_bits=wrap_bits)
     return Subbands(ll=ll, lh=lh, hl=hl, hh=hh)
 
 
@@ -120,9 +124,9 @@ def inverse_2d(
     wrap_bits: int | None = None,
 ) -> np.ndarray:
     """Exact inverse of :func:`forward_2d`."""
-    low_h = inverse_1d(bands.ll, bands.lh, axis=0, wrap_bits=wrap_bits)
-    high_h = inverse_1d(bands.hl, bands.hh, axis=0, wrap_bits=wrap_bits)
-    return inverse_1d(low_h, high_h, axis=1, wrap_bits=wrap_bits)
+    low_h = inverse_1d(bands.ll, bands.lh, axis=-2, wrap_bits=wrap_bits)
+    high_h = inverse_1d(bands.hl, bands.hh, axis=-2, wrap_bits=wrap_bits)
+    return inverse_1d(low_h, high_h, axis=-1, wrap_bits=wrap_bits)
 
 
 def forward_column_pair(
@@ -172,7 +176,7 @@ def forward_multilevel(
     out: list[Subbands] = []
     current = arr
     for level in range(levels):
-        if current.shape[0] % 2 or current.shape[1] % 2:
+        if current.shape[-2] % 2 or current.shape[-1] % 2:
             raise ConfigError(
                 f"level {level} input sides must be even, got {current.shape}"
             )
@@ -211,22 +215,25 @@ def forward_inplace(
     coefficient at a fixed image position, so the streaming architecture's
     per-column packing applies unchanged — this is what the
     ``decomposition_levels`` configuration knob feeds on.
+
+    Accepts leading batch axes: a ``(T, N, W)`` stack of bands transforms
+    every band independently in one vectorised pass.
     """
     if levels < 1:
         raise ConfigError(f"levels must be >= 1, got {levels}")
     arr = np.asarray(image)
-    if arr.ndim != 2:
-        raise ConfigError(f"expected a 2D image, got shape {arr.shape}")
-    if arr.shape[0] % (1 << levels) or arr.shape[1] % (1 << levels):
+    if arr.ndim < 2:
+        raise ConfigError(f"expected a >= 2D image, got shape {arr.shape}")
+    if arr.shape[-2] % (1 << levels) or arr.shape[-1] % (1 << levels):
         raise ConfigError(
             f"sides must be divisible by 2^levels = {1 << levels}, "
             f"got {arr.shape}"
         )
-    plane = np.asarray(image).astype(COEFF_DTYPE).copy()
+    plane = arr.astype(COEFF_DTYPE).copy()
     for level in range(levels):
         stride = 1 << level
-        view = plane[::stride, ::stride]
-        view[:, :] = forward_2d(view, wrap_bits=wrap_bits).interleaved()
+        view = plane[..., ::stride, ::stride]
+        view[...] = forward_2d(view, wrap_bits=wrap_bits).interleaved()
     return plane
 
 
@@ -236,19 +243,19 @@ def inverse_inplace(
     *,
     wrap_bits: int | None = None,
 ) -> np.ndarray:
-    """Exact inverse of :func:`forward_inplace`."""
+    """Exact inverse of :func:`forward_inplace` (batch axes supported)."""
     if levels < 1:
         raise ConfigError(f"levels must be >= 1, got {levels}")
     arr = np.asarray(plane).astype(COEFF_DTYPE).copy()
-    if arr.ndim != 2 or arr.shape[0] % (1 << levels) or arr.shape[1] % (1 << levels):
+    if arr.ndim < 2 or arr.shape[-2] % (1 << levels) or arr.shape[-1] % (1 << levels):
         raise ConfigError(
             f"plane sides must be divisible by 2^levels = {1 << levels}, "
             f"got {arr.shape}"
         )
     for level in reversed(range(levels)):
         stride = 1 << level
-        view = arr[::stride, ::stride]
-        view[:, :] = inverse_2d(
+        view = arr[..., ::stride, ::stride]
+        view[...] = inverse_2d(
             Subbands.from_interleaved(view.copy()), wrap_bits=wrap_bits
         )
     return arr
@@ -265,14 +272,15 @@ def ll_dpcm_forward(plane: np.ndarray, levels: int) -> np.ndarray:
 
     This is an extension beyond the paper (flagged by the
     ``ll_dpcm`` configuration option), motivated by LL dominating the
-    compressed footprint — see docs/architecture.md §3.
+    compressed footprint — see docs/architecture.md §3.  Leading batch
+    axes are supported (each band of a stack DPCMs independently).
     """
     if levels < 1:
         raise ConfigError(f"levels must be >= 1, got {levels}")
     out = np.asarray(plane).astype(COEFF_DTYPE).copy()
     stride = 1 << levels
-    view = out[::stride, ::stride]
-    view[:, 1:] = np.diff(view, axis=1)
+    view = out[..., ::stride, ::stride]
+    view[..., 1:] = np.diff(view, axis=-1)
     return out
 
 
@@ -282,8 +290,8 @@ def ll_dpcm_inverse(plane: np.ndarray, levels: int) -> np.ndarray:
         raise ConfigError(f"levels must be >= 1, got {levels}")
     out = np.asarray(plane).astype(COEFF_DTYPE).copy()
     stride = 1 << levels
-    view = out[::stride, ::stride]
-    view[:, :] = np.cumsum(view, axis=1)
+    view = out[..., ::stride, ::stride]
+    view[...] = np.cumsum(view, axis=-1)
     return out
 
 

@@ -20,6 +20,23 @@ Two engines:
 In lossless mode every reconstruction is exact, so both engines produce
 output identical to the traditional architecture — the paper's headline
 functional claim, property-tested in the suite.
+
+:class:`CompressedEngine` has two execution strategies with identical
+results:
+
+- the *sequential* reference path — one Python-loop iteration per row
+  traversal, required whenever a traversal's input depends on the
+  previous traversal's lossy reconstruction (``recirculate=True`` with a
+  non-zero threshold), when payload bits must be materialised
+  (``bit_exact=True``), or when the memory path is protected/injected;
+- the *fast* frame-at-once path — when every traversal band is known up
+  front to be the raw input rows (lossless, or ``recirculate=False``),
+  all ``H - N + 1`` bands are assembled as a zero-copy ``(T, N, W)``
+  stack and compressed in one vectorised
+  :func:`~repro.core.stats.analyze_band_stack` pass, with a single
+  whole-frame :func:`~repro.core.window.golden.golden_apply` producing
+  the kernel outputs.  Bit-identical to the sequential path (outputs,
+  widths, occupancy peaks, stats, capacity errors) — property-tested.
 """
 
 from __future__ import annotations
@@ -38,7 +55,13 @@ from ..packing.hw_pack import BitPackingUnit, PackedWord
 from ..packing.hw_unpack import BitUnpackingUnit
 from ..packing.nbits import NBitsGateModel
 from ..packing.packer import BandCodec
-from ..stats import analyze_band, sliding_occupancy
+from ..stats import (
+    analyze_band,
+    analyze_band_stack,
+    band_stack_sizes,
+    sliding_band_stack,
+    sliding_occupancy,
+)
 from ..transform.hwmodel import Haar2DBlock, InverseHaar2DBlock
 from .base import EngineStats, SlidingWindowEngine, WindowRun
 from .golden import golden_apply
@@ -60,6 +83,7 @@ class CompressedEngine(SlidingWindowEngine):
         protection: ProtectionPolicy | str | None = None,
         injector: FaultInjector | None = None,
         fault_policy: str = "degrade",
+        fast_path: bool | None = None,
     ) -> None:
         super().__init__(config, kernel)
         self.recirculate = recirculate
@@ -96,6 +120,38 @@ class CompressedEngine(SlidingWindowEngine):
             )
         #: Fault outcome of the most recent :meth:`run` (protected path only).
         self.fault_summary: EngineFaultSummary | None = None
+        #: Execution-strategy selector: ``None`` picks the frame-at-once
+        #: vectorised path automatically whenever it is exact (see
+        #: :attr:`fast_path_eligible`), ``False`` forces the sequential
+        #: reference loop, ``True`` demands the fast path and fails fast
+        #: at construction if the configuration cannot use it.
+        self.fast_path = fast_path
+        if fast_path and not self.fast_path_eligible:
+            raise ConfigError(
+                "fast_path=True requires a deterministic frame-at-once run: "
+                "lossless or recirculate=False, bit_exact=False and an "
+                "unprotected/uninjected memory path"
+            )
+        #: Strategy used by the most recent :meth:`run`
+        #: (``"fast"`` or ``"sequential"``).
+        self.last_path: str | None = None
+
+    @property
+    def fast_path_eligible(self) -> bool:
+        """True when the frame-at-once vectorised path is exact.
+
+        The fast path requires every traversal band to be the raw input
+        rows, known before the run starts.  That holds when reconstruction
+        is exact (lossless threshold) or when reconstructed rows are never
+        fed back (``recirculate=False``).  ``bit_exact`` runs materialise
+        payload bit streams and protected/injected runs mutate stored
+        words — both stay on the sequential reference loop.
+        """
+        return (
+            not self.bit_exact
+            and self._resilient is None
+            and (self.config.lossless or not self.recirculate)
+        )
 
     def _roundtrip(self, band: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
         """Compress+reconstruct one band.
@@ -117,36 +173,222 @@ class CompressedEngine(SlidingWindowEngine):
             analysis.management_bits_per_column,
         )
 
+    def _plan_geometry(self) -> tuple[int, int, int, int]:
+        """(rows per group, group count, BRAMs per group, capacity bits)."""
+        plan = self.memory_plan
+        n = self.config.window_size
+        r = plan.rows_per_bram
+        n_groups = n // r
+        group_brams = max(1, plan.packed_brams // n_groups)
+        return r, n_groups, group_brams, group_brams * 18 * 1024
+
+    def _group_columns(self, widths: np.ndarray) -> np.ndarray:
+        """Per-BRAM-group column sizes via one reshaped sum.
+
+        ``widths`` is ``(..., N, W)``; rows are folded into their plan
+        groups in a single pass, giving ``(..., G, W)``.  Rows beyond
+        ``G * rows_per_bram`` (a ragged final group the plan does not
+        map) are excluded, matching the per-group slicing the plan uses.
+        """
+        r, n_groups, _, _ = self._plan_geometry()
+        lead = widths.shape[:-2]
+        w = widths.shape[-1]
+        grouped = widths[..., : n_groups * r, :].reshape(
+            lead + (n_groups, r, w)
+        )
+        return grouped.sum(axis=-2)
+
     def _check_memory_plan(
         self,
         prev_widths: np.ndarray | None,
         widths: np.ndarray,
         traversal: int,
     ) -> None:
-        """Enforce the design-time BRAM plan's per-group capacity."""
-        plan = self.memory_plan
-        n = self.config.window_size
-        r = plan.rows_per_bram
-        n_groups = n // r
-        group_brams = max(1, plan.packed_brams // n_groups)
-        capacity = group_brams * 18 * 1024
+        """Enforce the design-time BRAM plan's per-group capacity.
+
+        All BRAM groups are checked in one stacked occupancy pass; the
+        lowest-numbered overflowing group is reported (the order the
+        hardware's group monitors would trip in).
+        """
         ref = widths if prev_widths is None else prev_widths
-        for g in range(n_groups):
-            cur_g = widths[g * r : (g + 1) * r].sum(axis=0)
-            prev_g = ref[g * r : (g + 1) * r].sum(axis=0)
-            occ = sliding_occupancy(prev_g, cur_g, n, 0)
-            peak = int(occ.max())
-            if peak > capacity:
-                raise CapacityError(
-                    f"BRAM group {g} holds {peak} bits at traversal "
-                    f"{traversal}, allocation is {capacity} bits "
-                    f"({group_brams} x 18Kb) — frame exceeds the "
-                    f"design-time plan"
-                )
+        cur_g = self._group_columns(widths)
+        prev_g = self._group_columns(ref)
+        occ = sliding_occupancy(prev_g, cur_g, self.config.window_size, 0)
+        peaks = occ.max(axis=-1)
+        self._raise_plan_overflow(peaks, traversal)
+
+    def _raise_plan_overflow(self, peaks: np.ndarray, traversal: int) -> None:
+        """Raise for the first group whose peak exceeds the plan capacity."""
+        _, _, group_brams, capacity = self._plan_geometry()
+        over = np.nonzero(peaks > capacity)[0]
+        if over.size:
+            g = int(over[0])
+            raise CapacityError(
+                f"BRAM group {g} holds {int(peaks[g])} bits at traversal "
+                f"{traversal}, allocation is {capacity} bits "
+                f"({group_brams} x 18Kb) — frame exceeds the "
+                f"design-time plan"
+            )
 
     def run(self, image: np.ndarray) -> WindowRun:
-        """Process ``image`` through the compressed architecture."""
+        """Process ``image`` through the compressed architecture.
+
+        Dispatches to the frame-at-once vectorised path when it is exact
+        (see :attr:`fast_path_eligible`) and ``fast_path`` does not force
+        the sequential loop; both paths produce bit-identical results on
+        every configuration where both are allowed.
+        """
         arr = self._validate_image(image).astype(np.int64)
+        if self.fast_path is not False and self.fast_path_eligible:
+            self.last_path = "fast"
+            return self._run_fast(arr)
+        self.last_path = "sequential"
+        return self._run_sequential(arr)
+
+    # -- frame-at-once vectorised path ------------------------------------
+
+    #: Per-chunk working-set budget of the fast path (bytes of one
+    #: ``(C, N, W)`` int64 plane); bounds memory on 2048x2048 sweeps.
+    _FAST_CHUNK_BUDGET = 32 * 1024 * 1024
+
+    def _run_fast(self, arr: np.ndarray) -> WindowRun:
+        """Vectorised frame-at-once run (bit-identical to the loop).
+
+        Every traversal band is the raw rows ``y-N+1 .. y`` (the
+        eligibility precondition), so the whole frame's compression
+        accounting resolves in a handful of vectorised passes — the
+        shared-row :func:`band_stack_sizes` dataflow for the common
+        single-level case, a chunked :func:`analyze_band_stack` sweep
+        when per-coefficient widths are needed (BRAM-plan enforcement)
+        or the pyramid is deeper — and the kernel output map is one
+        whole-frame :func:`golden_apply` instead of one call per
+        traversal.
+        """
+        cfg = self.config
+        n, w, h = cfg.window_size, cfg.image_width, cfg.image_height
+        self.fault_summary = None
+
+        outputs = golden_apply(arr, n, self.kernel)
+        if self.memory_plan is None and cfg.decomposition_levels == 1:
+            peak, band_totals = self._fast_sizes_shared(arr)
+        else:
+            peak, band_totals = self._fast_sizes_chunked(arr)
+
+        fill = traditional_fill_cycles(n, w)
+        stats = EngineStats(
+            fill_cycles=fill,
+            process_cycles=arr.size - fill,
+            drain_cycles=0,
+            pixels_in=arr.size,
+            outputs=outputs.size,
+            buffer_bits_peak=peak,
+            traditional_buffer_bits=cfg.traditional_buffer_bits,
+            band_total_bits=band_totals,
+        )
+        return WindowRun(
+            outputs=outputs,
+            stats=stats,
+            reconstruction=arr.copy(),
+            faults=None,
+        )
+
+    def _occupancy_band_peaks(
+        self,
+        cols: np.ndarray,
+        mgmt: int,
+        prev_last: np.ndarray | None,
+    ) -> np.ndarray:
+        """Per-traversal occupancy peaks of a ``(C, ..., W)`` size stack.
+
+        Each traversal references the previous traversal's sizes;
+        ``prev_last`` carries the final sizes of the preceding chunk (the
+        very first traversal of a frame references itself).
+        """
+        carry = cols[:1] if prev_last is None else prev_last[None]
+        prev = np.concatenate([carry, cols[:-1]], axis=0)
+        occ = sliding_occupancy(prev, cols, self.config.window_size, mgmt)
+        return occ.max(axis=-1)
+
+    def _first_budget_overflow(self, band_peaks: np.ndarray) -> int | None:
+        """Index of the first traversal over ``memory_budget_bits``."""
+        if self.memory_budget_bits is None:
+            return None
+        over = np.nonzero(band_peaks > self.memory_budget_bits)[0]
+        return int(over[0]) if over.size else None
+
+    def _raise_budget_overflow(self, peak_bits: int, traversal: int) -> None:
+        raise CapacityError(
+            f"buffered {peak_bits} bits at traversal {traversal}, memory "
+            f"unit provisioned for {self.memory_budget_bits}"
+        )
+
+    def _fast_sizes_shared(self, arr: np.ndarray) -> tuple[int, list[int]]:
+        """Whole-frame accounting via the shared-row pair dataflow."""
+        cfg = self.config
+        n, w = cfg.window_size, cfg.image_width
+        sizes = band_stack_sizes(cfg, arr)
+        cols = sizes.payload_bits_per_column
+        mgmt = sizes.management_bits_per_column
+        band_totals = [int(v) + mgmt * (w - n) for v in cols.sum(axis=1)]
+        band_peaks = self._occupancy_band_peaks(cols, mgmt, None)
+        t = self._first_budget_overflow(band_peaks)
+        if t is not None:
+            self._raise_budget_overflow(int(band_peaks[t]), t + n - 1)
+        return int(band_peaks.max()), band_totals
+
+    def _fast_sizes_chunked(self, arr: np.ndarray) -> tuple[int, list[int]]:
+        """Whole-frame accounting via chunked band-stack analysis.
+
+        Used when per-coefficient width planes are required (BRAM-plan
+        enforcement) or the decomposition recurses deeper than one level;
+        chunking bounds the ``(C, N, W)`` working set.
+        """
+        cfg = self.config
+        n, w = cfg.window_size, cfg.image_width
+        stack = sliding_band_stack(arr, n)
+        band_totals: list[int] = []
+        peak = 0
+        prev_cols: np.ndarray | None = None
+        prev_group_cols: np.ndarray | None = None
+        chunk = max(1, self._FAST_CHUNK_BUDGET // (n * w * 8))
+        for t0 in range(0, stack.shape[0], chunk):
+            analysis = analyze_band_stack(cfg, stack[t0 : t0 + chunk])
+            mgmt = analysis.management_bits_per_column
+            cols = analysis.payload_bits_per_column  # (C, W)
+            band_totals.extend(
+                int(v) + mgmt * (w - n) for v in cols.sum(axis=1)
+            )
+            band_peaks = self._occupancy_band_peaks(cols, mgmt, prev_cols)
+            budget_t = self._first_budget_overflow(band_peaks)
+            plan_t: int | None = None
+            group_peaks: np.ndarray | None = None
+            if self.memory_plan is not None:
+                group_cols = self._group_columns(analysis.widths)  # (C, G, W)
+                group_band_peaks = self._occupancy_band_peaks(
+                    group_cols, 0, prev_group_cols
+                )  # (C, G)
+                _, _, _, capacity = self._plan_geometry()
+                bad = np.nonzero((group_band_peaks > capacity).any(axis=1))[0]
+                if bad.size:
+                    plan_t = int(bad[0])
+                    group_peaks = group_band_peaks[plan_t]
+                prev_group_cols = group_cols[-1]
+            # The sequential loop checks the budget before the plan inside
+            # one traversal; re-raise the earliest event with that order.
+            if budget_t is not None and (plan_t is None or budget_t <= plan_t):
+                self._raise_budget_overflow(
+                    int(band_peaks[budget_t]), t0 + budget_t + n - 1
+                )
+            if plan_t is not None:
+                self._raise_plan_overflow(group_peaks, t0 + plan_t + n - 1)
+            peak = max(peak, int(band_peaks.max()))
+            prev_cols = cols[-1]
+        return peak, band_totals
+
+    # -- sequential reference path ----------------------------------------
+
+    def _run_sequential(self, arr: np.ndarray) -> WindowRun:
+        """Reference per-traversal loop (handles every configuration)."""
         cfg = self.config
         n, w, h = cfg.window_size, cfg.image_width, cfg.image_height
 

@@ -9,6 +9,7 @@ the filter kernel, and output these results as a sum or weighted sum"
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from ..errors import ConfigError
 from .base import check_window_shape
@@ -35,6 +36,37 @@ class ConvolutionKernel:
         arr = check_window_shape(windows, self.window_size)
         # tensordot over the trailing two axes keeps leading batch dims.
         return np.tensordot(arr, self.taps, axes=([-2, -1], [0, 1]))
+
+    def apply_image(self, image: np.ndarray) -> np.ndarray:
+        """Valid-mode correlation over a whole image, shape ``(T, C)``.
+
+        Whole-image counterpart of :meth:`apply`, used by
+        :func:`~repro.core.window.golden.golden_apply` as a dense fast
+        route: one ``(H*C, N) x (N, N)`` matmul against the tap rows
+        replaces the N^2-fold window materialisation, then the N shifted
+        row contributions accumulate in fixed row order.  Each output is
+        a sum over the same values in the same order regardless of the
+        image height, so an N-row band call and a whole-frame call are
+        bit-identical — the compressed engine's fast/sequential
+        equivalence rests on this.
+        """
+        arr = np.asarray(image)
+        n = self.window_size
+        if arr.ndim != 2:
+            raise ConfigError(f"image must be 2D, got shape {arr.shape}")
+        if arr.shape[0] < n or arr.shape[1] < n:
+            raise ConfigError(f"window {n} exceeds image {arr.shape}")
+        # Pre-cast so the strided matmul runs in BLAS (integer taps stay
+        # integer: the computation remains exact).
+        dtype = np.result_type(arr.dtype, self.taps.dtype)
+        rows = sliding_window_view(arr.astype(dtype, copy=False), n, axis=1)
+        # partial[r, c, i] = sum_j image[r, c+j] * taps[i, j]
+        partial = rows @ self.taps.T.astype(dtype, copy=False)
+        t_total = arr.shape[0] - n + 1
+        out = partial[0:t_total, :, 0].copy()
+        for i in range(1, n):
+            out += partial[i : i + t_total, :, i]
+        return out
 
 
 class BoxFilterKernel(ConvolutionKernel):

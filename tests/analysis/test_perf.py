@@ -1,0 +1,104 @@
+"""Tests for the wall-clock perf harness (tiny geometries only)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.perf import (
+    ENGINE_ORDER,
+    PERF_SCHEMA,
+    PerfOptions,
+    PerfReport,
+    PerfSample,
+    load_bench_json,
+    measure_perf,
+    write_bench_json,
+)
+from repro.errors import ConfigError
+
+SMOKE = PerfOptions(resolution=64, window=8, windows=(), thresholds=(0, 4), repeats=1)
+
+
+@pytest.fixture(scope="module")
+def smoke_report() -> PerfReport:
+    """One tiny measured sweep shared by the assertions below."""
+    return measure_perf(SMOKE)
+
+
+class TestMeasurePerf:
+    def test_covers_every_engine_at_headline(self, smoke_report):
+        for name in ENGINE_ORDER:
+            sample = smoke_report.headline(name)
+            assert sample.pixels_per_sec > 0
+            assert sample.geometry == {
+                "width": 64,
+                "height": 64,
+                "window": 8,
+                "threshold": 0,
+            }
+
+    def test_threshold_sweep_only_times_compressed(self, smoke_report):
+        lossy = [s for s in smoke_report.samples if s.threshold == 4]
+        assert {s.engine for s in lossy} == {
+            "compressed-sequential",
+            "compressed-fast",
+        }
+
+    def test_sequential_is_its_own_baseline(self, smoke_report):
+        base = smoke_report.headline("compressed-sequential")
+        assert smoke_report.speedup_vs_seed(base) == pytest.approx(1.0)
+
+    def test_fast_path_beats_sequential(self, smoke_report):
+        # Even a 64x64 smoke frame shows a clear win; the >= 5x
+        # acceptance bar is asserted at bench geometry in bench_perf.
+        assert smoke_report.fast_speedup > 1.0
+
+    def test_missing_sample_raises(self, smoke_report):
+        with pytest.raises(ConfigError):
+            smoke_report._at("golden", 999, 0)
+
+    def test_render_mentions_engines_and_headline(self, smoke_report):
+        text = smoke_report.render()
+        for name in ENGINE_ORDER:
+            assert name in text
+        assert "headline" in text
+
+    def test_invalid_repeats_rejected(self):
+        with pytest.raises(ConfigError):
+            PerfOptions(repeats=0)
+
+
+class TestBenchJson:
+    def test_roundtrip_and_schema(self, smoke_report, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        write_bench_json(smoke_report, path)
+        payload = load_bench_json(path)
+        assert payload["schema"] == PERF_SCHEMA
+        assert set(payload["engines"]) == set(ENGINE_ORDER)
+        fast = payload["engines"]["compressed-fast"]
+        assert fast["speedup_vs_seed"] == pytest.approx(
+            smoke_report.fast_speedup
+        )
+        assert len(payload["sweep"]) == len(smoke_report.samples)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "engines": {}}))
+        with pytest.raises(ConfigError, match="schema"):
+            load_bench_json(path)
+
+    def test_load_rejects_missing_engine(self, smoke_report, tmp_path):
+        path = tmp_path / "partial.json"
+        payload = smoke_report.to_json_dict()
+        del payload["engines"]["compressed-fast"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="compressed-fast"):
+            load_bench_json(path)
+
+    def test_sample_throughput_definition(self):
+        sample = PerfSample(
+            engine="golden", width=100, height=50, window=8, threshold=0, seconds=2.0
+        )
+        assert sample.pixels_per_sec == pytest.approx(2500.0)

@@ -54,3 +54,30 @@ class TestDefaultWorkers:
     def test_defaults_to_cpu_count(self, monkeypatch):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert default_workers() == (os.cpu_count() or 1)
+
+
+class TestAutoChunksize:
+    def test_splits_work_across_workers(self):
+        from repro.analysis.sweep import CHUNKS_PER_WORKER, auto_chunksize
+
+        # 200 items over 4 workers -> ceil(200 / (4 * CHUNKS_PER_WORKER)).
+        assert auto_chunksize(200, 4) == -(-200 // (4 * CHUNKS_PER_WORKER))
+
+    def test_small_sweeps_stay_at_one(self):
+        from repro.analysis.sweep import auto_chunksize
+
+        assert auto_chunksize(3, 8) == 1
+        assert auto_chunksize(0, 4) == 1
+
+    def test_large_sweep_avoids_per_item_ipc(self):
+        from repro.analysis.sweep import auto_chunksize
+
+        assert auto_chunksize(10_000, 8) > 100
+
+    def test_run_parallel_accepts_explicit_chunksize(self):
+        out = run_parallel(square, list(range(12)), processes=2, chunksize=5)
+        assert out == [x * x for x in range(12)]
+
+    def test_run_parallel_auto_chunksize_default(self):
+        out = run_parallel(square, list(range(50)), processes=2)
+        assert out == [x * x for x in range(50)]

@@ -50,3 +50,43 @@ class TestBoxFilter:
 
     def test_name(self):
         assert BoxFilterKernel(8).name == "box8"
+
+
+class TestApplyImage:
+    """The dense whole-image route used by golden_apply's fast path."""
+
+    def test_matches_windowed_apply(self, rng):
+        from numpy.lib.stride_tricks import sliding_window_view
+
+        k = BoxFilterKernel(4)
+        image = random_image(rng, 20, 24)
+        dense = k.apply_image(image)
+        windowed = k.apply(sliding_window_view(image, (4, 4)))
+        assert dense.shape == windowed.shape
+        assert np.allclose(dense, windowed)
+
+    def test_integer_taps_stay_exact(self, rng):
+        from numpy.lib.stride_tricks import sliding_window_view
+
+        k = ConvolutionKernel(np.arange(16).reshape(4, 4))
+        image = random_image(rng, 12, 16)
+        dense = k.apply_image(image)
+        assert np.issubdtype(dense.dtype, np.integer)
+        windowed = k.apply(sliding_window_view(image, (4, 4)))
+        assert np.array_equal(dense, windowed)
+
+    def test_band_call_bit_identical_to_frame_call(self, rng):
+        """An N-row band call must reproduce the matching frame rows
+        bitwise — the engines' fast/sequential equivalence rests on it."""
+        k = BoxFilterKernel(4)
+        image = random_image(rng, 20, 24)
+        frame = k.apply_image(image)
+        for t in range(frame.shape[0]):
+            assert np.array_equal(k.apply_image(image[t : t + 4])[0], frame[t])
+
+    def test_rejects_bad_inputs(self):
+        k = BoxFilterKernel(4)
+        with pytest.raises(ConfigError):
+            k.apply_image(np.zeros(8))
+        with pytest.raises(ConfigError):
+            k.apply_image(np.zeros((3, 8)))

@@ -124,3 +124,28 @@ class TestCommands:
         assert "ratio" in capsys.readouterr().out
         assert main(["decompress", str(rwc), str(back)]) == 0
         assert np.array_equal(read_pgm(back), read_pgm(src))  # lossless
+
+
+class TestPerfCommand:
+    def test_perf_smoke(self, tmp_path, capsys):
+        out_json = tmp_path / "BENCH_perf.json"
+        code = main(
+            [
+                "perf",
+                "--smoke",
+                "--resolution",
+                "64",
+                "--window",
+                "8",
+                "--json",
+                str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "compressed-fast" in out
+        assert "headline" in out
+        from repro.analysis.perf import load_bench_json
+
+        payload = load_bench_json(out_json)
+        assert payload["engines"]["compressed-fast"]["pixels_per_sec"] > 0

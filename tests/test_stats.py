@@ -181,3 +181,126 @@ class TestAnalyzeImage:
         s0 = analyze_image(base, image).memory_saving_percent
         s6 = analyze_image(base.with_threshold(6), image).memory_saving_percent
         assert s6 > s0
+
+
+class TestSlidingBandStack:
+    def test_view_matches_iter_bands(self):
+        from repro.core.stats import sliding_band_stack
+
+        image = np.arange(64 * 32).reshape(64, 32) % 256
+        stack = sliding_band_stack(image, 8)
+        assert stack.shape == (64 - 8 + 1, 8, 32)
+        for t in range(stack.shape[0]):
+            assert np.array_equal(stack[t], image[t : t + 8])
+
+    def test_zero_copy(self):
+        from repro.core.stats import sliding_band_stack
+
+        image = np.zeros((16, 8), dtype=np.int64)
+        stack = sliding_band_stack(image, 4)
+        assert np.shares_memory(stack, image)
+
+    def test_rejects_bad_inputs(self):
+        from repro.core.stats import sliding_band_stack
+
+        with pytest.raises(ConfigError):
+            sliding_band_stack(np.zeros(8), 4)
+        with pytest.raises(ConfigError):
+            sliding_band_stack(np.zeros((4, 8)), 5)
+
+
+class TestAnalyzeBandStack:
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            {},
+            dict(threshold=4),
+            dict(threshold=4, threshold_bands="details"),
+            dict(decomposition_levels=2),
+            dict(decomposition_levels=2, ll_dpcm=True),
+            dict(ll_dpcm=True),
+            dict(coefficient_bits=8, wrap_coefficients=True),
+        ],
+        ids=[
+            "lossless",
+            "lossy",
+            "details",
+            "levels2",
+            "levels2-dpcm",
+            "dpcm",
+            "wrapped",
+        ],
+    )
+    def test_per_band_identical_to_scalar_analysis(self, rng, extra):
+        from repro.core.stats import analyze_band_stack, sliding_band_stack
+
+        config = cfg(image_width=32, image_height=24, **extra)
+        image = rng.integers(0, 256, size=(24, 32))
+        stack = analyze_band_stack(config, sliding_band_stack(image, 8))
+        recon = stack.reconstruct()
+        for t in range(24 - 8 + 1):
+            band = analyze_band(config, image[t : t + 8])
+            assert np.array_equal(stack.plane[t], band.plane)
+            assert np.array_equal(stack.nbits[t], band.nbits)
+            assert np.array_equal(stack.bitmap[t], band.bitmap)
+            assert np.array_equal(stack.widths[t], band.widths)
+            assert stack.payload_bits[t] == band.payload_bits
+            assert np.array_equal(
+                stack.payload_bits_per_column[t], band.payload_bits_per_column
+            )
+            assert np.array_equal(recon[t], band.reconstruct())
+        assert stack.management_bits_per_column == band.management_bits_per_column
+
+    def test_rejects_bad_shapes(self):
+        from repro.core.stats import analyze_band_stack
+
+        with pytest.raises(ConfigError):
+            analyze_band_stack(cfg(), np.zeros((8, 16), dtype=int))
+        with pytest.raises(ConfigError):
+            analyze_band_stack(cfg(), np.zeros((3, 7, 16), dtype=int))
+
+
+class TestBandStackSizes:
+    @pytest.mark.parametrize("threshold", [0, 4])
+    def test_matches_full_stack_analysis(self, rng, threshold):
+        from repro.core.stats import (
+            analyze_band_stack,
+            band_stack_sizes,
+            sliding_band_stack,
+        )
+
+        config = cfg(image_width=32, image_height=25, threshold=threshold)
+        image = rng.integers(0, 256, size=(25, 32))
+        sizes = band_stack_sizes(config, image)
+        full = analyze_band_stack(config, sliding_band_stack(image, 8))
+        assert np.array_equal(
+            sizes.payload_bits_per_column, full.payload_bits_per_column
+        )
+        assert np.array_equal(sizes.nbits, full.nbits)
+        assert sizes.management_bits_per_column == full.management_bits_per_column
+
+    def test_rejects_deeper_pyramids(self, rng):
+        from repro.core.stats import band_stack_sizes
+
+        config = cfg(decomposition_levels=2)
+        with pytest.raises(ConfigError, match="single-level"):
+            band_stack_sizes(config, rng.integers(0, 256, size=(64, 64)))
+
+    def test_rejects_short_images(self):
+        from repro.core.stats import band_stack_sizes
+
+        with pytest.raises(ConfigError):
+            band_stack_sizes(cfg(), np.zeros((4, 64), dtype=int))
+
+
+class TestBatchedSlidingOccupancy:
+    def test_stack_matches_per_row_calls(self, rng):
+        """A (T, W) batched call is exactly T independent 1D calls."""
+        prev = rng.integers(0, 50, size=(5, 16))
+        cur = rng.integers(0, 50, size=(5, 16))
+        batched = sliding_occupancy(prev, cur, 4, 3)
+        assert batched.shape == (5, 16)
+        for t in range(5):
+            assert np.array_equal(
+                batched[t], sliding_occupancy(prev[t], cur[t], 4, 3)
+            )

@@ -138,3 +138,42 @@ class TestMultilevelConfig:
         band = rng.integers(0, 256, size=(8, 32))
         codec = BandCodec(config)
         assert np.array_equal(codec.decode_band(codec.encode_band(band)), band)
+
+
+class TestBatchAxes:
+    """Leading batch axes transform each plane independently (the form
+    the engine's frame-at-once fast path feeds)."""
+
+    @pytest.mark.parametrize("levels", [1, 2])
+    @pytest.mark.parametrize("wrap_bits", [None, 10])
+    def test_forward_stack_matches_per_band(self, rng, levels, wrap_bits):
+        stack = rng.integers(0, 256, size=(5, 8, 16))
+        batched = forward_inplace(stack, levels, wrap_bits=wrap_bits)
+        for t in range(5):
+            assert np.array_equal(
+                batched[t], forward_inplace(stack[t], levels, wrap_bits=wrap_bits)
+            )
+
+    @pytest.mark.parametrize("levels", [1, 2])
+    def test_inverse_stack_roundtrip(self, rng, levels):
+        stack = rng.integers(0, 256, size=(4, 8, 16))
+        plane = forward_inplace(stack, levels)
+        back = inverse_inplace(plane, levels)
+        assert np.array_equal(back, stack)
+        for t in range(4):
+            assert np.array_equal(
+                inverse_inplace(plane[t], levels), stack[t]
+            )
+
+    def test_dpcm_stack_matches_per_band(self, rng):
+        from repro.core.transform.haar2d import ll_dpcm_forward, ll_dpcm_inverse
+
+        stack = rng.integers(-100, 100, size=(3, 8, 16))
+        fwd = ll_dpcm_forward(stack, 1)
+        for t in range(3):
+            assert np.array_equal(fwd[t], ll_dpcm_forward(stack[t], 1))
+        assert np.array_equal(ll_dpcm_inverse(fwd, 1), stack)
+
+    def test_1d_input_still_rejected(self):
+        with pytest.raises(ConfigError):
+            forward_inplace(np.zeros(16, dtype=int), 1)

@@ -1,0 +1,256 @@
+"""Fast-path ≡ sequential-path equivalence for the compressed engine.
+
+The frame-at-once vectorised strategy must be bit-identical to the
+per-traversal reference loop on every configuration where both are
+allowed: outputs, reconstruction, per-traversal band totals, occupancy
+peaks and the whole :class:`~repro.core.window.base.EngineStats` value.
+These tests pin that contract across the lossless/lossy x recirculate
+matrix, odd frame heights, every kernel in :mod:`repro.kernels`, the
+extension knobs (levels, LL-DPCM, wrapping) and the capacity-error
+surfaces — plus the fallback rules for configurations the fast path
+must refuse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ArchitectureConfig, CompressedEngine
+from repro.errors import CapacityError, ConfigError
+from repro.kernels import (
+    BoxFilterKernel,
+    CensusKernel,
+    DilateKernel,
+    ErodeKernel,
+    GaussianKernel,
+    HarrisResponseKernel,
+    MedianKernel,
+    MorphGradientKernel,
+    SobelMagnitudeKernel,
+    TemplateMatchKernel,
+)
+from repro.resilience.injector import FaultInjector
+
+from helpers import random_image
+
+
+def cfg(width=32, height=32, window=8, **kw):
+    return ArchitectureConfig(
+        image_width=width, image_height=height, window_size=window, **kw
+    )
+
+
+def run_both(config, kernel, image, **engine_kw):
+    """Run the sequential loop and the (forced) fast path on one frame."""
+    seq = CompressedEngine(config, kernel, fast_path=False, **engine_kw)
+    fast = CompressedEngine(config, kernel, fast_path=True, **engine_kw)
+    seq_run = seq.run(image)
+    fast_run = fast.run(image)
+    assert seq.last_path == "sequential"
+    assert fast.last_path == "fast"
+    return seq_run, fast_run
+
+
+def assert_identical(seq_run, fast_run):
+    """Bit-identity across every surface of a :class:`WindowRun`."""
+    assert np.array_equal(seq_run.outputs, fast_run.outputs)
+    assert np.array_equal(seq_run.reconstruction, fast_run.reconstruction)
+    assert seq_run.stats == fast_run.stats  # peaks, cycles, band trace
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("threshold", [0, 4])
+    @pytest.mark.parametrize("recirculate", [True, False])
+    def test_threshold_recirculate_grid(self, rng, threshold, recirculate):
+        config = cfg(threshold=threshold)
+        image = random_image(rng, 32, 32, smooth=True)
+        engine_kw = dict(recirculate=recirculate)
+        if threshold and recirculate:
+            # Lossy recirculation feeds reconstructions back — inherently
+            # sequential; the fast path must refuse at construction.
+            with pytest.raises(ConfigError, match="fast_path"):
+                CompressedEngine(
+                    config, BoxFilterKernel(8), fast_path=True, **engine_kw
+                )
+            return
+        seq_run, fast_run = run_both(
+            config, BoxFilterKernel(8), image, **engine_kw
+        )
+        assert_identical(seq_run, fast_run)
+
+    @pytest.mark.parametrize(
+        "height,width", [(33, 32), (47, 64), (32, 46), (9, 32)]
+    )
+    def test_odd_and_nonsquare_frames(self, rng, height, width):
+        """Odd heights and non-square frames (width must stay even: the
+        IWT consumes column pairs)."""
+        config = cfg(width=width, height=height, window=8)
+        image = random_image(rng, height, width)
+        seq_run, fast_run = run_both(config, BoxFilterKernel(8), image)
+        assert_identical(seq_run, fast_run)
+
+    @pytest.mark.parametrize(
+        "make_kernel",
+        [
+            BoxFilterKernel,
+            lambda n: GaussianKernel(sigma=n / 5.0, window_size=n),
+            SobelMagnitudeKernel,
+            MedianKernel,
+            HarrisResponseKernel,
+            lambda n: TemplateMatchKernel(np.arange(n * n).reshape(n, n)),
+            ErodeKernel,
+            DilateKernel,
+            MorphGradientKernel,
+            CensusKernel,
+        ],
+        ids=[
+            "box",
+            "gaussian",
+            "sobel",
+            "median",
+            "harris",
+            "template",
+            "erode",
+            "dilate",
+            "morph-gradient",
+            "census",
+        ],
+    )
+    def test_every_kernel(self, rng, make_kernel):
+        config = cfg(width=24, height=26, window=8)
+        image = random_image(rng, 26, 24)
+        seq_run, fast_run = run_both(config, make_kernel(8), image)
+        assert_identical(seq_run, fast_run)
+
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            dict(decomposition_levels=2),
+            dict(decomposition_levels=2, ll_dpcm=True),
+            dict(ll_dpcm=True),
+            dict(threshold=4, threshold_bands="details"),
+            dict(coefficient_bits=8, wrap_coefficients=True),
+        ],
+        ids=["levels2", "levels2-dpcm", "dpcm", "details", "wrapped"],
+    )
+    def test_extension_knobs(self, rng, extra):
+        config = cfg(**extra)
+        image = random_image(rng, 32, 32, smooth=True)
+        seq_run, fast_run = run_both(
+            config, BoxFilterKernel(8), image, recirculate=False
+        )
+        assert_identical(seq_run, fast_run)
+
+    def test_chunked_stack_sweep_matches(self, rng, monkeypatch):
+        """Force multi-chunk analyze_band_stack accounting and the carry
+        of previous-chunk sizes across the chunk boundary."""
+        monkeypatch.setattr(CompressedEngine, "_FAST_CHUNK_BUDGET", 8 * 64 * 8 * 3)
+        config = cfg(width=64, height=64, decomposition_levels=2)
+        image = random_image(rng, 64, 64)
+        seq_run, fast_run = run_both(config, BoxFilterKernel(8), image)
+        assert_identical(seq_run, fast_run)
+
+
+class TestCapacitySurfaces:
+    def test_budget_overflow_same_error(self, rng):
+        config = cfg()
+        image = random_image(rng, 32, 32)  # incompressible noise
+        messages = []
+        for fast_path in (False, True):
+            engine = CompressedEngine(
+                config,
+                BoxFilterKernel(8),
+                memory_budget_bits=100,
+                fast_path=fast_path,
+            )
+            with pytest.raises(CapacityError) as err:
+                engine.run(image)
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+
+    def test_memory_plan_overflow_same_error(self, rng):
+        from repro.core.stats import analyze_image
+        from repro.hardware.mapping import plan_memory_mapping
+
+        config = cfg(width=512, height=64, window=16)
+        from repro.imaging import generate_scene
+
+        smooth = generate_scene(seed=11, resolution=512).astype(np.int64)[:64]
+        noise = random_image(rng, 64, 512)
+        plan = plan_memory_mapping(
+            config, analyze_image(config, smooth).row_bits_worst
+        )
+        if plan.rows_per_bram <= 1:
+            pytest.skip("plan fell back to one row per BRAM (never overflows)")
+        messages = []
+        for fast_path in (False, True):
+            engine = CompressedEngine(
+                config, BoxFilterKernel(16), memory_plan=plan, fast_path=fast_path
+            )
+            with pytest.raises(CapacityError, match="BRAM group") as err:
+                engine.run(noise)
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+
+    def test_memory_plan_passing_frame_identical(self, rng):
+        from repro.core.stats import analyze_image
+        from repro.hardware.mapping import plan_memory_mapping
+
+        config = cfg(width=64, height=64)
+        image = random_image(rng, 64, 64, smooth=True)
+        plan = plan_memory_mapping(
+            config, analyze_image(config, image).row_bits_worst
+        )
+        seq_run, fast_run = run_both(
+            config, BoxFilterKernel(8), image, memory_plan=plan
+        )
+        assert_identical(seq_run, fast_run)
+
+
+class TestFallbackRules:
+    def test_bit_exact_falls_back(self, rng):
+        engine = CompressedEngine(cfg(), BoxFilterKernel(8), bit_exact=True)
+        assert not engine.fast_path_eligible
+        engine.run(random_image(rng, 32, 32))
+        assert engine.last_path == "sequential"
+
+    def test_injector_falls_back(self, rng):
+        engine = CompressedEngine(
+            cfg(),
+            BoxFilterKernel(8),
+            injector=FaultInjector(upset_rate=0.0, seed=1),
+        )
+        assert not engine.fast_path_eligible
+        engine.run(random_image(rng, 32, 32))
+        assert engine.last_path == "sequential"
+
+    def test_protection_falls_back(self, rng):
+        engine = CompressedEngine(
+            cfg(), BoxFilterKernel(8), protection="secded"
+        )
+        assert not engine.fast_path_eligible
+        engine.run(random_image(rng, 32, 32))
+        assert engine.last_path == "sequential"
+
+    @pytest.mark.parametrize(
+        "engine_kw",
+        [
+            dict(bit_exact=True),
+            dict(injector=FaultInjector(upset_rate=0.0, seed=1)),
+            dict(protection="secded"),
+        ],
+        ids=["bit-exact", "injector", "protection"],
+    )
+    def test_forcing_fast_path_refused(self, engine_kw):
+        with pytest.raises(ConfigError, match="fast_path"):
+            CompressedEngine(
+                cfg(), BoxFilterKernel(8), fast_path=True, **engine_kw
+            )
+
+    def test_lossless_recirculate_is_eligible(self, rng):
+        """Lossless recirculation is exact — the fast path applies."""
+        engine = CompressedEngine(cfg(), BoxFilterKernel(8), recirculate=True)
+        assert engine.fast_path_eligible
+        engine.run(random_image(rng, 32, 32))
+        assert engine.last_path == "fast"
