@@ -60,6 +60,7 @@ from .core.window import (
     WindowRun,
 )
 from .core.video import FrameRecord, FrameStreamProcessor
+from .runtime import StreamingProcessor, StreamResult, stream_frames
 from .resilience import (
     EngineFaultSummary,
     FaultInjector,
@@ -102,6 +103,9 @@ __all__ = [
     "SameSizeEngine",
     "FrameRecord",
     "FrameStreamProcessor",
+    "StreamingProcessor",
+    "StreamResult",
+    "stream_frames",
     "EngineFaultSummary",
     "FaultInjector",
     "ProtectionPolicy",

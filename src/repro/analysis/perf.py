@@ -49,6 +49,37 @@ ENGINE_ORDER = (
     "compressed-fast",
 )
 
+#: CLI-facing strategy names -> engine names (``repro perf --strategy``).
+STRATEGY_ALIASES = {
+    "golden": "golden",
+    "traditional": "traditional",
+    "sequential": "compressed-sequential",
+    "fast": "compressed-fast",
+}
+
+#: The engine every ``speedup_vs_seed`` is measured against; always timed.
+BASELINE_ENGINE = "compressed-sequential"
+
+
+def resolve_strategies(names: Iterable[str]) -> tuple[str, ...]:
+    """Map ``--strategy`` aliases to engine names, baseline included.
+
+    The sequential engine is the fixed speedup baseline, so it is always
+    part of the resolved subset even when not asked for; order follows
+    :data:`ENGINE_ORDER`.
+    """
+    wanted = set()
+    for name in names:
+        engine = STRATEGY_ALIASES.get(name)
+        if engine is None:
+            raise ConfigError(
+                f"unknown strategy {name!r}; choose from "
+                f"{sorted(STRATEGY_ALIASES)}"
+            )
+        wanted.add(engine)
+    wanted.add(BASELINE_ENGINE)
+    return tuple(e for e in ENGINE_ORDER if e in wanted)
+
 
 @dataclass(frozen=True, slots=True)
 class PerfSample:
@@ -91,10 +122,29 @@ class PerfOptions:
     thresholds: tuple[int, ...] = (0, 6)
     #: Timing repeats per engine; the best run is reported.
     repeats: int = 3
+    #: Engine subset to measure (names from :data:`ENGINE_ORDER`); ``None``
+    #: measures all four.  The baseline engine is always included so
+    #: ``speedup_vs_seed`` stays well-defined.
+    engines: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.repeats < 1:
             raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
+        if self.engines is not None:
+            unknown = set(self.engines) - set(ENGINE_ORDER)
+            if unknown:
+                raise ConfigError(
+                    f"unknown engines {sorted(unknown)}; choose from "
+                    f"{list(ENGINE_ORDER)}"
+                )
+
+    @property
+    def measured_engines(self) -> tuple[str, ...]:
+        """The engines this run times, baseline always included."""
+        if self.engines is None:
+            return ENGINE_ORDER
+        wanted = set(self.engines) | {BASELINE_ENGINE}
+        return tuple(e for e in ENGINE_ORDER if e in wanted)
 
 
 @dataclass(frozen=True)
@@ -111,6 +161,12 @@ class PerfReport:
         raise ConfigError(
             f"no sample for {engine} at window={window} T={threshold}"
         )
+
+    @property
+    def measured_engines(self) -> tuple[str, ...]:
+        """Engines actually present in this report, in canonical order."""
+        present = {s.engine for s in self.samples}
+        return tuple(e for e in ENGINE_ORDER if e in present)
 
     def headline(self, engine: str) -> PerfSample:
         """The sample of ``engine`` at the default (headline) geometry."""
@@ -146,6 +202,14 @@ class PerfReport:
             rows,
             title="Engine wall-clock throughput",
         )
+        if "compressed-fast" not in self.measured_engines:
+            base = self.headline(BASELINE_ENGINE)
+            return (
+                f"{table}\n\n"
+                f"headline ({base.width}x{base.height}, N={base.window}, "
+                f"T={base.threshold}): subset run "
+                f"({', '.join(self.measured_engines)})"
+            )
         head = self.headline("compressed-fast")
         return (
             f"{table}\n\n"
@@ -155,9 +219,13 @@ class PerfReport:
         )
 
     def to_json_dict(self) -> dict:
-        """``BENCH_perf.json`` payload (see README for the schema)."""
+        """``BENCH_perf.json`` payload (see README for the schema).
+
+        Subset runs (``--strategy``) serialise only the engines they
+        measured; the baseline is always among them.
+        """
         engines = {}
-        for name in ENGINE_ORDER:
+        for name in self.measured_engines:
             s = self.headline(name)
             engines[name] = {
                 "pixels_per_sec": s.pixels_per_sec,
@@ -189,24 +257,27 @@ def _time_engine(
 
 
 def _engines(
-    config: ArchitectureConfig, kernel: WindowKernel
+    config: ArchitectureConfig,
+    kernel: WindowKernel,
+    names: tuple[str, ...] = ENGINE_ORDER,
 ) -> dict[str, SlidingWindowEngine]:
-    """The four measured engines for one configuration.
+    """The measured engines (``names`` subset) for one configuration.
 
     Compressed engines run with ``recirculate=False`` so the sequential
     and fast strategies stay comparable on lossy sweeps (with
     recirculation a lossy run is inherently sequential).
     """
-    return {
-        "golden": GoldenEngine(config, kernel),
-        "traditional": TraditionalEngine(config, kernel),
-        "compressed-sequential": CompressedEngine(
+    factories: dict[str, Callable[[], SlidingWindowEngine]] = {
+        "golden": lambda: GoldenEngine(config, kernel),
+        "traditional": lambda: TraditionalEngine(config, kernel),
+        "compressed-sequential": lambda: CompressedEngine(
             config, kernel, recirculate=False, fast_path=False
         ),
-        "compressed-fast": CompressedEngine(
+        "compressed-fast": lambda: CompressedEngine(
             config, kernel, recirculate=False, fast_path=True
         ),
     }
+    return {name: factories[name]() for name in names}
 
 
 def measure_perf(
@@ -218,7 +289,9 @@ def measure_perf(
 
     The golden and traditional engines ignore the threshold, so they are
     measured once per window size; the compressed strategies sweep the
-    full window x threshold grid.
+    full window x threshold grid.  ``options.engines`` (the CLI's
+    ``--strategy`` flag) restricts the measured set — the sequential
+    baseline is always timed so speedups stay comparable.
     """
     res = options.resolution
     image = generate_scene(seed=1, resolution=res).astype(np.int64)
@@ -230,7 +303,9 @@ def measure_perf(
             config = ArchitectureConfig(
                 image_width=res, image_height=res, window_size=n, threshold=t
             )
-            engines = _engines(config, kernel_factory(n))
+            engines = _engines(
+                config, kernel_factory(n), options.measured_engines
+            )
             for name, engine in engines.items():
                 if t != thresholds[0] and name in ("golden", "traditional"):
                     continue  # threshold-independent; measured once
@@ -258,13 +333,21 @@ def write_bench_json(report: PerfReport, path: Path) -> None:
 
 
 def load_bench_json(path: Path) -> dict:
-    """Load and structurally validate a ``BENCH_perf.json`` file."""
+    """Load and structurally validate a ``BENCH_perf.json`` file.
+
+    A payload must be self-consistent: every engine its sweep timed (plus
+    the sequential baseline) needs a headline entry with the schema's
+    keys.  Subset payloads written by ``--strategy`` runs validate the
+    same way.
+    """
     payload = json.loads(path.read_text())
     if payload.get("schema") != PERF_SCHEMA:
         raise ConfigError(
             f"unexpected perf schema {payload.get('schema')!r} in {path}"
         )
-    for name in ENGINE_ORDER:
+    sweep_engines = {s.get("engine") for s in payload.get("sweep", [])}
+    required = (sweep_engines | {BASELINE_ENGINE}) & set(ENGINE_ORDER)
+    for name in (e for e in ENGINE_ORDER if e in required):
         entry = payload["engines"].get(name)
         if entry is None:
             raise ConfigError(f"{path} is missing engine {name!r}")

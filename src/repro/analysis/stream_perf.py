@@ -1,0 +1,278 @@
+"""Multi-frame streaming throughput of the shared-memory runtime.
+
+:mod:`repro.analysis.perf` times one frame through one engine;
+this module times the *pipeline*: a sequence of frames streamed through
+:class:`~repro.runtime.streaming.StreamingProcessor` at several worker
+counts, against the single-process ``CompressedEngine.run()`` loop the
+repo shipped with.  Every streamed output is compared bit-for-bit against
+that baseline — a speedup that changes a single pixel does not count.
+
+The measured scaling curve is serialised as ``BENCH_stream.json``
+(schema ``repro-stream/1``), the streaming counterpart of the
+``BENCH_perf.json`` trajectory point.  ``cpu_count`` rides along in the
+payload because the curve is meaningless without it: a 1-core container
+cannot show multi-worker speedups, and readers (and CI validators) need
+to know whether a flat curve is a regression or just physics.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..core.window import CompressedEngine
+from ..errors import ConfigError
+from ..imaging import generate_scene
+from ..kernels import BoxFilterKernel
+from ..kernels.base import WindowKernel
+from ..runtime import StreamingProcessor
+from .tables import render_table
+
+#: Version tag of the ``BENCH_stream.json`` schema.
+STREAM_SCHEMA = "repro-stream/1"
+
+
+@dataclass(frozen=True, slots=True)
+class StreamOptions:
+    """Knobs of one streaming-throughput run."""
+
+    resolution: int = 512
+    window: int = 16
+    threshold: int = 0
+    #: Frames streamed per timed pass.
+    frames: int = 8
+    #: Worker counts swept (each gets its own pool + ring).
+    worker_counts: tuple[int, ...] = (1, 2, 4)
+
+    def __post_init__(self) -> None:
+        if self.frames < 1:
+            raise ConfigError(f"frames must be >= 1, got {self.frames}")
+        if not self.worker_counts:
+            raise ConfigError("worker_counts must name at least one count")
+        if any(w < 1 for w in self.worker_counts):
+            raise ConfigError(
+                f"worker counts must be >= 1, got {self.worker_counts}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class StreamSample:
+    """One timed streaming pass at one worker count."""
+
+    workers: int
+    #: Frames streamed in the pass.
+    frames: int
+    #: Wall-clock seconds for the whole pass (pool already warm).
+    seconds: float
+    #: True when every streamed output matched the sequential baseline
+    #: bit for bit.
+    bit_identical: bool
+
+    @property
+    def frames_per_sec(self) -> float:
+        """End-to-end frame throughput of the pass."""
+        return self.frames / self.seconds
+
+
+@dataclass(frozen=True)
+class StreamReport:
+    """Scaling curve of one streaming run plus its sequential baseline."""
+
+    options: StreamOptions
+    #: CPU cores visible to this process when the curve was measured.
+    cpu_count: int
+    #: Wall-clock seconds of the single-process ``CompressedEngine`` loop.
+    baseline_seconds: float
+    samples: tuple[StreamSample, ...]
+
+    @property
+    def baseline_frames_per_sec(self) -> float:
+        """Frame throughput of the single-process loop."""
+        return self.options.frames / self.baseline_seconds
+
+    def at_workers(self, workers: int) -> StreamSample:
+        """The sample measured at ``workers`` workers."""
+        for s in self.samples:
+            if s.workers == workers:
+                return s
+        raise ConfigError(f"no streaming sample at {workers} workers")
+
+    def speedup(self, sample: StreamSample) -> float:
+        """Throughput of ``sample`` over the single-process loop's."""
+        return sample.frames_per_sec / self.baseline_frames_per_sec
+
+    @property
+    def bit_identical(self) -> bool:
+        """True when every worker count reproduced the baseline exactly."""
+        return all(s.bit_identical for s in self.samples)
+
+    def render(self) -> str:
+        """Monospace scaling table plus the geometry / core-count note."""
+        opt = self.options
+        rows = [
+            (
+                "single-process",
+                "-",
+                self.baseline_seconds,
+                self.baseline_frames_per_sec,
+                1.0,
+                "-",
+            )
+        ]
+        for s in self.samples:
+            rows.append(
+                (
+                    "streamed",
+                    s.workers,
+                    s.seconds,
+                    s.frames_per_sec,
+                    self.speedup(s),
+                    "yes" if s.bit_identical else "NO",
+                )
+            )
+        table = render_table(
+            ("mode", "workers", "seconds", "frames/s", "vs 1-proc", "bit-identical"),
+            rows,
+            title="Streaming runtime frame throughput",
+        )
+        return (
+            f"{table}\n\n"
+            f"{opt.frames} frames of {opt.resolution}x{opt.resolution}, "
+            f"N={opt.window}, T={opt.threshold}; "
+            f"{self.cpu_count} CPU core(s) visible"
+        )
+
+    def to_json_dict(self) -> dict:
+        """``BENCH_stream.json`` payload (see README for the schema)."""
+        return {
+            "schema": STREAM_SCHEMA,
+            "geometry": {
+                "width": self.options.resolution,
+                "height": self.options.resolution,
+                "window": self.options.window,
+                "threshold": self.options.threshold,
+            },
+            "frames": self.options.frames,
+            "cpu_count": self.cpu_count,
+            "baseline": {
+                "seconds": self.baseline_seconds,
+                "frames_per_sec": self.baseline_frames_per_sec,
+            },
+            "scaling": [
+                {
+                    "workers": s.workers,
+                    "seconds": s.seconds,
+                    "frames_per_sec": s.frames_per_sec,
+                    "speedup_vs_single_process": self.speedup(s),
+                    "bit_identical": s.bit_identical,
+                }
+                for s in self.samples
+            ],
+        }
+
+
+def measure_stream(
+    options: StreamOptions = StreamOptions(),
+    *,
+    kernel_factory: Callable[[int], WindowKernel] = BoxFilterKernel,
+) -> StreamReport:
+    """Measure the streaming scaling curve against the sequential loop.
+
+    One synthetic frame per scene seed; the sequential baseline runs every
+    frame through a single in-process ``CompressedEngine`` (the seed
+    repo's only multi-frame story), then each worker count gets a fresh
+    :class:`~repro.runtime.streaming.StreamingProcessor` that is warmed
+    with one frame per worker (forks the pool, builds each worker's
+    cached engine) before the timed pass.  Outputs are compared
+    bit-for-bit against the baseline.
+    """
+    res = options.resolution
+    config = ArchitectureConfig(
+        image_width=res,
+        image_height=res,
+        window_size=options.window,
+        threshold=options.threshold,
+    )
+    kernel = kernel_factory(options.window)
+    frames = [
+        generate_scene(seed=i + 1, resolution=res).astype(np.int64)
+        for i in range(options.frames)
+    ]
+
+    engine = CompressedEngine(config, kernel)
+    t0 = time.perf_counter()
+    expected = [engine.run(frame).outputs for frame in frames]
+    baseline_seconds = time.perf_counter() - t0
+
+    samples: list[StreamSample] = []
+    for workers in options.worker_counts:
+        with StreamingProcessor(config, kernel, workers=workers) as proc:
+            # Warm-up: one frame per worker forks the pool and builds the
+            # per-worker engine caches outside the timed window.
+            for _ in proc.map([frames[0]] * workers):
+                pass
+            t0 = time.perf_counter()
+            results = list(proc.map(frames))
+            seconds = time.perf_counter() - t0
+        identical = len(results) == len(expected) and all(
+            np.array_equal(r.outputs, e) for r, e in zip(results, expected)
+        )
+        samples.append(
+            StreamSample(
+                workers=workers,
+                frames=options.frames,
+                seconds=seconds,
+                bit_identical=identical,
+            )
+        )
+    return StreamReport(
+        options=options,
+        cpu_count=os.cpu_count() or 1,
+        baseline_seconds=baseline_seconds,
+        samples=tuple(samples),
+    )
+
+
+def write_stream_json(report: StreamReport, path: Path) -> None:
+    """Serialise ``report`` as a ``BENCH_stream.json`` trajectory point."""
+    path.write_text(json.dumps(report.to_json_dict(), indent=2) + "\n")
+
+
+def load_stream_json(path: Path) -> dict:
+    """Load and structurally validate a ``BENCH_stream.json`` file."""
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != STREAM_SCHEMA:
+        raise ConfigError(
+            f"unexpected stream schema {payload.get('schema')!r} in {path}"
+        )
+    for key in ("geometry", "frames", "cpu_count", "baseline", "scaling"):
+        if key not in payload:
+            raise ConfigError(f"{path} lacks {key!r}")
+    for key in ("seconds", "frames_per_sec"):
+        if key not in payload["baseline"]:
+            raise ConfigError(f"{path}: baseline lacks {key!r}")
+    if not payload["scaling"]:
+        raise ConfigError(f"{path}: empty scaling curve")
+    for entry in payload["scaling"]:
+        for key in (
+            "workers",
+            "frames_per_sec",
+            "speedup_vs_single_process",
+            "bit_identical",
+        ):
+            if key not in entry:
+                raise ConfigError(
+                    f"{path}: scaling entry lacks {key!r}: {entry}"
+                )
+        if entry["bit_identical"] is not True:
+            raise ConfigError(
+                f"{path}: {entry['workers']}-worker pass was not bit-identical"
+            )
+    return payload

@@ -2,20 +2,33 @@
 
 Experiment sweeps (10 images x 5 windows x 4 thresholds at 2048 x 2048)
 are embarrassingly parallel over images.  ``run_parallel`` distributes a
-picklable function over a list of work items with ``multiprocessing``,
-falling back to an in-process map for one worker (or tiny item counts,
-where fork overhead would dominate — the guides' "profile before
-optimising" rule applied to parallelism).
+picklable function over a list of work items, falling back to an
+in-process map for one worker (or tiny item counts, where pool overhead
+would dominate — the guides' "profile before optimising" rule applied to
+parallelism).
+
+The parallel path runs on the process-wide persistent pools of
+:mod:`repro.runtime.pool`: the first sweep stage forks the workers, every
+later stage with the same worker count reuses them, and the start method
+is ``fork`` where available with the platform default elsewhere (macOS /
+Windows ``spawn`` defaults) instead of a hard-coded ``fork``.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import os
 from math import ceil
 from typing import Callable, Iterable, Sequence, TypeVar
 
 from ..errors import ConfigError
+from ..runtime.pool import default_workers, preferred_context, shared_pool
+
+__all__ = [
+    "CHUNKS_PER_WORKER",
+    "auto_chunksize",
+    "default_workers",
+    "preferred_context",
+    "run_parallel",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -31,7 +44,7 @@ def auto_chunksize(n_items: int, processes: int) -> int:
     """Pool chunk size: ``len(work) / processes`` split into a few chunks.
 
     ``Pool.map``'s default chunk size of 1 round-trips every item through
-    the result queue individually, which thrashes the fork pool on large
+    the result queue individually, which thrashes the pool on large
     sweeps (one pickle + wakeup per 2048 x 2048 frame config).  Sizing
     chunks so each worker receives :data:`CHUNKS_PER_WORKER` of them
     amortises the IPC while still rebalancing work a few times per sweep.
@@ -39,20 +52,6 @@ def auto_chunksize(n_items: int, processes: int) -> int:
     if n_items < 1 or processes < 1:
         return 1
     return max(1, ceil(n_items / (processes * CHUNKS_PER_WORKER)))
-
-
-def default_workers() -> int:
-    """Worker count: respects ``REPRO_WORKERS``; otherwise CPU count."""
-    env = os.environ.get("REPRO_WORKERS")
-    if env:
-        try:
-            value = int(env)
-        except ValueError as exc:
-            raise ConfigError(f"REPRO_WORKERS must be an int, got {env!r}") from exc
-        if value < 1:
-            raise ConfigError(f"REPRO_WORKERS must be >= 1, got {value}")
-        return value
-    return os.cpu_count() or 1
 
 
 def run_parallel(
@@ -65,10 +64,14 @@ def run_parallel(
     """Map ``fn`` over ``items``, preserving order.
 
     ``processes=None`` auto-sizes; ``processes=1`` (or fewer than two
-    items) runs inline, which keeps tracebacks readable and avoids fork
+    items) runs inline, which keeps tracebacks readable and avoids pool
     cost for small sweeps.  ``chunksize=None`` auto-sizes via
     :func:`auto_chunksize`; pass an explicit value to override.  ``fn``
     and items must be picklable in the parallel path.
+
+    Parallel calls share one long-lived pool per worker count (see
+    :func:`repro.runtime.pool.shared_pool`), so a multi-stage sweep forks
+    its workers once instead of once per stage.
     """
     work = list(items)
     n = default_workers() if processes is None else processes
@@ -79,5 +82,4 @@ def run_parallel(
     n = min(n, len(work))
     if chunksize is None:
         chunksize = auto_chunksize(len(work), n)
-    with mp.get_context("fork").Pool(processes=n) as pool:
-        return pool.map(fn, work, chunksize=max(1, chunksize))
+    return shared_pool(n).map(fn, work, chunksize=max(1, chunksize))

@@ -13,7 +13,8 @@ artifact can be regenerated from a shell::
     repro headline
     repro ablation wavelets
     repro fault-campaign --schemes none secded --rates 1e-3
-    repro perf --json BENCH_perf.json
+    repro perf --json BENCH_perf.json --strategy sequential fast
+    repro stream --workers 1 2 4 --json BENCH_stream.json
 """
 
 from __future__ import annotations
@@ -157,6 +158,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_perf.add_argument(
         "--smoke", action="store_true", help="headline geometry only, one repeat"
+    )
+    p_perf.add_argument(
+        "--strategy",
+        nargs="+",
+        default=None,
+        choices=("golden", "traditional", "sequential", "fast"),
+        help="engine subset to time (sequential baseline always included)",
+    )
+
+    p_stream = sub.add_parser(
+        "stream", help="multi-frame streaming throughput vs worker count"
+    )
+    p_stream.add_argument("--resolution", type=int, default=512)
+    p_stream.add_argument("--window", type=int, default=16)
+    p_stream.add_argument("--threshold", type=int, default=0)
+    p_stream.add_argument(
+        "--frames", type=int, default=8, help="frames per timed pass"
+    )
+    p_stream.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=(1, 2, 4),
+        help="worker counts to sweep",
+    )
+    p_stream.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write a BENCH_stream.json trajectory point here",
+    )
+    p_stream.add_argument(
+        "--smoke", action="store_true", help="tiny frames, 1+2 workers only"
     )
 
     p_rep = sub.add_parser("report", help="one-shot reproduction report")
@@ -311,8 +345,16 @@ def main(argv: list[str] | None = None) -> int:
             )
         print(result.render())
     elif args.command == "perf":
-        from .analysis.perf import PerfOptions, measure_perf, write_bench_json
+        from .analysis.perf import (
+            PerfOptions,
+            measure_perf,
+            resolve_strategies,
+            write_bench_json,
+        )
 
+        engines = (
+            resolve_strategies(args.strategy) if args.strategy is not None else None
+        )
         if args.smoke:
             options = PerfOptions(
                 resolution=args.resolution,
@@ -321,6 +363,7 @@ def main(argv: list[str] | None = None) -> int:
                 windows=(),
                 thresholds=(),
                 repeats=1,
+                engines=engines,
             )
         else:
             options = PerfOptions(
@@ -328,11 +371,36 @@ def main(argv: list[str] | None = None) -> int:
                 window=args.window,
                 threshold=args.threshold,
                 repeats=args.repeats,
+                engines=engines,
             )
         result = measure_perf(options)
         print(result.render())
         if args.json is not None:
             write_bench_json(result, args.json)
+            print(f"wrote {args.json}")
+    elif args.command == "stream":
+        from .analysis.stream_perf import (
+            StreamOptions,
+            measure_stream,
+            write_stream_json,
+        )
+
+        if args.smoke:
+            options = StreamOptions(
+                resolution=128, window=8, frames=4, worker_counts=(1, 2)
+            )
+        else:
+            options = StreamOptions(
+                resolution=args.resolution,
+                window=args.window,
+                threshold=args.threshold,
+                frames=args.frames,
+                worker_counts=tuple(args.workers),
+            )
+        result = measure_stream(options)
+        print(result.render())
+        if args.json is not None:
+            write_stream_json(result, args.json)
             print(f"wrote {args.json}")
     elif args.command == "report":
         from .analysis.report import ReportOptions, full_report

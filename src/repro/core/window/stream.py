@@ -18,7 +18,10 @@ Dataflow conventions (matching Section III's state machine):
   ``x >= N-1``, and the exiting column joins its 2x2 partner in the IWT
   before being packed and stored.
 
-The simulator is scalar Python (use small images); its outputs and
+The simulator's control flow is per-pixel Python (use small images), but
+the per-pair Fig 5 / Fig 10 column transforms run through the batched
+Haar column math (all ``N/2`` 2x2 blocks of a pair at once — bit-exact
+against the scalar block models, property-tested).  Its outputs and
 reconstruction are asserted bit-identical to
 ``CompressedEngine(recirculate=True)`` in the test suite — for lossless
 *and* lossy configurations.
@@ -37,7 +40,7 @@ from ...kernels.base import WindowKernel, as_kernel
 from ..packing.nbits import NBitsGateModel
 from ..packing.packer import PackedColumn, pack_interleaved_column
 from ..packing.unpacker import unpack_interleaved_column
-from ..transform.hwmodel import Haar2DBlock, InverseHaar2DBlock
+from ..transform.haar2d import Subbands, forward_column_pair, inverse_column_pair
 from .base import EngineStats, SlidingWindowEngine, WindowRun
 from .traditional import traditional_fill_cycles
 
@@ -62,9 +65,7 @@ class PixelStreamSimulator(SlidingWindowEngine):
                 "the pixel-stream simulator models the paper's single-level "
                 "datapath; use CompressedEngine for multi-level configs"
             )
-        wrap = config.coefficient_bits if config.wrap_coefficients else None
-        self._fwd = Haar2DBlock(wrap_bits=wrap)
-        self._inv = InverseHaar2DBlock(wrap_bits=wrap)
+        self._wrap = config.coefficient_bits if config.wrap_coefficients else None
         self._gate = NBitsGateModel(max(config.coefficient_bits, 2))
         #: High-water mark of the record FIFO (column records).
         self.fifo_peak = 0
@@ -76,36 +77,34 @@ class PixelStreamSimulator(SlidingWindowEngine):
     def _transform_pair(
         self, even_col: np.ndarray, odd_col: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """2D IWT of an aligned column pair -> interleaved coefficient cols."""
-        n = self.config.window_size
-        col_a = np.zeros(n, dtype=np.int64)
-        col_b = np.zeros(n, dtype=np.int64)
-        for i in range(0, n, 2):
-            # forward() returns (LL, LH, HL, HH) for the 2x2 block whose
-            # left column is the even image column.
-            ll, lh, hl, hh = self._fwd.forward(
-                int(even_col[i]), int(odd_col[i]),
-                int(even_col[i + 1]), int(odd_col[i + 1]),
-            )
-            col_a[i], col_a[i + 1] = ll, lh
-            col_b[i], col_b[i + 1] = hl, hh
-        return col_a, col_b
+        """2D IWT of an aligned column pair -> interleaved coefficient cols.
+
+        All ``N/2`` 2x2 blocks of the pair go through the batched Haar
+        column math at once (:func:`forward_column_pair`, bit-exact
+        against the scalar Fig 5 block model — property-tested); the
+        sub-band vectors re-interleave into the two coefficient columns
+        the packers consume: ``col_a`` carries (LL, LH, ...), ``col_b``
+        (HL, HH, ...).
+        """
+        pair = np.stack([even_col, odd_col], axis=1)  # (N, 2) image block
+        plane = forward_column_pair(pair, wrap_bits=self._wrap).interleaved()
+        return (
+            plane[:, 0].astype(np.int64, copy=False),
+            plane[:, 1].astype(np.int64, copy=False),
+        )
 
     def _inverse_pair(
         self, col_a: np.ndarray, col_b: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Exact inverse of :meth:`_transform_pair`."""
-        n = self.config.window_size
-        even_col = np.zeros(n, dtype=np.int64)
-        odd_col = np.zeros(n, dtype=np.int64)
-        for i in range(0, n, 2):
-            x00, x01, x10, x11 = self._inv.inverse(
-                int(col_a[i]), int(col_a[i + 1]),
-                int(col_b[i]), int(col_b[i + 1]),
-            )
-            even_col[i], odd_col[i] = x00, x01
-            even_col[i + 1], odd_col[i + 1] = x10, x11
-        return even_col, odd_col
+        """Exact inverse of :meth:`_transform_pair` (batched Fig 10 math)."""
+        plane = np.stack([col_a, col_b], axis=1)  # (N, 2) interleaved
+        pair = inverse_column_pair(
+            Subbands.from_interleaved(plane), wrap_bits=self._wrap
+        )
+        return (
+            pair[:, 0].astype(np.int64, copy=False),
+            pair[:, 1].astype(np.int64, copy=False),
+        )
 
     def _compress_column(self, coeff_col: np.ndarray) -> PackedColumn:
         """Threshold + pack one interleaved column; cross-check Fig 7."""

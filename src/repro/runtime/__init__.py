@@ -1,0 +1,48 @@
+"""Shared-memory streaming runtime: persistent pools + zero-copy frames.
+
+The paper's architecture is a throughput design — one pixel per cycle,
+fully pipelined.  This package gives the Python reproduction the same
+posture on multi-frame workloads: worker processes that live across calls
+and construct their engine exactly once (:mod:`repro.runtime.pool`,
+:mod:`repro.runtime.worker`), a shared-memory ring that moves frames
+between processes without pickling a single pixel
+(:mod:`repro.runtime.ring`), and a bounded streaming API with ordered and
+as-completed result iterators (:mod:`repro.runtime.streaming`).
+
+Quick start::
+
+    from repro import ArchitectureConfig
+    from repro.kernels import BoxFilterKernel
+    from repro.runtime import StreamingProcessor
+
+    config = ArchitectureConfig(image_width=512, image_height=512,
+                                window_size=16)
+    with StreamingProcessor(config, BoxFilterKernel(16), workers=4) as proc:
+        for result in proc.map(frames):          # ordered, backpressured
+            consume(result.index, result.outputs, result.stats)
+"""
+
+from .pool import (
+    PersistentPool,
+    default_workers,
+    preferred_context,
+    shared_pool,
+    shutdown_shared_pools,
+)
+from .ring import FrameRing, RingSpec
+from .streaming import StreamingProcessor, StreamResult, stream_frames
+from .worker import EngineSpec
+
+__all__ = [
+    "PersistentPool",
+    "default_workers",
+    "preferred_context",
+    "shared_pool",
+    "shutdown_shared_pools",
+    "FrameRing",
+    "RingSpec",
+    "StreamingProcessor",
+    "StreamResult",
+    "stream_frames",
+    "EngineSpec",
+]

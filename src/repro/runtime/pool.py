@@ -1,0 +1,170 @@
+"""Persistent multiprocessing pools and start-method selection.
+
+The sweep and streaming layers used to fork a fresh ``multiprocessing.Pool``
+for every call, so multi-stage experiments paid process start-up once per
+sweep stage — on a 4-stage headline sweep that is most of the wall clock.
+This module owns the two pieces that fix it:
+
+- :func:`preferred_context` — pick ``fork`` where the platform offers it
+  (cheap start-up, inherits the parent's imports) and fall back to the
+  platform default (``spawn`` on macOS/Windows) everywhere else, instead of
+  hard-coding ``fork`` and crashing where it does not exist.
+- :class:`PersistentPool` / :func:`shared_pool` — long-lived pools, created
+  lazily and reused across calls.  ``shared_pool(n)`` returns the same pool
+  for the same worker count for the lifetime of the process (registered for
+  ``atexit`` shutdown), so consecutive sweep stages and repeated
+  ``run_parallel`` calls stop re-forking workers.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+from typing import Any, Callable, Sequence, TypeVar
+
+from ..errors import ConfigError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers() -> int:
+    """Worker count: respects ``REPRO_WORKERS``; otherwise CPU count."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            value = int(env)
+        except ValueError as exc:
+            raise ConfigError(f"REPRO_WORKERS must be an int, got {env!r}") from exc
+        if value < 1:
+            raise ConfigError(f"REPRO_WORKERS must be >= 1, got {value}")
+        return value
+    return os.cpu_count() or 1
+
+
+def preferred_context(
+    available: Sequence[str] | None = None,
+) -> mp.context.BaseContext:
+    """The start method the runtime uses for its worker processes.
+
+    ``fork`` when the platform offers it (fast start-up, no re-import of the
+    parent's modules), otherwise the platform default context — ``spawn`` on
+    macOS (where fork is unsafe with threads) and Windows (where it does not
+    exist).  ``available`` overrides the detected method list for tests.
+    """
+    methods = mp.get_all_start_methods() if available is None else list(available)
+    if "fork" in methods:
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+class PersistentPool:
+    """A lazily-created, reusable ``multiprocessing`` pool.
+
+    The underlying pool is created on first use and kept alive across
+    :meth:`map` / :meth:`apply_async` calls, so callers pay worker start-up
+    once instead of once per call.  ``initializer`` / ``initargs`` follow
+    ``multiprocessing.Pool`` semantics (run once per worker process).
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        *,
+        context: mp.context.BaseContext | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple[Any, ...] = (),
+    ) -> None:
+        if processes < 1:
+            raise ConfigError(f"processes must be >= 1, got {processes}")
+        self.processes = processes
+        self._context = context if context is not None else preferred_context()
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool: mp.pool.Pool | None = None
+
+    @property
+    def started(self) -> bool:
+        """True once worker processes exist (first use has happened)."""
+        return self._pool is not None
+
+    def _ensure(self) -> mp.pool.Pool:
+        if self._pool is None:
+            self._pool = self._context.Pool(
+                processes=self.processes,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+        return self._pool
+
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        *,
+        chunksize: int = 1,
+    ) -> list[R]:
+        """Order-preserving parallel map over ``items``."""
+        return self._ensure().map(fn, items, chunksize=max(1, chunksize))
+
+    def apply_async(
+        self,
+        fn: Callable[..., R],
+        args: tuple[Any, ...] = (),
+        *,
+        callback: Callable[[R], None] | None = None,
+        error_callback: Callable[[BaseException], None] | None = None,
+    ):
+        """Submit one call; returns the pool's ``AsyncResult``."""
+        return self._ensure().apply_async(
+            fn, args, callback=callback, error_callback=error_callback
+        )
+
+    def close(self) -> None:
+        """Terminate the workers (idempotent); the pool can be re-created."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "PersistentPool":
+        """Context-manager entry (no eager worker start)."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Shut the workers down on scope exit."""
+        self.close()
+
+
+#: Process-wide pool registry used by :func:`shared_pool`, keyed by worker
+#: count.  Sweeps with the same parallelism reuse one warm pool.
+_SHARED: dict[int, PersistentPool] = {}
+
+
+def shared_pool(processes: int) -> PersistentPool:
+    """The process-wide persistent pool for ``processes`` workers.
+
+    Created on first request and cached until :func:`shutdown_shared_pools`
+    (registered with ``atexit``) tears it down, so every sweep stage that
+    asks for the same worker count shares one warm pool.  Only plain-map
+    workloads should use the shared pools — streaming processors own their
+    pools because their workers carry per-pool initializer state.
+    """
+    if processes < 1:
+        raise ConfigError(f"processes must be >= 1, got {processes}")
+    pool = _SHARED.get(processes)
+    if pool is None:
+        pool = PersistentPool(processes)
+        _SHARED[processes] = pool
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Close every pool created by :func:`shared_pool` (idempotent)."""
+    for pool in _SHARED.values():
+        pool.close()
+    _SHARED.clear()
+
+
+atexit.register(shutdown_shared_pools)

@@ -1,0 +1,284 @@
+"""Bounded streaming front-end: submit frames, iterate results.
+
+:class:`StreamingProcessor` wires the pieces of the runtime together into
+the multi-frame pipeline the paper's hardware would be fed with: a
+persistent worker pool (engines constructed once per worker, never pickled
+per frame), a shared-memory :class:`~repro.runtime.ring.FrameRing` as the
+zero-copy frame transport, and a bounded submission API — ``submit()``
+blocks once every ring slot is in flight, so a fast producer can never
+outrun the consumers (backpressure by construction).
+
+Results are consumed through either iterator:
+
+- :meth:`results` — frame order, regardless of worker completion order;
+- :meth:`as_completed` — completion order, for consumers that only need
+  per-frame aggregates and want minimum latency.
+
+Both yield :class:`StreamResult` values whose ``outputs`` are bit-identical
+to a sequential ``CompressedEngine.run()`` on the same frame (property
+tested across the lossless/lossy x recirculate matrix).
+
+Single-worker streams still run through the pool so that the semantics
+(ordering, backpressure, stats) are identical at every worker count.
+"""
+
+from __future__ import annotations
+
+import queue
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..core.window.base import EngineStats
+from ..errors import ConfigError, StateError
+from ..kernels.base import WindowKernel, as_kernel
+from .pool import PersistentPool, default_workers, preferred_context
+from .ring import FrameRing
+from .worker import EngineSpec, FrameResult, FrameTask, initialize_worker, process_slot
+
+
+@dataclass(frozen=True, slots=True)
+class StreamResult:
+    """One streamed frame's outcome."""
+
+    #: Submission index of the frame (0-based).
+    index: int
+    #: Valid-region output map, bit-identical to a sequential run.
+    outputs: np.ndarray
+    #: The engine's run statistics for this frame.
+    stats: EngineStats
+
+
+class StreamingProcessor:
+    """Persistent-pool, shared-memory streaming executor for one engine
+    configuration.
+
+    Parameters
+    ----------
+    config, kernel:
+        The architecture instance every frame is processed with.  The
+        kernel must be picklable (all built-in kernels are).
+    workers:
+        Worker process count (default: ``REPRO_WORKERS`` / CPU count).
+    slots:
+        Ring depth; bounds frames in flight (default ``2 * workers`` so
+        every worker can compute one frame while its next is staged).
+    recirculate, fast_path:
+        Forwarded to each worker's ``CompressedEngine``.
+    delay_by_index:
+        Test/bench knob — per-frame-index worker-side sleep seconds (see
+        :class:`~repro.runtime.worker.EngineSpec`).
+    """
+
+    def __init__(
+        self,
+        config: ArchitectureConfig,
+        kernel: WindowKernel,
+        *,
+        workers: int | None = None,
+        slots: int | None = None,
+        recirculate: bool = True,
+        fast_path: bool | None = None,
+        delay_by_index: tuple[float, ...] | None = None,
+    ) -> None:
+        self.config = config
+        self.kernel = as_kernel(kernel, window_size=config.window_size)
+        self.workers = default_workers() if workers is None else workers
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        self.slots = 2 * self.workers if slots is None else slots
+        if self.slots < 1:
+            raise ConfigError(f"slots must be >= 1, got {self.slots}")
+        spec = EngineSpec(
+            config=config,
+            kernel=self.kernel,
+            recirculate=recirculate,
+            fast_path=fast_path,
+            delay_by_index=delay_by_index,
+        )
+        n = config.window_size
+        out_shape = (config.image_height - n + 1, config.image_width - n + 1)
+        # Probe the kernel's output dtype on one zero window so the ring's
+        # output plane preserves it exactly (ints stay ints).
+        probe = np.asarray(self.kernel.apply(np.zeros((1, n, n), dtype=np.int64)))
+        self._ring = FrameRing(
+            slots=self.slots,
+            frame_shape=(config.image_height, config.image_width),
+            frame_dtype=np.int64,
+            out_shape=out_shape,
+            out_dtype=probe.dtype,
+        )
+        self._pool = PersistentPool(
+            self.workers,
+            context=preferred_context(),
+            initializer=initialize_worker,
+            initargs=(self._ring.spec, spec.blob()),
+        )
+        self._done: queue.Queue[tuple[str, object]] = queue.Queue()
+        self._submitted = 0
+        self._consumed = 0
+        self._closed = False
+
+    # -- submission -------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Frames submitted but not yet consumed."""
+        return self._submitted - self._consumed
+
+    @property
+    def in_flight_peak(self) -> int:
+        """High-water mark of simultaneously held ring slots."""
+        return self._ring.in_flight_peak
+
+    def submit(self, frame: np.ndarray, *, timeout: float | None = None) -> int:
+        """Queue one frame; returns its stream index.
+
+        Writes the frame straight into a shared-memory slot (the only copy
+        the pipeline makes on the way in).  Blocks while all ring slots are
+        in flight; ``timeout`` bounds that wait and raises
+        :class:`~repro.errors.CapacityError` on expiry.
+        """
+        if self._closed:
+            raise StateError("processor is closed")
+        arr = np.asarray(frame)
+        expected = self._ring.spec.frame_shape
+        if arr.shape != expected:
+            raise ConfigError(f"frame shape {arr.shape} != configured {expected}")
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ConfigError(f"frames must be integer pixels, got {arr.dtype}")
+        slot = self._ring.acquire(timeout=timeout)
+        index = self._submitted
+        self._submitted += 1
+        self._ring.input_view(slot)[...] = arr
+        self._pool.apply_async(
+            process_slot,
+            (FrameTask(index=index, slot=slot),),
+            callback=self._on_done,
+            error_callback=self._on_error,
+        )
+        return index
+
+    def _on_done(self, result: FrameResult) -> None:
+        self._done.put(("ok", result))
+
+    def _on_error(self, exc: BaseException) -> None:
+        self._done.put(("error", exc))
+
+    # -- consumption ------------------------------------------------------
+
+    def _next_completed(self) -> FrameResult:
+        kind, payload = self._done.get()
+        if kind == "error":
+            raise payload  # worker exception, re-raised in the caller
+        return payload  # type: ignore[return-value]
+
+    def _collect(self, result: FrameResult) -> StreamResult:
+        outputs = np.array(self._ring.output_view(result.slot), copy=True)
+        self._ring.release(result.slot)
+        self._consumed += 1
+        return StreamResult(
+            index=result.index,
+            outputs=outputs,
+            stats=EngineStats(**result.stats),
+        )
+
+    def as_completed(self):
+        """Yield every in-flight frame's result in completion order."""
+        while self.in_flight:
+            yield self._collect(self._next_completed())
+
+    def results(self):
+        """Yield every in-flight frame's result in submission order.
+
+        Out-of-order completions are parked (stats only — their ring slots
+        are read and released immediately, so reordering never starves the
+        ring) until their turn comes.
+        """
+        parked: dict[int, StreamResult] = {}
+        next_index = self._consumed
+        while self.in_flight or parked:
+            while next_index in parked:
+                yield parked.pop(next_index)
+                next_index += 1
+            if not self.in_flight:
+                continue
+            result = self._collect(self._next_completed())
+            if result.index == next_index:
+                yield result
+                next_index += 1
+            else:
+                parked[result.index] = result
+
+    def map(self, frames, *, timeout: float | None = None):
+        """Stream ``frames`` through the pool; yield ordered results.
+
+        Interleaves submission and consumption under the ring's
+        backpressure: whenever every ring slot is in flight the producer
+        blocks on the next completion before submitting more, so the
+        pipeline never holds more than ``slots`` frames.
+        """
+        parked: dict[int, StreamResult] = {}
+        next_index = self._submitted  # results of *this* map call
+        for frame in frames:
+            while self.in_flight >= self.slots:
+                result = self._collect(self._next_completed())
+                parked[result.index] = result
+            self.submit(frame, timeout=timeout)
+            while next_index in parked:
+                yield parked.pop(next_index)
+                next_index += 1
+        while self.in_flight or parked:
+            while next_index in parked:
+                yield parked.pop(next_index)
+                next_index += 1
+            if self.in_flight:
+                result = self._collect(self._next_completed())
+                parked[result.index] = result
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the pool down and free the shared-memory ring."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.close()
+        self._ring.close()
+
+    def __enter__(self) -> "StreamingProcessor":
+        """Context-manager entry."""
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Close on scope exit."""
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def stream_frames(
+    config: ArchitectureConfig,
+    kernel: WindowKernel,
+    frames,
+    *,
+    workers: int | None = None,
+    slots: int | None = None,
+    recirculate: bool = True,
+    fast_path: bool | None = None,
+) -> list[StreamResult]:
+    """One-shot convenience: stream ``frames`` and return ordered results."""
+    with StreamingProcessor(
+        config,
+        kernel,
+        workers=workers,
+        slots=slots,
+        recirculate=recirculate,
+        fast_path=fast_path,
+    ) as proc:
+        return list(proc.map(frames))

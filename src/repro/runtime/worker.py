@@ -1,0 +1,122 @@
+"""Worker-process side of the streaming runtime.
+
+A streaming pool's workers are initialised exactly once with the ring spec
+and a pickled :class:`EngineSpec`.  The first frame a worker processes
+builds the engine (config + kernel) and caches it in the process-global
+:data:`_ENGINES` table keyed by the spec blob — engines are *constructed*
+per worker, not *pickled* per frame, and every later frame with the same
+key reuses the cached instance.  Per frame, only a tiny
+:class:`FrameTask` travels to the worker and a :class:`FrameResult`
+(slot index + stats scalars) travels back; the pixel planes stay in the
+shared-memory ring.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..core.window.compressed import CompressedEngine
+from ..kernels.base import WindowKernel
+from .ring import FrameRing, RingSpec
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything a worker needs to construct its engine once.
+
+    ``delay_by_index`` is a test/bench knob: per-frame-index seconds slept
+    before processing, used to exercise out-of-order completion without
+    patching worker internals.
+    """
+
+    config: ArchitectureConfig
+    kernel: WindowKernel
+    recirculate: bool = True
+    fast_path: bool | None = None
+    delay_by_index: tuple[float, ...] | None = None
+
+    def build(self) -> CompressedEngine:
+        """Construct the engine this spec describes."""
+        return CompressedEngine(
+            self.config,
+            self.kernel,
+            recirculate=self.recirculate,
+            fast_path=self.fast_path,
+        )
+
+    def blob(self) -> bytes:
+        """Pickled form — the worker-side engine-cache key."""
+        return pickle.dumps(self)
+
+
+@dataclass(frozen=True, slots=True)
+class FrameTask:
+    """One unit of work: which frame, which ring slot (no pixels)."""
+
+    index: int
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class FrameResult:
+    """One completed frame: slot index plus the engine's stats payload."""
+
+    index: int
+    slot: int
+    #: ``EngineStats`` fields as a plain dict (small; crosses the queue).
+    stats: dict = field(default_factory=dict)
+
+
+#: Per-process engine cache: spec blob -> (engine, decoded spec).
+_ENGINES: dict[bytes, tuple[CompressedEngine, EngineSpec]] = {}
+#: Per-process attached ring (set by :func:`initialize_worker`).
+_RING: FrameRing | None = None
+#: Per-process engine spec blob (set by :func:`initialize_worker`).
+_SPEC_BLOB: bytes | None = None
+
+
+def initialize_worker(ring_spec: RingSpec, spec_blob: bytes) -> None:
+    """Pool initializer: attach the ring, remember the engine spec."""
+    global _RING, _SPEC_BLOB
+    _RING = FrameRing.attach(ring_spec)
+    _SPEC_BLOB = spec_blob
+
+
+def cached_engine_count() -> int:
+    """Number of engines this process has constructed (test hook)."""
+    return len(_ENGINES)
+
+
+def _engine() -> tuple[CompressedEngine, EngineSpec]:
+    if _SPEC_BLOB is None:
+        raise RuntimeError("worker used before initialize_worker ran")
+    cached = _ENGINES.get(_SPEC_BLOB)
+    if cached is None:
+        spec = pickle.loads(_SPEC_BLOB)
+        cached = (spec.build(), spec)
+        _ENGINES[_SPEC_BLOB] = cached
+    return cached
+
+
+def process_slot(task: FrameTask) -> FrameResult:
+    """Run the cached engine over ``task``'s ring slot, in place.
+
+    Reads the input frame from the slot's shared-memory plane, writes the
+    valid-region outputs back into the slot's output plane and returns only
+    the stats payload.
+    """
+    if _RING is None:
+        raise RuntimeError("worker used before initialize_worker ran")
+    engine, spec = _engine()
+    if spec.delay_by_index is not None and task.index < len(spec.delay_by_index):
+        time.sleep(spec.delay_by_index[task.index])
+    frame = np.asarray(_RING.input_view(task.slot))
+    run = engine.run(frame)
+    out = _RING.output_view(task.slot)
+    out[...] = run.outputs
+    return FrameResult(index=task.index, slot=task.slot, stats=asdict(run.stats))

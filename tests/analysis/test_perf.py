@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.analysis.perf import (
+    BASELINE_ENGINE,
     ENGINE_ORDER,
     PERF_SCHEMA,
     PerfOptions,
@@ -14,6 +15,7 @@ from repro.analysis.perf import (
     PerfSample,
     load_bench_json,
     measure_perf,
+    resolve_strategies,
     write_bench_json,
 )
 from repro.errors import ConfigError
@@ -68,6 +70,64 @@ class TestMeasurePerf:
     def test_invalid_repeats_rejected(self):
         with pytest.raises(ConfigError):
             PerfOptions(repeats=0)
+
+
+class TestStrategySubsets:
+    def test_resolve_aliases_and_order(self):
+        assert resolve_strategies(["fast", "golden"]) == (
+            "golden",
+            "compressed-sequential",
+            "compressed-fast",
+        )
+
+    def test_resolve_always_includes_baseline(self):
+        assert resolve_strategies(["golden"]) == ("golden", BASELINE_ENGINE)
+        assert resolve_strategies(["sequential"]) == (BASELINE_ENGINE,)
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ConfigError, match="strategy"):
+            resolve_strategies(["warp-drive"])
+
+    def test_options_reject_unknown_engine(self):
+        with pytest.raises(ConfigError, match="unknown engines"):
+            PerfOptions(engines=("warp-drive",))
+
+    def test_measured_engines_default_is_all(self):
+        assert PerfOptions().measured_engines == ENGINE_ORDER
+
+    def test_subset_run_times_only_requested_engines(self):
+        options = PerfOptions(
+            resolution=64,
+            window=8,
+            windows=(),
+            thresholds=(),
+            repeats=1,
+            engines=resolve_strategies(["fast"]),
+        )
+        report = measure_perf(options)
+        assert report.measured_engines == (
+            "compressed-sequential",
+            "compressed-fast",
+        )
+        assert {s.engine for s in report.samples} == set(report.measured_engines)
+        assert report.fast_speedup > 0
+        assert "compressed-fast" in report.render()
+
+    def test_subset_without_fast_renders_and_serialises(self, tmp_path):
+        options = PerfOptions(
+            resolution=64,
+            window=8,
+            windows=(),
+            thresholds=(),
+            repeats=1,
+            engines=(BASELINE_ENGINE,),
+        )
+        report = measure_perf(options)
+        assert "subset run" in report.render()
+        path = tmp_path / "subset.json"
+        write_bench_json(report, path)
+        payload = load_bench_json(path)  # subset payloads are self-consistent
+        assert set(payload["engines"]) == {BASELINE_ENGINE}
 
 
 class TestBenchJson:

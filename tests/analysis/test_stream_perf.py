@@ -1,0 +1,116 @@
+"""Tests for the streaming-throughput harness (tiny geometries only)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.stream_perf import (
+    STREAM_SCHEMA,
+    StreamOptions,
+    StreamReport,
+    StreamSample,
+    load_stream_json,
+    measure_stream,
+    write_stream_json,
+)
+from repro.errors import ConfigError
+
+SMOKE = StreamOptions(resolution=32, window=8, frames=3, worker_counts=(1, 2))
+
+
+@pytest.fixture(scope="module")
+def smoke_report() -> StreamReport:
+    """One tiny measured run shared by the assertions below."""
+    return measure_stream(SMOKE)
+
+
+class TestMeasureStream:
+    def test_covers_every_worker_count(self, smoke_report):
+        assert [s.workers for s in smoke_report.samples] == [1, 2]
+        for sample in smoke_report.samples:
+            assert sample.frames == 3
+            assert sample.frames_per_sec > 0
+
+    def test_streamed_outputs_bit_identical(self, smoke_report):
+        assert smoke_report.bit_identical
+        assert all(s.bit_identical for s in smoke_report.samples)
+
+    def test_baseline_throughput(self, smoke_report):
+        assert smoke_report.baseline_frames_per_sec > 0
+        assert smoke_report.baseline_seconds > 0
+        assert smoke_report.cpu_count >= 1
+
+    def test_speedup_definition(self, smoke_report):
+        sample = smoke_report.at_workers(1)
+        assert smoke_report.speedup(sample) == pytest.approx(
+            sample.frames_per_sec / smoke_report.baseline_frames_per_sec
+        )
+
+    def test_missing_worker_count_raises(self, smoke_report):
+        with pytest.raises(ConfigError):
+            smoke_report.at_workers(64)
+
+    def test_render_mentions_modes_and_geometry(self, smoke_report):
+        text = smoke_report.render()
+        assert "single-process" in text
+        assert "streamed" in text
+        assert "32x32" in text
+        assert "CPU core" in text
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamOptions(frames=0)
+        with pytest.raises(ConfigError):
+            StreamOptions(worker_counts=())
+        with pytest.raises(ConfigError):
+            StreamOptions(worker_counts=(1, 0))
+
+
+class TestStreamJson:
+    def test_roundtrip_and_schema(self, smoke_report, tmp_path):
+        path = tmp_path / "BENCH_stream.json"
+        write_stream_json(smoke_report, path)
+        payload = load_stream_json(path)
+        assert payload["schema"] == STREAM_SCHEMA
+        assert payload["frames"] == 3
+        assert payload["geometry"]["window"] == 8
+        assert [e["workers"] for e in payload["scaling"]] == [1, 2]
+        assert payload["baseline"]["frames_per_sec"] == pytest.approx(
+            smoke_report.baseline_frames_per_sec
+        )
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ConfigError, match="schema"):
+            load_stream_json(path)
+
+    def test_load_rejects_missing_section(self, smoke_report, tmp_path):
+        path = tmp_path / "partial.json"
+        payload = smoke_report.to_json_dict()
+        del payload["baseline"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="baseline"):
+            load_stream_json(path)
+
+    def test_load_rejects_empty_scaling(self, smoke_report, tmp_path):
+        path = tmp_path / "empty.json"
+        payload = smoke_report.to_json_dict()
+        payload["scaling"] = []
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="scaling"):
+            load_stream_json(path)
+
+    def test_load_rejects_non_bit_identical_pass(self, smoke_report, tmp_path):
+        path = tmp_path / "lossy.json"
+        payload = smoke_report.to_json_dict()
+        payload["scaling"][0]["bit_identical"] = False
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="bit-identical"):
+            load_stream_json(path)
+
+    def test_sample_throughput_definition(self):
+        sample = StreamSample(workers=2, frames=6, seconds=3.0, bit_identical=True)
+        assert sample.frames_per_sec == pytest.approx(2.0)

@@ -1,0 +1,95 @@
+"""Tests for the persistent pool layer and start-method selection."""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.pool import (
+    PersistentPool,
+    preferred_context,
+    shared_pool,
+    shutdown_shared_pools,
+)
+
+
+def square(x: int) -> int:
+    return x * x
+
+
+def worker_pid(_: int) -> int:
+    return os.getpid()
+
+
+class TestPreferredContext:
+    def test_fork_when_available(self):
+        ctx = preferred_context(available=["fork", "spawn", "forkserver"])
+        assert ctx.get_start_method() == "fork"
+
+    def test_platform_default_without_fork(self):
+        # Windows / restricted platforms: no fork in the method list, so
+        # the runtime falls back to the interpreter's default context
+        # instead of crashing on mp.get_context("fork").
+        ctx = preferred_context(available=["spawn"])
+        assert ctx is mp.get_context()
+
+    def test_detected_methods_by_default(self):
+        ctx = preferred_context()
+        assert ctx.get_start_method() in mp.get_all_start_methods()
+
+
+class TestPersistentPool:
+    def test_lazy_start(self):
+        with PersistentPool(2) as pool:
+            assert not pool.started
+            assert pool.map(square, [1, 2, 3]) == [1, 4, 9]
+            assert pool.started
+
+    def test_workers_persist_across_calls(self):
+        with PersistentPool(2) as pool:
+            first = set(pool.map(worker_pid, range(8)))
+            second = set(pool.map(worker_pid, range(8)))
+        # Same two worker processes served both calls: a re-fork between
+        # the maps could surface up to four distinct pids.
+        assert len(first | second) <= 2
+
+    def test_close_is_idempotent_and_restartable(self):
+        pool = PersistentPool(1)
+        assert pool.map(square, [3]) == [9]
+        pool.close()
+        assert not pool.started
+        pool.close()  # second close is a no-op
+        assert pool.map(square, [4]) == [16]  # lazily re-created
+        pool.close()
+
+    def test_apply_async(self):
+        with PersistentPool(1) as pool:
+            assert pool.apply_async(square, (5,)).get(timeout=30) == 25
+
+    def test_invalid_processes(self):
+        with pytest.raises(ConfigError):
+            PersistentPool(0)
+
+
+class TestSharedPool:
+    def test_same_count_reuses_one_pool(self):
+        try:
+            assert shared_pool(2) is shared_pool(2)
+            assert shared_pool(2) is not shared_pool(3)
+        finally:
+            shutdown_shared_pools()
+
+    def test_shutdown_clears_registry(self):
+        pool = shared_pool(2)
+        pool.map(square, [1, 2])
+        shutdown_shared_pools()
+        assert not pool.started
+        assert shared_pool(2) is not pool
+        shutdown_shared_pools()
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigError):
+            shared_pool(0)

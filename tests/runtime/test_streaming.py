@@ -1,0 +1,206 @@
+"""Streaming correctness properties: bit-identical, ordered, bounded.
+
+The acceptance bar of the streaming runtime is behavioural, not perf:
+every streamed output must equal a sequential ``CompressedEngine.run()``
+on the same frame bit for bit, in both consumption orders, across the
+lossless/lossy x recirculate matrix, under shuffled completion order and
+under ring backpressure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ArchitectureConfig, CompressedEngine
+from repro.errors import CapacityError, ConfigError, StateError
+from repro.kernels import BoxFilterKernel
+from repro.runtime import StreamingProcessor, stream_frames
+from repro.runtime.worker import (
+    EngineSpec,
+    FrameTask,
+    cached_engine_count,
+    initialize_worker,
+    process_slot,
+)
+from repro.runtime.ring import FrameRing
+
+from helpers import random_image
+
+RES = 24
+WINDOW = 8
+
+
+def make_config(threshold: int = 0) -> ArchitectureConfig:
+    return ArchitectureConfig(
+        image_width=RES, image_height=RES, window_size=WINDOW, threshold=threshold
+    )
+
+
+def make_frames(rng, n: int) -> list[np.ndarray]:
+    return [random_image(rng, RES, RES).astype(np.int64) for _ in range(n)]
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("threshold", [0, 6])
+    @pytest.mark.parametrize("recirculate", [True, False])
+    def test_ordered_matches_sequential(self, rng, threshold, recirculate):
+        config = make_config(threshold)
+        kernel = BoxFilterKernel(WINDOW)
+        frames = make_frames(rng, 4)
+        engine = CompressedEngine(config, kernel, recirculate=recirculate)
+        expected = [engine.run(f) for f in frames]
+        results = stream_frames(
+            config, kernel, frames, workers=2, recirculate=recirculate
+        )
+        assert [r.index for r in results] == [0, 1, 2, 3]
+        for res, exp in zip(results, expected):
+            assert np.array_equal(res.outputs, exp.outputs)
+            assert res.stats == exp.stats
+
+    def test_as_completed_same_set_of_results(self, rng):
+        config = make_config()
+        kernel = BoxFilterKernel(WINDOW)
+        frames = make_frames(rng, 4)
+        expected = {
+            i: CompressedEngine(config, kernel).run(f).outputs
+            for i, f in enumerate(frames)
+        }
+        with StreamingProcessor(config, kernel, workers=2) as proc:
+            for frame in frames:
+                proc.submit(frame, timeout=60)
+            seen = {r.index: r.outputs for r in proc.as_completed()}
+        assert seen.keys() == expected.keys()
+        for i, outputs in seen.items():
+            assert np.array_equal(outputs, expected[i])
+
+
+class TestOrdering:
+    def test_slow_first_frame_shuffles_completion_not_results(self, rng):
+        # Frame 0 sleeps in its worker, so frames 1 and 2 complete first;
+        # results() must still yield 0, 1, 2.
+        config = make_config()
+        kernel = BoxFilterKernel(WINDOW)
+        frames = make_frames(rng, 3)
+        with StreamingProcessor(
+            config,
+            kernel,
+            workers=2,
+            slots=3,
+            delay_by_index=(0.6, 0.0, 0.0),
+        ) as proc:
+            for frame in frames:
+                proc.submit(frame, timeout=60)
+            ordered = [r.index for r in proc.results()]
+        assert ordered == [0, 1, 2]
+
+    def test_slow_first_frame_completes_last_in_as_completed(self, rng):
+        config = make_config()
+        kernel = BoxFilterKernel(WINDOW)
+        frames = make_frames(rng, 3)
+        with StreamingProcessor(
+            config,
+            kernel,
+            workers=2,
+            slots=3,
+            delay_by_index=(0.6, 0.0, 0.0),
+        ) as proc:
+            for frame in frames:
+                proc.submit(frame, timeout=60)
+            completion = [r.index for r in proc.as_completed()]
+        assert completion[-1] == 0
+        assert sorted(completion) == [0, 1, 2]
+
+
+class TestBackpressure:
+    def test_submit_times_out_when_ring_is_full(self, rng):
+        config = make_config()
+        kernel = BoxFilterKernel(WINDOW)
+        frames = make_frames(rng, 3)
+        with StreamingProcessor(
+            config,
+            kernel,
+            workers=1,
+            slots=2,
+            delay_by_index=(0.6, 0.6, 0.6),
+        ) as proc:
+            proc.submit(frames[0], timeout=60)
+            proc.submit(frames[1], timeout=60)
+            with pytest.raises(CapacityError):
+                proc.submit(frames[2], timeout=0.05)
+            # Draining one result frees a slot; the retry succeeds.
+            next(proc.as_completed())
+            proc.submit(frames[2], timeout=60)
+            list(proc.as_completed())
+
+    def test_map_never_exceeds_the_slot_budget(self, rng):
+        config = make_config()
+        kernel = BoxFilterKernel(WINDOW)
+        frames = make_frames(rng, 8)
+        with StreamingProcessor(config, kernel, workers=2, slots=3) as proc:
+            results = list(proc.map(frames))
+            assert [r.index for r in results] == list(range(8))
+            assert proc.in_flight_peak <= 3
+
+
+class TestValidation:
+    def test_wrong_frame_shape_rejected(self, rng):
+        config = make_config()
+        with StreamingProcessor(config, BoxFilterKernel(WINDOW), workers=1) as proc:
+            with pytest.raises(ConfigError, match="shape"):
+                proc.submit(np.zeros((RES, RES + 2), dtype=np.int64))
+
+    def test_float_frames_rejected(self, rng):
+        config = make_config()
+        with StreamingProcessor(config, BoxFilterKernel(WINDOW), workers=1) as proc:
+            with pytest.raises(ConfigError, match="integer"):
+                proc.submit(np.zeros((RES, RES), dtype=np.float64))
+
+    def test_submit_after_close_rejected(self, rng):
+        config = make_config()
+        proc = StreamingProcessor(config, BoxFilterKernel(WINDOW), workers=1)
+        proc.close()
+        with pytest.raises(StateError):
+            proc.submit(np.zeros((RES, RES), dtype=np.int64))
+
+    def test_invalid_worker_and_slot_counts(self):
+        config = make_config()
+        with pytest.raises(ConfigError):
+            StreamingProcessor(config, BoxFilterKernel(WINDOW), workers=0)
+        with pytest.raises(ConfigError):
+            StreamingProcessor(config, BoxFilterKernel(WINDOW), workers=1, slots=0)
+
+
+class TestWorkerCache:
+    def test_engine_built_once_per_spec(self, rng):
+        # Exercise the worker module in-process: after initialisation the
+        # first frame builds the engine, later frames reuse it.
+        from repro.runtime import worker as worker_mod
+
+        config = make_config()
+        spec = EngineSpec(config=config, kernel=BoxFilterKernel(WINDOW))
+        out = RES - WINDOW + 1
+        with FrameRing(
+            slots=2,
+            frame_shape=(RES, RES),
+            frame_dtype=np.int64,
+            out_shape=(out, out),
+            out_dtype=np.float64,
+        ) as ring:
+            worker_mod._ENGINES.clear()
+            initialize_worker(ring.spec, spec.blob())
+            try:
+                frame = random_image(rng, RES, RES).astype(np.int64)
+                before = cached_engine_count()
+                for slot in (0, 1):
+                    ring.input_view(slot)[...] = frame
+                    result = process_slot(FrameTask(index=slot, slot=slot))
+                    assert result.slot == slot
+                assert cached_engine_count() == before + 1
+                expected = CompressedEngine(config, BoxFilterKernel(WINDOW)).run(frame)
+                assert np.array_equal(ring.output_view(1), expected.outputs)
+            finally:
+                worker_mod._RING.close()
+                worker_mod._RING = None
+                worker_mod._SPEC_BLOB = None
+                worker_mod._ENGINES.clear()

@@ -149,3 +149,53 @@ class TestPerfCommand:
 
         payload = load_bench_json(out_json)
         assert payload["engines"]["compressed-fast"]["pixels_per_sec"] > 0
+
+    def test_perf_strategy_subset(self, tmp_path, capsys):
+        out_json = tmp_path / "BENCH_perf.json"
+        code = main(
+            [
+                "perf",
+                "--smoke",
+                "--resolution",
+                "64",
+                "--window",
+                "8",
+                "--strategy",
+                "sequential",
+                "--json",
+                str(out_json),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "subset run" in out
+        assert "golden" not in out
+        from repro.analysis.perf import load_bench_json
+
+        payload = load_bench_json(out_json)
+        assert set(payload["engines"]) == {"compressed-sequential"}
+
+    def test_perf_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf", "--strategy", "warp-drive"])
+
+
+class TestStreamCommand:
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.resolution == 512
+        assert args.frames == 8
+        assert tuple(args.workers) == (1, 2, 4)
+
+    def test_stream_smoke(self, tmp_path, capsys):
+        out_json = tmp_path / "BENCH_stream.json"
+        code = main(["stream", "--smoke", "--json", str(out_json)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "single-process" in out
+        assert "streamed" in out
+        from repro.analysis.stream_perf import load_stream_json
+
+        payload = load_stream_json(out_json)
+        assert [e["workers"] for e in payload["scaling"]] == [1, 2]
+        assert all(e["bit_identical"] for e in payload["scaling"])

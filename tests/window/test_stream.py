@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro import ArchitectureConfig, CompressedEngine, TraditionalEngine
+from repro.core.transform.hwmodel import Haar2DBlock, InverseHaar2DBlock
 from repro.core.window.stream import PixelStreamSimulator
 from repro.kernels import BoxFilterKernel, MedianKernel
 
@@ -46,6 +47,79 @@ class TestStreamEquivalence:
         sim = PixelStreamSimulator(config, kernel).run(img)
         trad = TraditionalEngine(config, kernel).run(img)
         assert np.allclose(sim.outputs, trad.outputs)
+
+
+class TestVectorisedPairs:
+    """The batched pair transforms are bit-exact vs the scalar Fig 5 / Fig 10
+    block models they replaced."""
+
+    def scalar_forward(self, even, odd, wrap_bits):
+        block = Haar2DBlock(wrap_bits=wrap_bits)
+        col_a = np.empty_like(even)
+        col_b = np.empty_like(odd)
+        for i in range(0, even.size, 2):
+            ll, lh, hl, hh = block.forward(
+                int(even[i]), int(odd[i]), int(even[i + 1]), int(odd[i + 1])
+            )
+            col_a[i], col_b[i] = ll, hl
+            col_a[i + 1], col_b[i + 1] = lh, hh
+        return col_a, col_b
+
+    def scalar_inverse(self, col_a, col_b, wrap_bits):
+        block = InverseHaar2DBlock(wrap_bits=wrap_bits)
+        even = np.empty_like(col_a)
+        odd = np.empty_like(col_b)
+        for i in range(0, col_a.size, 2):
+            x00, x01, x10, x11 = block.inverse(
+                int(col_a[i]), int(col_a[i + 1]), int(col_b[i]), int(col_b[i + 1])
+            )
+            even[i], odd[i] = x00, x01
+            even[i + 1], odd[i + 1] = x10, x11
+        return even, odd
+
+    @pytest.mark.parametrize("wrapped", [False, True])
+    def test_forward_matches_scalar_blocks(self, rng, wrapped):
+        config = cfg(
+            window_size=8,
+            image_width=16,
+            image_height=16,
+            coefficient_bits=8 if wrapped else 12,
+            wrap_coefficients=wrapped,
+        )
+        sim = PixelStreamSimulator(config, BoxFilterKernel(8))
+        for _ in range(20):
+            even = rng.integers(0, 256, size=8).astype(np.int64)
+            odd = rng.integers(0, 256, size=8).astype(np.int64)
+            got = sim._transform_pair(even, odd)
+            want = self.scalar_forward(even, odd, sim._wrap)
+            assert np.array_equal(got[0], want[0])
+            assert np.array_equal(got[1], want[1])
+
+    @pytest.mark.parametrize("wrapped", [False, True])
+    def test_inverse_matches_scalar_blocks(self, rng, wrapped):
+        config = cfg(
+            window_size=8,
+            image_width=16,
+            image_height=16,
+            coefficient_bits=8 if wrapped else 12,
+            wrap_coefficients=wrapped,
+        )
+        sim = PixelStreamSimulator(config, BoxFilterKernel(8))
+        for _ in range(20):
+            col_a = rng.integers(-128, 128, size=8).astype(np.int64)
+            col_b = rng.integers(-128, 128, size=8).astype(np.int64)
+            got = sim._inverse_pair(col_a, col_b)
+            want = self.scalar_inverse(col_a, col_b, sim._wrap)
+            assert np.array_equal(got[0], want[0])
+            assert np.array_equal(got[1], want[1])
+
+    def test_pair_roundtrip(self, rng):
+        sim = PixelStreamSimulator(cfg(), BoxFilterKernel(4))
+        even = rng.integers(0, 256, size=4).astype(np.int64)
+        odd = rng.integers(0, 256, size=4).astype(np.int64)
+        back = sim._inverse_pair(*sim._transform_pair(even, odd))
+        assert np.array_equal(back[0], even)
+        assert np.array_equal(back[1], odd)
 
 
 class TestDataflowInvariants:
