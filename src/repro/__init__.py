@@ -8,22 +8,36 @@ models of every hardware block, BRAM/LUT resource models and a complete
 benchmark harness regenerating every table and figure of the paper's
 evaluation.
 
-Quick start::
+Quick start — one :class:`EngineSpec` describes a run, and every
+front-end (direct calls, the streaming runtime, the CLI) builds its
+engine from it::
 
     import numpy as np
-    from repro import ArchitectureConfig, CompressedEngine, TraditionalEngine
+    from repro import ArchitectureConfig, EngineSpec, make_engine
     from repro.kernels import GaussianKernel
     from repro.imaging import generate_scene
 
     image = generate_scene(seed=7, resolution=256)
     config = ArchitectureConfig(image_width=256, image_height=256,
                                 window_size=32, threshold=0)
-    kernel = GaussianKernel(sigma=6.0, window_size=32)
+    spec = EngineSpec(config=config,
+                      kernel=GaussianKernel(sigma=6.0, window_size=32))
 
-    run = CompressedEngine(config, kernel).run(image)
-    base = TraditionalEngine(config, kernel).run(image)
+    run = make_engine(spec).run(image)
+    base = make_engine(spec.replace(engine="traditional")).run(image)
     assert np.allclose(run.outputs, base.outputs)   # lossless == exact
     print(f"buffer saving: {run.stats.memory_saving_percent:.1f}%")
+
+Attach a probe to see inside the pipeline — the output is bit-identical
+either way::
+
+    from repro import MetricsProbe
+    from repro.observability import stage_table
+
+    probe = MetricsProbe()
+    make_engine(spec, probe=probe).run(image)
+    for path, calls, total, _mean in stage_table(probe.snapshot()):
+        print(f"{path:20s} {calls:4d} calls  {total * 1e3:8.2f} ms")
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
@@ -60,7 +74,9 @@ from .core.window import (
     WindowRun,
 )
 from .core.video import FrameRecord, FrameStreamProcessor
+from .observability import MetricsProbe, MetricsRegistry, NullProbe, Probe
 from .runtime import StreamingProcessor, StreamResult, stream_frames
+from .spec import ENGINE_KINDS, EngineSpec, make_engine
 from .resilience import (
     EngineFaultSummary,
     FaultInjector,
@@ -106,6 +122,13 @@ __all__ = [
     "StreamingProcessor",
     "StreamResult",
     "stream_frames",
+    "ENGINE_KINDS",
+    "EngineSpec",
+    "make_engine",
+    "MetricsProbe",
+    "MetricsRegistry",
+    "NullProbe",
+    "Probe",
     "EngineFaultSummary",
     "FaultInjector",
     "ProtectionPolicy",

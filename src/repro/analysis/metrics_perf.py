@@ -1,0 +1,161 @@
+"""Probe overhead measurement and per-stage metrics reporting.
+
+The observability layer's contract has two halves: attaching a probe
+changes **no engine output bit**, and it costs **little wall-clock**
+(the acceptance bar is <10% on the headline ``repro perf`` geometry).
+This module measures both on one synthetic frame — the same engine run
+probed and unprobed, outputs compared bit-for-bit, best-of-repeats
+timings compared — and renders the per-stage timing table from the
+recorded spans.  ``repro metrics`` drives it; ``bench_metrics.py``
+records the overhead number in ``benchmarks/out/metrics.txt``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..errors import ConfigError
+from ..imaging import generate_scene
+from ..kernels import BoxFilterKernel
+from ..kernels.base import WindowKernel
+from ..observability.export import (
+    stage_table,
+    write_metrics_jsonl,
+    write_prometheus,
+)
+from ..observability.probe import MetricsProbe
+from ..spec import ENGINE_KINDS, EngineSpec, make_engine
+from .tables import render_table
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsOptions:
+    """Knobs of one probe-overhead run (defaults: the acceptance geometry)."""
+
+    resolution: int = 256
+    window: int = 16
+    threshold: int = 0
+    engine: str = "compressed"
+    #: Timing repeats per variant; the best run is compared.
+    repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
+        if self.engine not in ENGINE_KINDS:
+            raise ConfigError(
+                f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
+            )
+
+
+@dataclass(frozen=True)
+class MetricsReport:
+    """Outcome of one probe-overhead measurement."""
+
+    options: MetricsOptions
+    #: Best-of-repeats seconds without a probe attached.
+    seconds_unprobed: float
+    #: Best-of-repeats seconds with a probe attached.
+    seconds_probed: float
+    #: True when probed and unprobed outputs matched bit for bit.
+    bit_identical: bool
+    #: Final registry snapshot of the probed runs (cumulative over repeats).
+    snapshot: dict
+
+    @property
+    def overhead_percent(self) -> float:
+        """Wall-clock cost of the probe, percent of the unprobed run."""
+        if self.seconds_unprobed == 0:
+            return 0.0
+        return (self.seconds_probed / self.seconds_unprobed - 1.0) * 100.0
+
+    def render(self) -> str:
+        """Per-stage timing table plus the overhead headline."""
+        opt = self.options
+        rows = [
+            (path, calls, total * 1000.0, mean * 1e6)
+            for path, calls, total, mean in stage_table(self.snapshot)
+        ]
+        table = render_table(
+            ("stage", "calls", "total ms", "mean us"),
+            rows,
+            title="Per-stage span timings",
+        )
+        return (
+            f"{table}\n\n"
+            f"{opt.engine} engine, {opt.resolution}x{opt.resolution}, "
+            f"N={opt.window}, T={opt.threshold}: probe overhead "
+            f"{self.overhead_percent:+.2f}% "
+            f"({self.seconds_probed * 1000:.2f} ms probed vs "
+            f"{self.seconds_unprobed * 1000:.2f} ms unprobed), outputs "
+            f"{'bit-identical' if self.bit_identical else 'DIFFER'}"
+        )
+
+    def write_jsonl(self, path: Path) -> int:
+        """Write the snapshot as ``repro-metrics/1`` JSON lines."""
+        return write_metrics_jsonl(self.snapshot, path)
+
+    def write_prometheus(self, path: Path) -> str:
+        """Write the snapshot in Prometheus exposition text format."""
+        return write_prometheus(self.snapshot, path)
+
+
+def measure_metrics(
+    options: MetricsOptions = MetricsOptions(),
+    *,
+    kernel_factory: Callable[[int], WindowKernel] = BoxFilterKernel,
+) -> MetricsReport:
+    """Time one engine probed and unprobed on the same synthetic frame.
+
+    Both variants are built from the same :class:`~repro.spec.EngineSpec`;
+    only the probe differs.  The timing repeats are *interleaved*
+    (unprobed, probed, unprobed, probed, ...) so CPU-frequency drift on a
+    busy machine biases both variants equally, and the best of each is
+    compared.  Outputs are compared bit-for-bit (the probe-transparency
+    contract) and the probed registry's final snapshot (cumulative over
+    the repeats) feeds the per-stage table.
+    """
+    opt = options
+    res = opt.resolution
+    config = ArchitectureConfig(
+        image_width=res,
+        image_height=res,
+        window_size=opt.window,
+        threshold=opt.threshold,
+    )
+    spec = EngineSpec(
+        config=config, kernel=kernel_factory(opt.window), engine=opt.engine
+    )
+    image = generate_scene(seed=1, resolution=res).astype(np.int64)
+
+    plain = make_engine(spec)
+    probe = MetricsProbe()
+    probed = make_engine(spec, probe=probe)
+
+    # Untimed warm-up run for each variant (allocator, caches, imports).
+    run_plain = plain.run(image)
+    run_probed = probed.run(image)
+    seconds_unprobed = seconds_probed = float("inf")
+    for _ in range(opt.repeats):
+        t0 = time.perf_counter()
+        run_plain = plain.run(image)
+        seconds_unprobed = min(seconds_unprobed, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_probed = probed.run(image)
+        seconds_probed = min(seconds_probed, time.perf_counter() - t0)
+
+    return MetricsReport(
+        options=opt,
+        seconds_unprobed=seconds_unprobed,
+        seconds_probed=seconds_probed,
+        bit_identical=bool(
+            np.array_equal(run_plain.outputs, run_probed.outputs)
+        ),
+        snapshot=probe.snapshot(),
+    )

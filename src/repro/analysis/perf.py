@@ -26,16 +26,12 @@ from typing import Callable, Iterable
 import numpy as np
 
 from ..config import ArchitectureConfig
-from ..core.window import (
-    CompressedEngine,
-    GoldenEngine,
-    SlidingWindowEngine,
-    TraditionalEngine,
-)
+from ..core.window import GoldenEngine, SlidingWindowEngine
 from ..errors import ConfigError
 from ..imaging import generate_scene
 from ..kernels import BoxFilterKernel
 from ..kernels.base import WindowKernel
+from ..spec import EngineSpec, make_engine
 from .tables import render_table
 
 #: Version tag of the ``BENCH_perf.json`` schema.
@@ -263,19 +259,30 @@ def _engines(
 ) -> dict[str, SlidingWindowEngine]:
     """The measured engines (``names`` subset) for one configuration.
 
-    Compressed engines run with ``recirculate=False`` so the sequential
-    and fast strategies stay comparable on lossy sweeps (with
-    recirculation a lossy run is inherently sequential).
+    All spec-describable engines are built through
+    :func:`~repro.spec.make_engine` (the golden reference has no spec
+    kind — it is not an architecture, just the oracle).  Compressed
+    engines run with ``recirculate=False`` so the sequential and fast
+    strategies stay comparable on lossy sweeps (with recirculation a
+    lossy run is inherently sequential).
     """
+    specs: dict[str, EngineSpec] = {
+        "traditional": EngineSpec(
+            config=config, kernel=kernel, engine="traditional"
+        ),
+        "compressed-sequential": EngineSpec(
+            config=config, kernel=kernel, recirculate=False, fast_path=False
+        ),
+        "compressed-fast": EngineSpec(
+            config=config, kernel=kernel, recirculate=False, fast_path=True
+        ),
+    }
     factories: dict[str, Callable[[], SlidingWindowEngine]] = {
         "golden": lambda: GoldenEngine(config, kernel),
-        "traditional": lambda: TraditionalEngine(config, kernel),
-        "compressed-sequential": lambda: CompressedEngine(
-            config, kernel, recirculate=False, fast_path=False
-        ),
-        "compressed-fast": lambda: CompressedEngine(
-            config, kernel, recirculate=False, fast_path=True
-        ),
+        **{
+            name: (lambda s=spec: make_engine(s))
+            for name, spec in specs.items()
+        },
     }
     return {name: factories[name]() for name in names}
 

@@ -27,12 +27,12 @@ from typing import Callable
 import numpy as np
 
 from ..config import ArchitectureConfig
-from ..core.window import CompressedEngine
 from ..errors import ConfigError
 from ..imaging import generate_scene
 from ..kernels import BoxFilterKernel
 from ..kernels.base import WindowKernel
 from ..runtime import StreamingProcessor
+from ..spec import EngineSpec, make_engine
 from .tables import render_table
 
 #: Version tag of the ``BENCH_stream.json`` schema.
@@ -206,14 +206,15 @@ def measure_stream(
         for i in range(options.frames)
     ]
 
-    engine = CompressedEngine(config, kernel)
+    spec = EngineSpec(config=config, kernel=kernel)
+    engine = make_engine(spec)
     t0 = time.perf_counter()
     expected = [engine.run(frame).outputs for frame in frames]
     baseline_seconds = time.perf_counter() - t0
 
     samples: list[StreamSample] = []
     for workers in options.worker_counts:
-        with StreamingProcessor(config, kernel, workers=workers) as proc:
+        with StreamingProcessor.from_spec(spec, workers=workers) as proc:
             # Warm-up: one frame per worker forks the pool and builds the
             # per-worker engine caches outside the timed window.
             for _ in proc.map([frames[0]] * workers):

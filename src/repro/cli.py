@@ -15,6 +15,7 @@ artifact can be regenerated from a shell::
     repro fault-campaign --schemes none secded --rates 1e-3
     repro perf --json BENCH_perf.json --strategy sequential fast
     repro stream --workers 1 2 4 --json BENCH_stream.json
+    repro metrics --jsonl metrics.jsonl --prometheus metrics.prom
 """
 
 from __future__ import annotations
@@ -25,6 +26,42 @@ from pathlib import Path
 
 from .analysis import experiments as ex
 from .config import PAPER_IMAGE_WIDTHS
+
+
+def add_common_engine_flags(
+    p: argparse.ArgumentParser,
+    *,
+    resolution: int,
+    window: int,
+    threshold: int | None = 0,
+) -> None:
+    """Attach the engine-geometry flags shared by the perf-family commands.
+
+    ``perf``, ``stream``, ``fault-campaign`` and ``metrics`` all describe
+    the same thing — one engine geometry to run — so they share one flag
+    vocabulary instead of four drifting copies.  Pass ``threshold=None``
+    to skip the ``--threshold`` flag (``fault-campaign`` sweeps a plural
+    ``--thresholds`` instead).
+    """
+    p.add_argument(
+        "--resolution",
+        type=int,
+        default=resolution,
+        help=f"square frame resolution (default {resolution})",
+    )
+    p.add_argument(
+        "--window",
+        type=int,
+        default=window,
+        help=f"window size N (default {window})",
+    )
+    if threshold is not None:
+        p.add_argument(
+            "--threshold",
+            type=int,
+            default=threshold,
+            help=f"compression threshold T (default {threshold})",
+        )
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -107,8 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fc = sub.add_parser(
         "fault-campaign", help="SEU injection sweep over protection schemes"
     )
-    p_fc.add_argument("--resolution", type=int, default=96)
-    p_fc.add_argument("--window", type=int, default=8)
+    add_common_engine_flags(p_fc, resolution=96, window=8, threshold=None)
     p_fc.add_argument(
         "--schemes",
         nargs="+",
@@ -144,9 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_perf = sub.add_parser("perf", help="wall-clock pixels/sec of every engine")
-    p_perf.add_argument("--resolution", type=int, default=512)
-    p_perf.add_argument("--window", type=int, default=16)
-    p_perf.add_argument("--threshold", type=int, default=0)
+    add_common_engine_flags(p_perf, resolution=512, window=16)
     p_perf.add_argument(
         "--repeats", type=int, default=3, help="timing repeats (best is kept)"
     )
@@ -170,9 +204,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_stream = sub.add_parser(
         "stream", help="multi-frame streaming throughput vs worker count"
     )
-    p_stream.add_argument("--resolution", type=int, default=512)
-    p_stream.add_argument("--window", type=int, default=16)
-    p_stream.add_argument("--threshold", type=int, default=0)
+    add_common_engine_flags(p_stream, resolution=512, window=16)
     p_stream.add_argument(
         "--frames", type=int, default=8, help="frames per timed pass"
     )
@@ -191,6 +223,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stream.add_argument(
         "--smoke", action="store_true", help="tiny frames, 1+2 workers only"
+    )
+
+    p_met = sub.add_parser(
+        "metrics", help="probe overhead + per-stage span timings"
+    )
+    add_common_engine_flags(p_met, resolution=256, window=16)
+    p_met.add_argument(
+        "--engine",
+        choices=("compressed", "traditional"),
+        default="compressed",
+        help="engine architecture to probe",
+    )
+    p_met.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best is kept)"
+    )
+    p_met.add_argument(
+        "--jsonl",
+        type=Path,
+        default=None,
+        help="write the metrics snapshot as repro-metrics/1 JSON lines here",
+    )
+    p_met.add_argument(
+        "--prometheus",
+        type=Path,
+        default=None,
+        help="write the snapshot in Prometheus text format here",
     )
 
     p_rep = sub.add_parser("report", help="one-shot reproduction report")
@@ -402,6 +460,25 @@ def main(argv: list[str] | None = None) -> int:
         if args.json is not None:
             write_stream_json(result, args.json)
             print(f"wrote {args.json}")
+    elif args.command == "metrics":
+        from .analysis.metrics_perf import MetricsOptions, measure_metrics
+
+        result = measure_metrics(
+            MetricsOptions(
+                resolution=args.resolution,
+                window=args.window,
+                threshold=args.threshold,
+                engine=args.engine,
+                repeats=args.repeats,
+            )
+        )
+        print(result.render())
+        if args.jsonl is not None:
+            n = result.write_jsonl(args.jsonl)
+            print(f"wrote {args.jsonl} ({n} records)")
+        if args.prometheus is not None:
+            result.write_prometheus(args.prometheus)
+            print(f"wrote {args.prometheus}")
     elif args.command == "report":
         from .analysis.report import ReportOptions, full_report
 

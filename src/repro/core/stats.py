@@ -23,6 +23,7 @@ import numpy as np
 
 from ..config import ArchitectureConfig
 from ..errors import ConfigError
+from ..observability.probe import NULL_PROBE
 from .packing.bitmap import apply_threshold
 from .packing.nbits import bit_widths_signed, min_bits_signed
 from .transform.haar2d import (
@@ -129,26 +130,37 @@ class BandAnalysis:
         return band
 
 
-def analyze_band(config: ArchitectureConfig, band: np.ndarray) -> BandAnalysis:
-    """Transform, threshold and size one pixel band (no payload bits built)."""
+def analyze_band(
+    config: ArchitectureConfig, band: np.ndarray, *, probe=None
+) -> BandAnalysis:
+    """Transform, threshold and size one pixel band (no payload bits built).
+
+    ``probe`` times the three analysis stages (``transform`` /
+    ``threshold`` / ``pack``); ``None`` records nothing.
+    """
+    prb = probe if probe is not None else NULL_PROBE
     arr = np.asarray(band)
     if arr.ndim != 2 or arr.shape[0] % 2 or arr.shape[1] % 2:
         raise ConfigError(f"band must be 2D with even sides, got {arr.shape}")
     wrap = config.coefficient_bits if config.wrap_coefficients else None
-    plane = forward_inplace(arr, config.decomposition_levels, wrap_bits=wrap)
-    if config.ll_dpcm:
-        plane = ll_dpcm_forward(plane, config.decomposition_levels)
-    exempt = None
-    if config.threshold_bands == "details" or config.ll_dpcm:
-        exempt = ll_mask_inplace(plane.shape, config.decomposition_levels)
-    plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
-    nbits = np.stack(
-        [
-            min_bits_signed(plane[0::2, :], axis=0),
-            min_bits_signed(plane[1::2, :], axis=0),
-        ]
-    ).astype(np.int64)
-    return BandAnalysis(config=config, plane=plane, nbits=nbits, bitmap=plane != 0)
+    with prb.span("transform"):
+        plane = forward_inplace(arr, config.decomposition_levels, wrap_bits=wrap)
+        if config.ll_dpcm:
+            plane = ll_dpcm_forward(plane, config.decomposition_levels)
+    with prb.span("threshold"):
+        exempt = None
+        if config.threshold_bands == "details" or config.ll_dpcm:
+            exempt = ll_mask_inplace(plane.shape, config.decomposition_levels)
+        plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
+    with prb.span("pack"):
+        nbits = np.stack(
+            [
+                min_bits_signed(plane[0::2, :], axis=0),
+                min_bits_signed(plane[1::2, :], axis=0),
+            ]
+        ).astype(np.int64)
+        bitmap = plane != 0
+    return BandAnalysis(config=config, plane=plane, nbits=nbits, bitmap=bitmap)
 
 
 @dataclass(frozen=True)
@@ -217,7 +229,7 @@ class BandStackAnalysis:
 
 
 def analyze_band_stack(
-    config: ArchitectureConfig, bands: np.ndarray
+    config: ArchitectureConfig, bands: np.ndarray, *, probe=None
 ) -> BandStackAnalysis:
     """Transform, threshold and size a whole ``(T, N, W)`` band stack.
 
@@ -225,31 +237,37 @@ def analyze_band_stack(
     :func:`~repro.core.transform.haar2d.forward_inplace`, a broadcast
     threshold and a stack-wide :func:`min_bits_signed` replace T separate
     :func:`analyze_band` calls.  Bit-identical per band to the scalar
-    analysis (no payload bits are materialised here either).
+    analysis (no payload bits are materialised here either).  ``probe``
+    times the three stages, one span per whole-stack pass.
     """
+    prb = probe if probe is not None else NULL_PROBE
     arr = np.asarray(bands)
     if arr.ndim != 3 or arr.shape[1] % 2 or arr.shape[2] % 2:
         raise ConfigError(
             f"band stack must be (T, N, W) with even N and W, got {arr.shape}"
         )
     wrap = config.coefficient_bits if config.wrap_coefficients else None
-    plane = forward_inplace(arr, config.decomposition_levels, wrap_bits=wrap)
-    if config.ll_dpcm:
-        plane = ll_dpcm_forward(plane, config.decomposition_levels)
-    exempt = None
-    if config.threshold_bands == "details" or config.ll_dpcm:
-        # (N, W) mask broadcasts over the traversal axis.
-        exempt = ll_mask_inplace(plane.shape[-2:], config.decomposition_levels)
-    plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
-    nbits = np.stack(
-        [
-            min_bits_signed(plane[:, 0::2, :], axis=1),
-            min_bits_signed(plane[:, 1::2, :], axis=1),
-        ],
-        axis=1,
-    ).astype(np.int64)
+    with prb.span("transform"):
+        plane = forward_inplace(arr, config.decomposition_levels, wrap_bits=wrap)
+        if config.ll_dpcm:
+            plane = ll_dpcm_forward(plane, config.decomposition_levels)
+    with prb.span("threshold"):
+        exempt = None
+        if config.threshold_bands == "details" or config.ll_dpcm:
+            # (N, W) mask broadcasts over the traversal axis.
+            exempt = ll_mask_inplace(plane.shape[-2:], config.decomposition_levels)
+        plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
+    with prb.span("pack"):
+        nbits = np.stack(
+            [
+                min_bits_signed(plane[:, 0::2, :], axis=1),
+                min_bits_signed(plane[:, 1::2, :], axis=1),
+            ],
+            axis=1,
+        ).astype(np.int64)
+        bitmap = plane != 0
     return BandStackAnalysis(
-        config=config, plane=plane, nbits=nbits, bitmap=plane != 0
+        config=config, plane=plane, nbits=nbits, bitmap=bitmap
     )
 
 
@@ -267,15 +285,25 @@ class BandStackSizes:
     payload_bits_per_column: np.ndarray
     #: Per-parity NBits, shape ``(T, 2, W)``.
     nbits: np.ndarray
+    #: Significant (non-zero) coefficients per band, shape ``(T,)``.
+    #: ``None`` for callers that constructed the sizes without counts.
+    significant_counts: np.ndarray | None = None
 
     @property
     def management_bits_per_column(self) -> int:
         """NBits fields plus bitmap bits per column (same for every band)."""
         return 2 * self.config.nbits_field_width + self.config.window_size
 
+    def zero_ratios(self) -> np.ndarray | None:
+        """Per-band fraction of zeroed coefficients (``None`` if uncounted)."""
+        if self.significant_counts is None:
+            return None
+        total = self.config.window_size * self.config.image_width
+        return 1.0 - self.significant_counts / float(total)
+
 
 def band_stack_sizes(
-    config: ArchitectureConfig, image: np.ndarray
+    config: ArchitectureConfig, image: np.ndarray, *, probe=None
 ) -> BandStackSizes:
     """Compressed sizes of every traversal band in shared-row dataflow.
 
@@ -289,7 +317,11 @@ def band_stack_sizes(
     :func:`analyze_band_stack` (property-tested); restricted to
     ``decomposition_levels == 1`` (deeper pyramids mix rows more than
     one pair apart — use :func:`analyze_band_stack` for those).
+
+    ``probe`` times the ``transform`` / ``threshold`` / ``pack`` stages
+    (one span per whole-frame pass).
     """
+    prb = probe if probe is not None else NULL_PROBE
     arr = np.asarray(image)
     if arr.ndim != 2:
         raise ConfigError(f"image must be 2D, got shape {arr.shape}")
@@ -303,42 +335,49 @@ def band_stack_sizes(
     if h < n:
         raise ConfigError(f"image height {h} shorter than one {n}-band")
     wrap = config.coefficient_bits if config.wrap_coefficients else None
-    pairs = sliding_band_stack(arr, 2)  # (H-1, 2, W) zero-copy
-    plane = forward_inplace(pairs, 1, wrap_bits=wrap)
-    if config.ll_dpcm:
-        plane = ll_dpcm_forward(plane, 1)
-    if config.threshold:  # T=0 thresholding is the identity; skip the copy
-        exempt = None
-        if config.threshold_bands == "details" or config.ll_dpcm:
-            exempt = ll_mask_inplace((2, w), 1)
-        plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
-    element_widths = bit_widths_signed(plane)  # (H-1, 2, W)
-    significant = plane != 0
-    half = n // 2
-    t_total = h - n + 1
-    nbits = np.empty((t_total, 2, w), dtype=np.int64)
-    counts = np.empty((t_total, 2, w), dtype=np.int64)
-    # Band t uses pairs t, t+2, .., t+N-2: a length-N/2 window over the
-    # pairs of t's parity class.  Accumulating N/2 shifted slices keeps
-    # every pass contiguous (a strided window-view reduce gathers).
-    for q in (0, 1):
-        if t_total <= q:
-            break
-        widths_q = element_widths[q::2]
-        signif_q = significant[q::2]
-        length = widths_q.shape[0] - half + 1
-        nbits_q = widths_q[:length].copy()
-        counts_q = signif_q[:length].astype(np.int64)
-        for i in range(1, half):
-            np.maximum(nbits_q, widths_q[i : i + length], out=nbits_q)
-            counts_q += signif_q[i : i + length]
-        nbits[q::2] = nbits_q
-        counts[q::2] = counts_q
-    # Every element of a band row packs its parity's band NBits when
-    # significant; summing a column is counts x NBits per parity.
-    cols = counts[:, 0] * nbits[:, 0] + counts[:, 1] * nbits[:, 1]
+    with prb.span("transform"):
+        pairs = sliding_band_stack(arr, 2)  # (H-1, 2, W) zero-copy
+        plane = forward_inplace(pairs, 1, wrap_bits=wrap)
+        if config.ll_dpcm:
+            plane = ll_dpcm_forward(plane, 1)
+    with prb.span("threshold"):
+        if config.threshold:  # T=0 thresholding is the identity; skip the copy
+            exempt = None
+            if config.threshold_bands == "details" or config.ll_dpcm:
+                exempt = ll_mask_inplace((2, w), 1)
+            plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
+    with prb.span("pack"):
+        element_widths = bit_widths_signed(plane)  # (H-1, 2, W)
+        significant = plane != 0
+        half = n // 2
+        t_total = h - n + 1
+        nbits = np.empty((t_total, 2, w), dtype=np.int64)
+        counts = np.empty((t_total, 2, w), dtype=np.int64)
+        # Band t uses pairs t, t+2, .., t+N-2: a length-N/2 window over the
+        # pairs of t's parity class.  Accumulating N/2 shifted slices keeps
+        # every pass contiguous (a strided window-view reduce gathers).
+        for q in (0, 1):
+            if t_total <= q:
+                break
+            widths_q = element_widths[q::2]
+            signif_q = significant[q::2]
+            length = widths_q.shape[0] - half + 1
+            nbits_q = widths_q[:length].copy()
+            counts_q = signif_q[:length].astype(np.int64)
+            for i in range(1, half):
+                np.maximum(nbits_q, widths_q[i : i + length], out=nbits_q)
+                counts_q += signif_q[i : i + length]
+            nbits[q::2] = nbits_q
+            counts[q::2] = counts_q
+        # Every element of a band row packs its parity's band NBits when
+        # significant; summing a column is counts x NBits per parity.
+        cols = counts[:, 0] * nbits[:, 0] + counts[:, 1] * nbits[:, 1]
+        signif_totals = counts.sum(axis=(1, 2))
     return BandStackSizes(
-        config=config, payload_bits_per_column=cols, nbits=nbits
+        config=config,
+        payload_bits_per_column=cols,
+        nbits=nbits,
+        significant_counts=signif_totals,
     )
 
 

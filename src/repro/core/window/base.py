@@ -75,12 +75,22 @@ class WindowRun:
     #: Fault-injection outcome (:class:`repro.resilience.EngineFaultSummary`)
     #: when the engine ran with a protected/injected memory path.
     faults: object | None = None
+    #: Metrics snapshot of the engine's probe after this run (``None``
+    #: when the engine ran without a probe — existing callers see no
+    #: behavioural change).
+    metrics: dict | None = None
 
 
 class SlidingWindowEngine(ABC):
     """Base class for all sliding-window engines."""
 
-    def __init__(self, config: ArchitectureConfig, kernel: WindowKernel) -> None:
+    def __init__(
+        self,
+        config: ArchitectureConfig,
+        kernel: WindowKernel,
+        *,
+        probe=None,
+    ) -> None:
         if kernel.window_size and kernel.window_size != config.window_size:
             raise ConfigError(
                 f"kernel {kernel.name!r} expects window {kernel.window_size}, "
@@ -88,6 +98,16 @@ class SlidingWindowEngine(ABC):
             )
         self.config = config
         self.kernel = kernel
+        #: Optional :class:`~repro.observability.probe.Probe` this engine
+        #: reports per-stage timing and per-band distributions through.
+        #: ``None`` (the default) keeps every hot path untouched.
+        self.probe = probe
+
+    def _snapshot_metrics(self) -> dict | None:
+        """The probe's registry snapshot, or ``None`` when unprobed."""
+        if self.probe is None:
+            return None
+        return self.probe.snapshot()
 
     @abstractmethod
     def run(self, image: np.ndarray) -> WindowRun:

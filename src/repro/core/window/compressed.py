@@ -48,6 +48,7 @@ from math import ceil
 from ...config import ArchitectureConfig
 from ...errors import CapacityError, ConfigError
 from ...kernels.base import WindowKernel, as_kernel
+from ...observability.probe import NULL_PROBE
 from ...resilience.band import EngineFaultSummary, ResilientBandCodec
 from ...resilience.injector import FaultInjector
 from ...resilience.protection import ProtectionPolicy, resolve_policy
@@ -84,8 +85,9 @@ class CompressedEngine(SlidingWindowEngine):
         injector: FaultInjector | None = None,
         fault_policy: str = "degrade",
         fast_path: bool | None = None,
+        probe=None,
     ) -> None:
-        super().__init__(config, kernel)
+        super().__init__(config, kernel, probe=probe)
         self.recirculate = recirculate
         self.bit_exact = bit_exact
         self.memory_budget_bits = memory_budget_bits
@@ -117,6 +119,7 @@ class CompressedEngine(SlidingWindowEngine):
                 self.protection,
                 injector=injector,
                 on_uncorrectable="resync" if fault_policy == "degrade" else "raise",
+                probe=probe,
             )
         #: Fault outcome of the most recent :meth:`run` (protected path only).
         self.fault_summary: EngineFaultSummary | None = None
@@ -135,6 +138,15 @@ class CompressedEngine(SlidingWindowEngine):
         #: Strategy used by the most recent :meth:`run`
         #: (``"fast"`` or ``"sequential"``).
         self.last_path: str | None = None
+
+    @classmethod
+    def from_spec(cls, spec, *, probe=None) -> "CompressedEngine":
+        """Build from an :class:`~repro.spec.EngineSpec` describing this kind."""
+        if spec.engine != "compressed":
+            raise ConfigError(
+                f"spec describes a {spec.engine!r} engine, not a compressed one"
+            )
+        return spec.build(probe=probe)
 
     @property
     def fast_path_eligible(self) -> bool:
@@ -162,13 +174,18 @@ class CompressedEngine(SlidingWindowEngine):
         the width arithmetic; both paths are equivalent (tested) — the
         fast path just never materialises payload bits.
         """
+        prb = self.probe if self.probe is not None else NULL_PROBE
         if self.bit_exact:
-            encoded = self._codec.encode_band(band)
-            decoded = self._codec.decode_band(encoded)
+            with prb.span("pack"):
+                encoded = self._codec.encode_band(band)
+            with prb.span("unpack"):
+                decoded = self._codec.decode_band(encoded)
             return decoded, encoded.widths, encoded.management_bits_per_column
-        analysis = analyze_band(self.config, band)
+        analysis = analyze_band(self.config, band, probe=self.probe)
+        with prb.span("inverse"):
+            decoded = analysis.reconstruct()
         return (
-            analysis.reconstruct(),
+            decoded,
             analysis.widths,
             analysis.management_bits_per_column,
         )
@@ -239,11 +256,20 @@ class CompressedEngine(SlidingWindowEngine):
         every configuration where both are allowed.
         """
         arr = self._validate_image(image).astype(np.int64)
-        if self.fast_path is not False and self.fast_path_eligible:
-            self.last_path = "fast"
-            return self._run_fast(arr)
-        self.last_path = "sequential"
-        return self._run_sequential(arr)
+        prb = self.probe if self.probe is not None else NULL_PROBE
+        with prb.span("run"):
+            if self.fast_path is not False and self.fast_path_eligible:
+                self.last_path = "fast"
+                result = self._run_fast(arr)
+            else:
+                self.last_path = "sequential"
+                result = self._run_sequential(arr)
+        if self.probe is not None:
+            self.probe.count(
+                "repro_frames_total", engine="compressed", path=self.last_path
+            )
+            result.metrics = self.probe.snapshot()
+        return result
 
     # -- frame-at-once vectorised path ------------------------------------
 
@@ -267,8 +293,10 @@ class CompressedEngine(SlidingWindowEngine):
         cfg = self.config
         n, w, h = cfg.window_size, cfg.image_width, cfg.image_height
         self.fault_summary = None
+        prb = self.probe if self.probe is not None else NULL_PROBE
 
-        outputs = golden_apply(arr, n, self.kernel)
+        with prb.span("kernel"):
+            outputs = golden_apply(arr, n, self.kernel)
         if self.memory_plan is None and cfg.decomposition_levels == 1:
             peak, band_totals = self._fast_sizes_shared(arr)
         else:
@@ -326,15 +354,39 @@ class CompressedEngine(SlidingWindowEngine):
         """Whole-frame accounting via the shared-row pair dataflow."""
         cfg = self.config
         n, w = cfg.window_size, cfg.image_width
-        sizes = band_stack_sizes(cfg, arr)
+        prb = self.probe if self.probe is not None else NULL_PROBE
+        sizes = band_stack_sizes(cfg, arr, probe=self.probe)
         cols = sizes.payload_bits_per_column
         mgmt = sizes.management_bits_per_column
-        band_totals = [int(v) + mgmt * (w - n) for v in cols.sum(axis=1)]
-        band_peaks = self._occupancy_band_peaks(cols, mgmt, None)
+        with prb.span("fifo"):
+            band_totals = [int(v) + mgmt * (w - n) for v in cols.sum(axis=1)]
+            band_peaks = self._occupancy_band_peaks(cols, mgmt, None)
+        if self.probe is not None:
+            self._observe_bands(
+                sizes.nbits, band_peaks, sizes.zero_ratios()
+            )
         t = self._first_budget_overflow(band_peaks)
         if t is not None:
             self._raise_budget_overflow(int(band_peaks[t]), t + n - 1)
         return int(band_peaks.max()), band_totals
+
+    def _observe_bands(
+        self,
+        nbits: np.ndarray,
+        band_peaks: np.ndarray,
+        zero_ratios: np.ndarray | None,
+    ) -> None:
+        """Record per-band distributions (probe attached only).
+
+        ``repro_band_nbits`` samples every per-column per-parity NBits
+        field, ``repro_band_occupancy_bits`` the per-traversal occupancy
+        peak, ``repro_band_zero_ratio`` the per-band zeroed-coefficient
+        fraction.
+        """
+        self.probe.observe_many("repro_band_nbits", nbits.ravel())
+        self.probe.observe_many("repro_band_occupancy_bits", band_peaks.ravel())
+        if zero_ratios is not None:
+            self.probe.observe_many("repro_band_zero_ratio", zero_ratios)
 
     def _fast_sizes_chunked(self, arr: np.ndarray) -> tuple[int, list[int]]:
         """Whole-frame accounting via chunked band-stack analysis.
@@ -345,6 +397,7 @@ class CompressedEngine(SlidingWindowEngine):
         """
         cfg = self.config
         n, w = cfg.window_size, cfg.image_width
+        prb = self.probe if self.probe is not None else NULL_PROBE
         stack = sliding_band_stack(arr, n)
         band_totals: list[int] = []
         peak = 0
@@ -352,13 +405,22 @@ class CompressedEngine(SlidingWindowEngine):
         prev_group_cols: np.ndarray | None = None
         chunk = max(1, self._FAST_CHUNK_BUDGET // (n * w * 8))
         for t0 in range(0, stack.shape[0], chunk):
-            analysis = analyze_band_stack(cfg, stack[t0 : t0 + chunk])
+            analysis = analyze_band_stack(
+                cfg, stack[t0 : t0 + chunk], probe=self.probe
+            )
             mgmt = analysis.management_bits_per_column
             cols = analysis.payload_bits_per_column  # (C, W)
-            band_totals.extend(
-                int(v) + mgmt * (w - n) for v in cols.sum(axis=1)
-            )
-            band_peaks = self._occupancy_band_peaks(cols, mgmt, prev_cols)
+            with prb.span("fifo"):
+                band_totals.extend(
+                    int(v) + mgmt * (w - n) for v in cols.sum(axis=1)
+                )
+                band_peaks = self._occupancy_band_peaks(cols, mgmt, prev_cols)
+            if self.probe is not None:
+                self._observe_bands(
+                    analysis.nbits,
+                    band_peaks,
+                    1.0 - analysis.bitmap.mean(axis=(1, 2)),
+                )
             budget_t = self._first_budget_overflow(band_peaks)
             plan_t: int | None = None
             group_peaks: np.ndarray | None = None
@@ -391,6 +453,7 @@ class CompressedEngine(SlidingWindowEngine):
         """Reference per-traversal loop (handles every configuration)."""
         cfg = self.config
         n, w, h = cfg.window_size, cfg.image_width, cfg.image_height
+        prb = self.probe if self.probe is not None else NULL_PROBE
 
         out_rows: list[np.ndarray] = []
         band_totals: list[int] = []
@@ -421,7 +484,8 @@ class CompressedEngine(SlidingWindowEngine):
         state = arr[0:n].copy()
         for y in range(n - 1, h):
             # Kernel outputs for this traversal come from the current state.
-            out_rows.append(golden_apply(state, n, self.kernel)[0])
+            with prb.span("kernel"):
+                out_rows.append(golden_apply(state, n, self.kernel)[0])
             reconstruction[y - n + 1 : y + 1] = state
             if resilient is not None:
                 decoded, report, encoded = resilient.roundtrip(state)
@@ -434,11 +498,26 @@ class CompressedEngine(SlidingWindowEngine):
             else:
                 decoded, widths, mgmt = self._roundtrip(state)
                 cols = widths.sum(axis=0)
-            band_totals.append(int(cols.sum()) + mgmt * (w - n))
-            reference = cols if prev_cols is None else prev_cols
-            occ = sliding_occupancy(reference, cols, n, mgmt)
-            band_peak = int(occ.max())
+            with prb.span("fifo"):
+                band_totals.append(int(cols.sum()) + mgmt * (w - n))
+                reference = cols if prev_cols is None else prev_cols
+                occ = sliding_occupancy(reference, cols, n, mgmt)
+                band_peak = int(occ.max())
             peak = max(peak, band_peak)
+            if self.probe is not None:
+                # Parity-wise column maxes of the width plane recover the
+                # NBits fields (zero where a parity packs nothing).
+                self.probe.observe_many(
+                    "repro_band_nbits",
+                    np.concatenate(
+                        [widths[0::2].max(axis=0), widths[1::2].max(axis=0)]
+                    ),
+                )
+                self.probe.observe("repro_band_occupancy_bits", band_peak)
+                self.probe.observe(
+                    "repro_band_zero_ratio",
+                    1.0 - np.count_nonzero(widths) / widths.size,
+                )
             if self.memory_budget_bits is not None and band_peak > self.memory_budget_bits:
                 raise CapacityError(
                     f"buffered {band_peak} bits at traversal {y}, memory unit "

@@ -21,6 +21,7 @@ from collections import deque
 import numpy as np
 
 from ...kernels.base import as_kernel
+from ...observability.probe import NULL_PROBE
 from .base import EngineStats, SlidingWindowEngine, WindowRun
 from .golden import golden_apply
 
@@ -33,22 +34,40 @@ def traditional_fill_cycles(window_size: int, image_width: int) -> int:
 class TraditionalEngine(SlidingWindowEngine):
     """Fast functional model of the line-buffering architecture."""
 
+    @classmethod
+    def from_spec(cls, spec, *, probe=None) -> "TraditionalEngine":
+        """Build from an :class:`~repro.spec.EngineSpec` describing this kind."""
+        if spec.engine != "traditional":
+            from ...errors import ConfigError
+
+            raise ConfigError(
+                f"spec describes a {spec.engine!r} engine, not a traditional one"
+            )
+        return spec.build(probe=probe)
+
     def run(self, image: np.ndarray) -> WindowRun:
         """Golden outputs with analytic architectural statistics."""
         arr = self._validate_image(image)
         cfg = self.config
-        outputs = golden_apply(arr, cfg.window_size, self.kernel)
-        fill = traditional_fill_cycles(cfg.window_size, cfg.image_width)
-        stats = EngineStats(
-            fill_cycles=fill,
-            process_cycles=arr.size - fill,
-            drain_cycles=0,
-            pixels_in=arr.size,
-            outputs=outputs.size,
-            buffer_bits_peak=cfg.traditional_buffer_bits,
-            traditional_buffer_bits=cfg.traditional_buffer_bits,
-        )
-        return WindowRun(outputs=outputs, stats=stats)
+        prb = self.probe if self.probe is not None else NULL_PROBE
+        with prb.span("run"):
+            with prb.span("kernel"):
+                outputs = golden_apply(arr, cfg.window_size, self.kernel)
+            fill = traditional_fill_cycles(cfg.window_size, cfg.image_width)
+            stats = EngineStats(
+                fill_cycles=fill,
+                process_cycles=arr.size - fill,
+                drain_cycles=0,
+                pixels_in=arr.size,
+                outputs=outputs.size,
+                buffer_bits_peak=cfg.traditional_buffer_bits,
+                traditional_buffer_bits=cfg.traditional_buffer_bits,
+            )
+        run = WindowRun(outputs=outputs, stats=stats)
+        if self.probe is not None:
+            self.probe.count("repro_frames_total", engine="traditional")
+            run.metrics = self.probe.snapshot()
+        return run
 
 
 class TraditionalCycleEngine(SlidingWindowEngine):

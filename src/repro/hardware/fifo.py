@@ -38,6 +38,7 @@ class Fifo(Generic[T]):
         name: str = "fifo",
         bit_capacity: int | None = None,
         fault_hook: Callable[[str, T, int], T] | None = None,
+        probe=None,
     ) -> None:
         if capacity < 1:
             raise ConfigError(f"capacity must be >= 1, got {capacity}")
@@ -47,6 +48,9 @@ class Fifo(Generic[T]):
         self.bit_capacity = bit_capacity
         self.name = name
         self.fault_hook = fault_hook
+        #: Optional :class:`~repro.observability.probe.Probe` receiving
+        #: high-water gauges and overflow counters (``None`` costs nothing).
+        self.probe = probe
         self._entries: deque[tuple[T, int]] = deque()
         self._bits = 0
         self.peak_entries = 0
@@ -81,11 +85,13 @@ class Fifo(Generic[T]):
         if bits < 0:
             raise ConfigError(f"{self.name}: negative bit cost {bits}")
         if self.full:
+            self._count_overflow()
             raise CapacityError(
                 f"{self.name}: push of {bits} bit(s) onto full FIFO — "
                 f"{len(self._entries)}/{self.capacity} entries resident"
             )
         if self.bit_capacity is not None and self._bits + bits > self.bit_capacity:
+            self._count_overflow()
             raise CapacityError(
                 f"{self.name}: push of {bits} bit(s) overflows bit capacity "
                 f"{self.bit_capacity} ({self._bits} bits resident)"
@@ -95,6 +101,18 @@ class Fifo(Generic[T]):
         self.total_pushed += 1
         self.peak_entries = max(self.peak_entries, len(self._entries))
         self.peak_bits = max(self.peak_bits, self._bits)
+        if self.probe is not None:
+            self.probe.gauge_max(
+                "repro_fifo_peak_entries", self.peak_entries, fifo=self.name
+            )
+            self.probe.gauge_max(
+                "repro_fifo_peak_bits", self.peak_bits, fifo=self.name
+            )
+
+    def _count_overflow(self) -> None:
+        """Record an overflow event on the probe (if attached)."""
+        if self.probe is not None:
+            self.probe.count("repro_fifo_overflow_total", fifo=self.name)
 
     def pop(self) -> T:
         """Dequeue the oldest entry; raises :class:`CapacityError` when empty.
@@ -103,6 +121,8 @@ class Fifo(Generic[T]):
         way out, modelling upsets accumulated while resident.
         """
         if not self._entries:
+            if self.probe is not None:
+                self.probe.count("repro_fifo_underflow_total", fifo=self.name)
             raise CapacityError(f"{self.name}: pop from empty FIFO")
         item, bits = self._entries.popleft()
         self._bits -= bits

@@ -46,6 +46,7 @@ class MemoryUnit:
         protection: "ProtectionPolicy | str | None" = None,
         injector: "FaultInjector | None" = None,
         on_uncorrectable: str = "raise",
+        probe=None,
     ) -> None:
         # Imported here: repro.hardware's package init is consumed by the
         # resilience package, so a module-level import would cycle.
@@ -60,6 +61,9 @@ class MemoryUnit:
         self.policy = resolve_policy(protection)
         self.injector = injector
         self.on_uncorrectable = on_uncorrectable
+        #: Optional :class:`~repro.observability.probe.Probe`; threaded to
+        #: every stream FIFO and fed the correction counters.
+        self.probe = probe
         #: Management words whose single upset was corrected transparently.
         self.corrected_words = 0
         #: Detected-but-uncorrectable management words.
@@ -78,13 +82,14 @@ class MemoryUnit:
         self.group_capacity_bits = group_brams * capacity_bits
         depth = cfg.buffered_columns
         self._groups: list[Fifo[int]] = [
-            Fifo(depth, name=f"packed[{g}]") for g in range(self.n_groups)
+            Fifo(depth, name=f"packed[{g}]", probe=probe)
+            for g in range(self.n_groups)
         ]
         self._nbits: Fifo[tuple[np.ndarray, tuple[int, int]]] = Fifo(
-            depth, name="nbits", fault_hook=self._code_hook("nbits")
+            depth, name="nbits", fault_hook=self._code_hook("nbits"), probe=probe
         )
         self._bitmap: Fifo[tuple[np.ndarray, int]] = Fifo(
-            depth, name="bitmap", fault_hook=self._code_hook("bitmap")
+            depth, name="bitmap", fault_hook=self._code_hook("bitmap"), probe=probe
         )
 
     # ------------------------------------------------------------------
@@ -200,10 +205,15 @@ class MemoryUnit:
         resync = False
         nbits_out = self.policy.nbits.decode_stream(nbits_code, 2 * fw)
         bitmap_out = self.policy.bitmap.decode_stream(bitmap_code, bitmap_len)
-        self.corrected_words += nbits_out.corrected_words + bitmap_out.corrected_words
+        corrected = nbits_out.corrected_words + bitmap_out.corrected_words
+        self.corrected_words += corrected
+        if corrected and self.probe is not None:
+            self.probe.count("repro_seu_corrected_total", corrected)
         bad = nbits_out.uncorrectable_words + bitmap_out.uncorrectable_words
         if bad:
             self.uncorrectable_words += bad
+            if self.probe is not None:
+                self.probe.count("repro_seu_uncorrectable_total", bad)
             if self.on_uncorrectable == "raise":
                 raise BitstreamError(
                     f"{bad} uncorrectable management word(s) under "
@@ -212,6 +222,8 @@ class MemoryUnit:
             resync = True
         if resync:
             self.resync_columns += 1
+            if self.probe is not None:
+                self.probe.count("repro_resync_columns_total")
             return (0, 0), np.zeros(bitmap_len, dtype=bool)
         even, odd = (
             int(v)

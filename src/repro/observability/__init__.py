@@ -1,0 +1,69 @@
+"""Observability: metrics, span timers and probes for the whole pipeline.
+
+The FPGA papers this repo reproduces tune their architectures from
+per-stage instrumentation — cycle counters on every block, high-water
+marks on every FIFO.  This package is the software equivalent, built with
+zero dependencies beyond numpy:
+
+- :mod:`repro.observability.metrics` — :class:`MetricsRegistry` holding
+  counters, gauges and fixed-bucket histograms;
+- :mod:`repro.observability.probe` — the :class:`Probe` seam engines and
+  the runtime report through (``probe.span("transform")`` timers,
+  per-band distribution observations); ``None`` probes cost nothing and
+  an attached probe never changes an engine output bit;
+- :mod:`repro.observability.export` — JSON-lines snapshots (schema
+  ``repro-metrics/1``) and Prometheus exposition text.
+
+Quick start::
+
+    from repro import ArchitectureConfig, CompressedEngine, MetricsProbe
+    from repro.kernels import BoxFilterKernel
+    from repro.observability import write_prometheus
+
+    probe = MetricsProbe()
+    engine = CompressedEngine(config, BoxFilterKernel(16), probe=probe)
+    run = engine.run(image)          # run.metrics holds the snapshot
+    print(write_prometheus(probe.registry))
+"""
+
+from .export import (
+    METRICS_SCHEMA,
+    load_metrics_jsonl,
+    snapshot_records,
+    stage_table,
+    write_metrics_jsonl,
+    write_prometheus,
+)
+from .metrics import (
+    BITS_BUCKETS,
+    RATIO_BUCKETS,
+    SMALL_INT_BUCKETS,
+    TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .probe import NULL_PROBE, MetricsProbe, NullProbe, Probe, default_buckets
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "load_metrics_jsonl",
+    "snapshot_records",
+    "stage_table",
+    "write_metrics_jsonl",
+    "write_prometheus",
+    "BITS_BUCKETS",
+    "RATIO_BUCKETS",
+    "SMALL_INT_BUCKETS",
+    "TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_PROBE",
+    "MetricsProbe",
+    "NullProbe",
+    "Probe",
+    "default_buckets",
+]

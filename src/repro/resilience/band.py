@@ -153,6 +153,7 @@ class ResilientBandCodec:
         *,
         injector: FaultInjector | None = None,
         on_uncorrectable: str = "resync",
+        probe=None,
     ) -> None:
         if on_uncorrectable not in ("resync", "raise"):
             raise ConfigError(
@@ -163,6 +164,12 @@ class ResilientBandCodec:
         self.policy = resolve_policy(protection)
         self.injector = injector
         self.on_uncorrectable = on_uncorrectable
+        #: Optional :class:`~repro.observability.probe.Probe` receiving the
+        #: correction/re-sync counters; threaded through to an unprobed
+        #: injector so injected-flip counts land in the same registry.
+        self.probe = probe
+        if probe is not None and injector is not None and injector.probe is None:
+            injector.probe = probe
         self._codec = BandCodec(config)
 
     # ------------------------------------------------------------------
@@ -275,6 +282,18 @@ class ResilientBandCodec:
             resync_bands=int(band_resync),
             corrupted_pixels=int(np.count_nonzero(decoded != clean)),
         )
+        if self.probe is not None:
+            if corrected:
+                self.probe.count("repro_seu_corrected_total", corrected)
+            if uncorrectable:
+                self.probe.count("repro_seu_uncorrectable_total", uncorrectable)
+            if report.resync_rows or report.resync_bands:
+                self.probe.count(
+                    "repro_resync_events_total",
+                    report.resync_rows + report.resync_bands,
+                )
+            if report.silent:
+                self.probe.count("repro_silent_bands_total")
         return decoded, report, encoded
 
     # ------------------------------------------------------------------

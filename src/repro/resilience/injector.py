@@ -59,6 +59,7 @@ class FaultInjector:
         flips_per_word: int | None = None,
         seed: int = 0,
         targets: tuple[str, ...] = STREAM_NAMES,
+        probe=None,
     ) -> None:
         if upset_rate < 0.0 or upset_rate > 1.0:
             raise ConfigError(f"upset_rate must be in [0, 1], got {upset_rate}")
@@ -76,9 +77,17 @@ class FaultInjector:
         self.flips_per_word = flips_per_word
         self.seed = seed
         self.targets = tuple(targets)
+        #: Optional :class:`~repro.observability.probe.Probe` counting
+        #: injected flips (``repro_seu_injected_total{stream=...}``).
+        self.probe = probe
         self._rng = np.random.default_rng(seed)
         #: Flips injected so far, per stream name.
         self.flips: dict[str, int] = {name: 0 for name in STREAM_NAMES}
+
+    def _count_flips(self, stream: str, n_flips: int) -> None:
+        """Record injected flips on the probe (if attached)."""
+        if self.probe is not None and n_flips:
+            self.probe.count("repro_seu_injected_total", n_flips, stream=stream)
 
     # ------------------------------------------------------------------
 
@@ -124,6 +133,7 @@ class FaultInjector:
         out = arr.copy()
         out[mask] ^= 1
         self.flips[stream] += n_flips
+        self._count_flips(stream, n_flips)
         return out, n_flips
 
     def inject_bits(self, bits: np.ndarray, stream: str) -> tuple[np.ndarray, int]:
@@ -146,6 +156,7 @@ class FaultInjector:
             flip = int((mask_bits.astype(np.int64) << np.arange(width)).sum())
             value ^= flip
             self.flips[stream] += n_flips
+            self._count_flips(stream, n_flips)
         return value, n_flips
 
     # ------------------------------------------------------------------

@@ -29,9 +29,9 @@ from .pool import (
     shared_pool,
     shutdown_shared_pools,
 )
+from ..spec import EngineSpec
 from .ring import FrameRing, RingSpec
 from .streaming import StreamingProcessor, StreamResult, stream_frames
-from .worker import EngineSpec
 
 __all__ = [
     "PersistentPool",

@@ -20,12 +20,29 @@ tested across the lossless/lossy x recirculate matrix).
 
 Single-worker streams still run through the pool so that the semantics
 (ordering, backpressure, stats) are identical at every worker count.
+
+Observability: pass ``probe=MetricsProbe()`` and the driver records
+slot-wait time, queue depth and per-worker frame latency, while each
+worker's engine runs with its own probe; :meth:`metrics_snapshot` merges
+the driver registry with the latest cumulative snapshot shipped back by
+every worker (counters and histograms add, gauges keep the max — all
+emitted gauges are high-water marks, so the merge is exact).
+
+Lifecycle: every live processor is tracked in a module-level weak set and
+an ``atexit`` handler closes any still open at interpreter exit.  Close
+order matters — the pool's workers are terminated *before* the ring
+unlinks its shared memory, so a process that exits with frames still in
+flight cannot leak ``/dev/shm`` blocks (regression-tested in a
+subprocess).
 """
 
 from __future__ import annotations
 
+import atexit
 import queue
-from dataclasses import dataclass
+import time
+import weakref
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -33,9 +50,32 @@ from ..config import ArchitectureConfig
 from ..core.window.base import EngineStats
 from ..errors import ConfigError, StateError
 from ..kernels.base import WindowKernel, as_kernel
+from ..observability.metrics import MetricsRegistry
+from ..spec import EngineSpec
 from .pool import PersistentPool, default_workers, preferred_context
 from .ring import FrameRing
-from .worker import EngineSpec, FrameResult, FrameTask, initialize_worker, process_slot
+from .worker import FrameResult, FrameTask, initialize_worker, process_slot
+
+#: Live processors; the atexit hook below closes any left open.
+_LIVE: "weakref.WeakSet[StreamingProcessor]" = weakref.WeakSet()
+
+
+def _close_live_processors() -> None:
+    """Interpreter-exit hook: close every processor still open.
+
+    Registered after :mod:`repro.runtime.pool`'s and multiprocessing's own
+    atexit handlers, so LIFO ordering runs it *first* — each processor
+    terminates its workers and only then unlinks its ring, while the
+    worker processes are still reachable.
+    """
+    for proc in list(_LIVE):
+        try:
+            proc.close()
+        except Exception:  # pragma: no cover - best-effort at interpreter exit
+            pass
+
+
+atexit.register(_close_live_processors)
 
 
 @dataclass(frozen=True, slots=True)
@@ -48,6 +88,10 @@ class StreamResult:
     outputs: np.ndarray
     #: The engine's run statistics for this frame.
     stats: EngineStats
+    #: Worker-side seconds spent inside ``engine.run`` for this frame.
+    seconds: float = 0.0
+    #: PID of the worker that processed the frame.
+    worker_pid: int = 0
 
 
 class StreamingProcessor:
@@ -68,7 +112,15 @@ class StreamingProcessor:
         Forwarded to each worker's ``CompressedEngine``.
     delay_by_index:
         Test/bench knob — per-frame-index worker-side sleep seconds (see
-        :class:`~repro.runtime.worker.EngineSpec`).
+        :class:`~repro.spec.EngineSpec`).
+    probe:
+        Optional :class:`~repro.observability.probe.MetricsProbe`.  When
+        given, the driver records slot-wait/queue-depth/latency metrics
+        and every worker runs a probed engine; aggregate with
+        :meth:`metrics_snapshot`.
+    spec:
+        A full :class:`~repro.spec.EngineSpec` to run instead of building
+        one from the keyword arguments (see :meth:`from_spec`).
     """
 
     def __init__(
@@ -81,33 +133,41 @@ class StreamingProcessor:
         recirculate: bool = True,
         fast_path: bool | None = None,
         delay_by_index: tuple[float, ...] | None = None,
+        probe=None,
+        spec: EngineSpec | None = None,
     ) -> None:
-        self.config = config
         self.kernel = as_kernel(kernel, window_size=config.window_size)
+        if spec is None:
+            spec = EngineSpec(
+                config=config,
+                kernel=self.kernel,
+                recirculate=recirculate,
+                fast_path=fast_path,
+                delay_by_index=delay_by_index,
+                probe=probe is not None,
+            )
+        elif probe is not None and not spec.probe:
+            spec = replace(spec, probe=True)
+        self.spec = spec
+        self.config = spec.resolved_config
+        self.probe = probe
         self.workers = default_workers() if workers is None else workers
         if self.workers < 1:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         self.slots = 2 * self.workers if slots is None else slots
         if self.slots < 1:
             raise ConfigError(f"slots must be >= 1, got {self.slots}")
-        spec = EngineSpec(
-            config=config,
-            kernel=self.kernel,
-            recirculate=recirculate,
-            fast_path=fast_path,
-            delay_by_index=delay_by_index,
-        )
         n = config.window_size
         out_shape = (config.image_height - n + 1, config.image_width - n + 1)
         # Probe the kernel's output dtype on one zero window so the ring's
         # output plane preserves it exactly (ints stay ints).
-        probe = np.asarray(self.kernel.apply(np.zeros((1, n, n), dtype=np.int64)))
+        sample = np.asarray(self.kernel.apply(np.zeros((1, n, n), dtype=np.int64)))
         self._ring = FrameRing(
             slots=self.slots,
             frame_shape=(config.image_height, config.image_width),
             frame_dtype=np.int64,
             out_shape=out_shape,
-            out_dtype=probe.dtype,
+            out_dtype=sample.dtype,
         )
         self._pool = PersistentPool(
             self.workers,
@@ -119,6 +179,28 @@ class StreamingProcessor:
         self._submitted = 0
         self._consumed = 0
         self._closed = False
+        #: Latest cumulative metrics snapshot shipped back per worker PID.
+        self._worker_snapshots: dict[int, dict] = {}
+        _LIVE.add(self)
+
+    @classmethod
+    def from_spec(
+        cls,
+        spec: EngineSpec,
+        *,
+        workers: int | None = None,
+        slots: int | None = None,
+        probe=None,
+    ) -> "StreamingProcessor":
+        """Build a processor running exactly the engine ``spec`` describes."""
+        return cls(
+            spec.resolved_config,
+            spec.kernel,
+            workers=workers,
+            slots=slots,
+            probe=probe,
+            spec=spec,
+        )
 
     # -- submission -------------------------------------------------------
 
@@ -148,7 +230,12 @@ class StreamingProcessor:
             raise ConfigError(f"frame shape {arr.shape} != configured {expected}")
         if not np.issubdtype(arr.dtype, np.integer):
             raise ConfigError(f"frames must be integer pixels, got {arr.dtype}")
+        t0 = time.perf_counter()
         slot = self._ring.acquire(timeout=timeout)
+        if self.probe is not None:
+            self.probe.observe(
+                "repro_slot_wait_seconds", time.perf_counter() - t0
+            )
         index = self._submitted
         self._submitted += 1
         self._ring.input_view(slot)[...] = arr
@@ -158,6 +245,9 @@ class StreamingProcessor:
             callback=self._on_done,
             error_callback=self._on_error,
         )
+        if self.probe is not None:
+            self.probe.gauge_set("repro_queue_depth", self.in_flight)
+            self.probe.gauge_max("repro_queue_depth_peak", self.in_flight)
         return index
 
     def _on_done(self, result: FrameResult) -> None:
@@ -178,10 +268,21 @@ class StreamingProcessor:
         outputs = np.array(self._ring.output_view(result.slot), copy=True)
         self._ring.release(result.slot)
         self._consumed += 1
+        if result.metrics is not None:
+            self._worker_snapshots[result.worker_pid] = result.metrics
+        if self.probe is not None:
+            self.probe.observe(
+                "repro_frame_seconds",
+                result.seconds,
+                worker=str(result.worker_pid),
+            )
+            self.probe.gauge_set("repro_queue_depth", self.in_flight)
         return StreamResult(
             index=result.index,
             outputs=outputs,
             stats=EngineStats(**result.stats),
+            seconds=result.seconds,
+            worker_pid=result.worker_pid,
         )
 
     def as_completed(self):
@@ -237,13 +338,38 @@ class StreamingProcessor:
                 result = self._collect(self._next_completed())
                 parked[result.index] = result
 
+    # -- observability ----------------------------------------------------
+
+    def metrics_snapshot(self) -> dict | None:
+        """Aggregated metrics: driver registry + latest worker snapshots.
+
+        Worker snapshots are cumulative per worker process, so only the
+        latest one per PID is merged; counters and histograms add across
+        workers and gauges keep the maximum (every gauge the pipeline
+        emits is a high-water mark).  Returns ``None`` when the processor
+        runs unprobed.
+        """
+        if self.probe is None:
+            return None
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self.probe.registry.snapshot())
+        for snap in self._worker_snapshots.values():
+            merged.merge_snapshot(snap)
+        return merged.snapshot()
+
     # -- lifecycle --------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the pool down and free the shared-memory ring."""
+        """Shut the pool down and free the shared-memory ring.
+
+        Order is load-bearing: terminating the workers first guarantees no
+        process still maps the ring when it is unlinked (the exit-time
+        ``/dev/shm`` leak fixed here is pinned by a subprocess test).
+        """
         if self._closed:
             return
         self._closed = True
+        _LIVE.discard(self)
         self._pool.close()
         self._ring.close()
 
@@ -271,6 +397,7 @@ def stream_frames(
     slots: int | None = None,
     recirculate: bool = True,
     fast_path: bool | None = None,
+    probe=None,
 ) -> list[StreamResult]:
     """One-shot convenience: stream ``frames`` and return ordered results."""
     with StreamingProcessor(
@@ -280,5 +407,6 @@ def stream_frames(
         slots=slots,
         recirculate=recirculate,
         fast_path=fast_path,
+        probe=probe,
     ) as proc:
         return list(proc.map(frames))

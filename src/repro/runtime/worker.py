@@ -1,57 +1,46 @@
 """Worker-process side of the streaming runtime.
 
 A streaming pool's workers are initialised exactly once with the ring spec
-and a pickled :class:`EngineSpec`.  The first frame a worker processes
-builds the engine (config + kernel) and caches it in the process-global
-:data:`_ENGINES` table keyed by the spec blob — engines are *constructed*
-per worker, not *pickled* per frame, and every later frame with the same
-key reuses the cached instance.  Per frame, only a tiny
+and a pickled :class:`~repro.spec.EngineSpec`.  The first frame a worker
+processes builds the engine (config + kernel) and caches it in the
+process-global :data:`_ENGINES` table keyed by the spec blob — engines are
+*constructed* per worker, not *pickled* per frame, and every later frame
+with the same key reuses the cached instance.  Per frame, only a tiny
 :class:`FrameTask` travels to the worker and a :class:`FrameResult`
-(slot index + stats scalars) travels back; the pixel planes stay in the
-shared-memory ring.
+(slot index + stats scalars + optional metrics snapshot) travels back;
+the pixel planes stay in the shared-memory ring.
+
+The spec class itself lives in :mod:`repro.spec`; the old
+``repro.runtime.worker.EngineSpec`` import path still resolves through a
+module ``__getattr__`` but raises a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
 
-from ..config import ArchitectureConfig
-from ..core.window.compressed import CompressedEngine
-from ..kernels.base import WindowKernel
+from ..core.window.base import SlidingWindowEngine
+from ..spec import EngineSpec as _EngineSpec
 from .ring import FrameRing, RingSpec
 
 
-@dataclass(frozen=True)
-class EngineSpec:
-    """Everything a worker needs to construct its engine once.
-
-    ``delay_by_index`` is a test/bench knob: per-frame-index seconds slept
-    before processing, used to exercise out-of-order completion without
-    patching worker internals.
-    """
-
-    config: ArchitectureConfig
-    kernel: WindowKernel
-    recirculate: bool = True
-    fast_path: bool | None = None
-    delay_by_index: tuple[float, ...] | None = None
-
-    def build(self) -> CompressedEngine:
-        """Construct the engine this spec describes."""
-        return CompressedEngine(
-            self.config,
-            self.kernel,
-            recirculate=self.recirculate,
-            fast_path=self.fast_path,
+def __getattr__(name: str):
+    """Deprecated-alias hook: ``EngineSpec`` moved to :mod:`repro.spec`."""
+    if name == "EngineSpec":
+        warnings.warn(
+            "repro.runtime.worker.EngineSpec is deprecated; import "
+            "EngineSpec from repro.spec (or repro) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-    def blob(self) -> bytes:
-        """Pickled form — the worker-side engine-cache key."""
-        return pickle.dumps(self)
+        return _EngineSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,10 +59,17 @@ class FrameResult:
     slot: int
     #: ``EngineStats`` fields as a plain dict (small; crosses the queue).
     stats: dict = field(default_factory=dict)
+    #: Worker-side wall-clock seconds spent in ``engine.run``.
+    seconds: float = 0.0
+    #: PID of the worker that processed the frame.
+    worker_pid: int = 0
+    #: Cumulative metrics snapshot of the worker's engine probe
+    #: (``None`` unless the spec asked for a probe).
+    metrics: dict | None = None
 
 
 #: Per-process engine cache: spec blob -> (engine, decoded spec).
-_ENGINES: dict[bytes, tuple[CompressedEngine, EngineSpec]] = {}
+_ENGINES: dict[bytes, tuple[SlidingWindowEngine, _EngineSpec]] = {}
 #: Per-process attached ring (set by :func:`initialize_worker`).
 _RING: FrameRing | None = None
 #: Per-process engine spec blob (set by :func:`initialize_worker`).
@@ -92,7 +88,7 @@ def cached_engine_count() -> int:
     return len(_ENGINES)
 
 
-def _engine() -> tuple[CompressedEngine, EngineSpec]:
+def _engine() -> tuple[SlidingWindowEngine, _EngineSpec]:
     if _SPEC_BLOB is None:
         raise RuntimeError("worker used before initialize_worker ran")
     cached = _ENGINES.get(_SPEC_BLOB)
@@ -107,8 +103,10 @@ def process_slot(task: FrameTask) -> FrameResult:
     """Run the cached engine over ``task``'s ring slot, in place.
 
     Reads the input frame from the slot's shared-memory plane, writes the
-    valid-region outputs back into the slot's output plane and returns only
-    the stats payload.
+    valid-region outputs back into the slot's output plane and returns
+    only the stats payload (plus the worker's cumulative metrics snapshot
+    when the spec asked for a probe — the driver aggregates the latest
+    snapshot per worker PID, so cumulative is the right shape to ship).
     """
     if _RING is None:
         raise RuntimeError("worker used before initialize_worker ran")
@@ -116,7 +114,16 @@ def process_slot(task: FrameTask) -> FrameResult:
     if spec.delay_by_index is not None and task.index < len(spec.delay_by_index):
         time.sleep(spec.delay_by_index[task.index])
     frame = np.asarray(_RING.input_view(task.slot))
+    t0 = time.perf_counter()
     run = engine.run(frame)
+    seconds = time.perf_counter() - t0
     out = _RING.output_view(task.slot)
     out[...] = run.outputs
-    return FrameResult(index=task.index, slot=task.slot, stats=asdict(run.stats))
+    return FrameResult(
+        index=task.index,
+        slot=task.slot,
+        stats=asdict(run.stats),
+        seconds=seconds,
+        worker_pid=os.getpid(),
+        metrics=run.metrics,
+    )

@@ -1,0 +1,79 @@
+"""The probe-overhead harness in :mod:`repro.analysis.metrics_perf`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics_perf import (
+    MetricsOptions,
+    MetricsReport,
+    measure_metrics,
+)
+from repro.errors import ConfigError
+from repro.observability.export import load_metrics_jsonl, parse_prometheus_names
+
+
+@pytest.fixture(scope="module")
+def report() -> MetricsReport:
+    return measure_metrics(MetricsOptions(resolution=64, window=8, repeats=1))
+
+
+class TestOptions:
+    def test_defaults_are_the_acceptance_geometry(self):
+        opt = MetricsOptions()
+        assert (opt.resolution, opt.window, opt.threshold) == (256, 16, 0)
+        assert opt.engine == "compressed"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="repeats"):
+            MetricsOptions(repeats=0)
+        with pytest.raises(ConfigError, match="engine"):
+            MetricsOptions(engine="quantum")
+
+
+class TestMeasure:
+    def test_bit_identity_and_positive_timings(self, report):
+        assert report.bit_identical
+        assert report.seconds_probed > 0
+        assert report.seconds_unprobed > 0
+
+    def test_snapshot_feeds_stage_table(self, report):
+        rendered = report.render()
+        assert "Per-stage span timings" in rendered
+        assert "run/transform" in rendered
+        assert "probe overhead" in rendered
+
+    def test_overhead_percent_definition(self):
+        fake = MetricsReport(
+            options=MetricsOptions(),
+            seconds_unprobed=1.0,
+            seconds_probed=1.05,
+            bit_identical=True,
+            snapshot={"counters": [], "gauges": [], "histograms": []},
+        )
+        assert fake.overhead_percent == pytest.approx(5.0)
+        zero = MetricsReport(
+            options=MetricsOptions(),
+            seconds_unprobed=0.0,
+            seconds_probed=1.0,
+            bit_identical=True,
+            snapshot={"counters": [], "gauges": [], "histograms": []},
+        )
+        assert zero.overhead_percent == 0.0
+
+    def test_writers_produce_valid_exports(self, report, tmp_path):
+        jsonl = tmp_path / "m.jsonl"
+        prom = tmp_path / "m.prom"
+        n = report.write_jsonl(jsonl)
+        report.write_prometheus(prom)
+        assert len(load_metrics_jsonl(jsonl)) == n
+        assert "repro_span_seconds" in parse_prometheus_names(prom.read_text())
+
+    def test_traditional_engine_measurable(self):
+        rep = measure_metrics(
+            MetricsOptions(
+                resolution=64, window=8, engine="traditional", repeats=1
+            )
+        )
+        assert rep.bit_identical
+        assert "run/kernel" in rep.render()

@@ -1,0 +1,141 @@
+"""Span nesting and recording semantics of :class:`MetricsProbe`.
+
+Spans must record under their *nesting path* (``run/transform`` inside
+``run``), unwind correctly on exceptions, and stay isolated across
+threads — the properties that make the per-stage table trustworthy.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observability.metrics import (
+    BITS_BUCKETS,
+    RATIO_BUCKETS,
+    SMALL_INT_BUCKETS,
+    TIME_BUCKETS,
+)
+from repro.observability.probe import (
+    NULL_PROBE,
+    MetricsProbe,
+    NullProbe,
+    Probe,
+    default_buckets,
+)
+
+
+def span_paths(probe: MetricsProbe) -> set[str]:
+    """The recorded ``repro_span_seconds`` label paths."""
+    return {
+        h["labels"]["span"]
+        for h in probe.snapshot()["histograms"]
+        if h["name"] == "repro_span_seconds"
+    }
+
+
+class TestSpanNesting:
+    def test_paths_reconstruct_nesting(self):
+        probe = MetricsProbe()
+        with probe.span("run"):
+            with probe.span("transform"):
+                pass
+            with probe.span("pack"):
+                pass
+        with probe.span("solo"):
+            pass
+        assert span_paths(probe) == {
+            "run",
+            "run/transform",
+            "run/pack",
+            "solo",
+        }
+
+    def test_stack_unwinds_on_exception(self):
+        probe = MetricsProbe()
+        with pytest.raises(RuntimeError):
+            with probe.span("outer"):
+                with probe.span("inner"):
+                    raise RuntimeError("boom")
+        assert probe.span_stack == ()
+        # Both spans still recorded their elapsed time on the way out.
+        assert span_paths(probe) == {"outer", "outer/inner"}
+
+    def test_reentering_same_name_counts_twice(self):
+        probe = MetricsProbe()
+        for _ in range(3):
+            with probe.span("run"):
+                pass
+        [hist] = probe.snapshot()["histograms"]
+        assert hist["count"] == 3
+        assert sum(hist["bucket_counts"]) == 3
+
+    def test_threads_get_independent_stacks(self):
+        probe = MetricsProbe()
+        seen: list[tuple[str, ...]] = []
+        barrier = threading.Barrier(2)
+
+        def work(name: str) -> None:
+            with probe.span(name):
+                barrier.wait(timeout=5)
+                seen.append(probe.span_stack)
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Each thread saw only its own span, never the sibling's.
+        assert sorted(seen) == [("t0",), ("t1",)]
+        assert span_paths(probe) == {"t0", "t1"}
+
+
+class TestRecording:
+    def test_count_observe_gauge_land_in_registry(self):
+        probe = MetricsProbe()
+        probe.count("repro_frames_total", engine="compressed")
+        probe.count("repro_frames_total", 2, engine="compressed")
+        probe.observe("repro_band_occupancy_bits", 100.0)
+        probe.observe_many("repro_band_nbits", np.array([1, 2, 3]))
+        probe.gauge_set("repro_queue_depth", 4)
+        probe.gauge_max("repro_queue_depth_peak", 4)
+        probe.gauge_max("repro_queue_depth_peak", 2)
+        snap = probe.snapshot()
+        assert snap["counters"][0]["value"] == 3.0
+        assert {g["name"]: g["value"] for g in snap["gauges"]} == {
+            "repro_queue_depth": 4.0,
+            "repro_queue_depth_peak": 4.0,
+        }
+        nbits = [h for h in snap["histograms"] if h["name"] == "repro_band_nbits"]
+        assert nbits[0]["count"] == 3
+
+    def test_default_buckets_by_suffix(self):
+        assert default_buckets("x_seconds") == TIME_BUCKETS
+        assert default_buckets("x_ratio") == RATIO_BUCKETS
+        assert default_buckets("x_bits") == BITS_BUCKETS
+        assert default_buckets("x_nbits") == SMALL_INT_BUCKETS
+        assert default_buckets("anything_else") == TIME_BUCKETS
+
+
+class TestNullProbe:
+    def test_conforms_and_records_nothing(self):
+        assert isinstance(NULL_PROBE, Probe)
+        assert isinstance(MetricsProbe(), Probe)
+        probe = NullProbe()
+        with probe.span("run"):
+            probe.count("c")
+            probe.observe("h", 1.0)
+            probe.observe_many("h", np.array([1.0]))
+            probe.gauge_set("g", 1.0)
+            probe.gauge_max("g", 2.0)
+        assert probe.snapshot() is None
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(ValueError):
+            with NULL_PROBE.span("run"):
+                raise ValueError("must propagate")

@@ -17,12 +17,12 @@ from repro.errors import CapacityError, ConfigError, StateError
 from repro.kernels import BoxFilterKernel
 from repro.runtime import StreamingProcessor, stream_frames
 from repro.runtime.worker import (
-    EngineSpec,
     FrameTask,
     cached_engine_count,
     initialize_worker,
     process_slot,
 )
+from repro.spec import EngineSpec
 from repro.runtime.ring import FrameRing
 
 from helpers import random_image

@@ -199,3 +199,60 @@ class TestStreamCommand:
         payload = load_stream_json(out_json)
         assert [e["workers"] for e in payload["scaling"]] == [1, 2]
         assert all(e["bit_identical"] for e in payload["scaling"])
+
+
+class TestMetricsCommand:
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics"])
+        assert args.resolution == 256
+        assert args.window == 16
+        assert args.engine == "compressed"
+        assert args.repeats == 3
+
+    def test_common_engine_flags_are_uniform(self):
+        """perf/stream/fault-campaign/metrics share one flag vocabulary."""
+        for command in ("perf", "stream", "metrics"):
+            args = build_parser().parse_args(
+                [command, "--resolution", "100", "--window", "4", "--threshold", "2"]
+            )
+            assert (args.resolution, args.window, args.threshold) == (100, 4, 2)
+        fc = build_parser().parse_args(
+            ["fault-campaign", "--resolution", "100", "--window", "4"]
+        )
+        assert (fc.resolution, fc.window) == (100, 4)
+
+    def test_metrics_engine_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics", "--engine", "quantum"])
+
+    def test_metrics_run_and_exports(self, tmp_path, capsys):
+        jsonl = tmp_path / "metrics.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "metrics",
+                "--resolution",
+                "64",
+                "--window",
+                "8",
+                "--repeats",
+                "1",
+                "--jsonl",
+                str(jsonl),
+                "--prometheus",
+                str(prom),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-stage span timings" in out
+        assert "bit-identical" in out
+        from repro.observability.export import (
+            load_metrics_jsonl,
+            parse_prometheus_names,
+        )
+
+        records = load_metrics_jsonl(jsonl)
+        assert any(r["name"] == "repro_frames_total" for r in records)
+        names = parse_prometheus_names(prom.read_text())
+        assert "repro_span_seconds" in names

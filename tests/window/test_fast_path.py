@@ -16,8 +16,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import ArchitectureConfig, CompressedEngine
+from repro import ArchitectureConfig, CompressedEngine, TraditionalEngine
 from repro.errors import CapacityError, ConfigError
+from repro.observability.probe import MetricsProbe
 from repro.kernels import (
     BoxFilterKernel,
     CensusKernel,
@@ -150,6 +151,92 @@ class TestEquivalenceMatrix:
         image = random_image(rng, 64, 64)
         seq_run, fast_run = run_both(config, BoxFilterKernel(8), image)
         assert_identical(seq_run, fast_run)
+
+
+class TestProbeTransparency:
+    """Attaching a probe must not change a single output bit.
+
+    The same threshold x fast-path matrix as above, but the variant under
+    test is probed vs unprobed rather than fast vs sequential — the
+    observability layer's core contract.
+    """
+
+    @pytest.mark.parametrize("threshold", [0, 4])
+    @pytest.mark.parametrize("fast_path", [False, True])
+    def test_probe_on_off_bit_identical(self, rng, threshold, fast_path):
+        config = cfg(threshold=threshold)
+        image = random_image(rng, 32, 32, smooth=True)
+        engine_kw = dict(recirculate=False, fast_path=fast_path)
+        plain = CompressedEngine(config, BoxFilterKernel(8), **engine_kw)
+        probe = MetricsProbe()
+        probed = CompressedEngine(
+            config, BoxFilterKernel(8), probe=probe, **engine_kw
+        )
+        plain_run = plain.run(image)
+        probed_run = probed.run(image)
+        assert plain.last_path == probed.last_path
+        assert_identical(plain_run, probed_run)
+        # The unprobed run carries no snapshot; the probed one does, and
+        # it actually saw the frame.
+        assert plain_run.metrics is None
+        snap = probed_run.metrics
+        assert snap is not None
+        assert any(
+            c["name"] == "repro_frames_total" and c["value"] == 1.0
+            for c in snap["counters"]
+        )
+        spans = {
+            h["labels"]["span"]
+            for h in snap["histograms"]
+            if h["name"] == "repro_span_seconds"
+        }
+        assert "run" in spans and "run/transform" in spans
+
+    def test_traditional_probe_transparent(self, rng):
+        config = cfg()
+        image = random_image(rng, 32, 32)
+        plain = TraditionalEngine(config, BoxFilterKernel(8)).run(image)
+        probe = MetricsProbe()
+        probed = TraditionalEngine(
+            config, BoxFilterKernel(8), probe=probe
+        ).run(image)
+        assert np.array_equal(plain.outputs, probed.outputs)
+        assert plain.stats == probed.stats
+        assert probed.metrics is not None
+
+    def test_probed_sequential_records_band_distributions(self, rng):
+        config = cfg(threshold=4)
+        probe = MetricsProbe()
+        engine = CompressedEngine(
+            config, BoxFilterKernel(8), recirculate=False,
+            fast_path=False, probe=probe,
+        )
+        engine.run(random_image(rng, 32, 32, smooth=True))
+        names = {h["name"] for h in probe.snapshot()["histograms"]}
+        assert {
+            "repro_band_nbits",
+            "repro_band_occupancy_bits",
+            "repro_band_zero_ratio",
+        } <= names
+
+    def test_probed_fast_path_records_band_distributions(self, rng):
+        config = cfg(threshold=4)
+        probe = MetricsProbe()
+        engine = CompressedEngine(
+            config, BoxFilterKernel(8), recirculate=False,
+            fast_path=True, probe=probe,
+        )
+        engine.run(random_image(rng, 32, 32, smooth=True))
+        assert engine.last_path == "fast"
+        snap = probe.snapshot()
+        hists = {h["name"]: h for h in snap["histograms"]}
+        for name in (
+            "repro_band_nbits",
+            "repro_band_occupancy_bits",
+            "repro_band_zero_ratio",
+        ):
+            assert hists[name]["count"] > 0
+            assert sum(hists[name]["bucket_counts"]) == hists[name]["count"]
 
 
 class TestCapacitySurfaces:
