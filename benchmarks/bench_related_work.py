@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ArchitectureConfig, CompressedEngine, analyze_image
+from repro import ArchitectureConfig, CompressedEngine
 from repro.analysis.coding import coding_efficiency
 from repro.analysis.tables import render_table
 from repro.baselines.blockbuffer import BlockBufferingArchitecture

@@ -251,6 +251,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the snapshot in Prometheus text format here",
     )
 
+    p_lint = sub.add_parser(
+        "lint", help="reprolint: domain-invariant static analysis (REP rules)"
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        default=None,
+        help="files/directories to lint (default: src/)",
+    )
+    p_lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the reprolint/1 CI schema)",
+    )
+    p_lint.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule subset, e.g. REP001,REP004 (default: all)",
+    )
+    p_lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
     p_rep = sub.add_parser("report", help="one-shot reproduction report")
     p_rep.add_argument("--resolution", type=int, default=512)
     p_rep.add_argument("--images", type=int, default=3)
@@ -479,6 +506,34 @@ def main(argv: list[str] | None = None) -> int:
         if args.prometheus is not None:
             result.write_prometheus(args.prometheus)
             print(f"wrote {args.prometheus}")
+    elif args.command == "lint":
+        from .lint import (
+            LintReport,
+            default_rules,
+            lint_paths,
+            render_json,
+            render_rule_table,
+            render_text,
+        )
+
+        rules = default_rules()
+        if args.rules is not None:
+            wanted = {code.strip() for code in args.rules.split(",")}
+            unknown = wanted - {r.code for r in rules}
+            if unknown:
+                raise SystemExit(f"unknown lint rules: {sorted(unknown)}")
+            rules = tuple(r for r in rules if r.code in wanted)
+        if args.list_rules:
+            print(
+                render_rule_table(
+                    LintReport(violations=(), files_checked=0, rules=rules)
+                )
+            )
+            return 0
+        paths = args.paths if args.paths else [Path("src")]
+        report = lint_paths(paths, rules)
+        print(render_json(report) if args.format == "json" else render_text(report))
+        return 0 if report.ok else 1
     elif args.command == "report":
         from .analysis.report import ReportOptions, full_report
 

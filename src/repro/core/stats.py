@@ -23,7 +23,7 @@ import numpy as np
 
 from ..config import ArchitectureConfig
 from ..errors import ConfigError
-from ..observability.probe import NULL_PROBE
+from ..observability.probe import NULL_PROBE, Probe
 from .packing.bitmap import apply_threshold
 from .packing.nbits import bit_widths_signed, min_bits_signed
 from .transform.haar2d import (
@@ -131,7 +131,7 @@ class BandAnalysis:
 
 
 def analyze_band(
-    config: ArchitectureConfig, band: np.ndarray, *, probe=None
+    config: ArchitectureConfig, band: np.ndarray, *, probe: Probe | None = None
 ) -> BandAnalysis:
     """Transform, threshold and size one pixel band (no payload bits built).
 
@@ -229,7 +229,7 @@ class BandStackAnalysis:
 
 
 def analyze_band_stack(
-    config: ArchitectureConfig, bands: np.ndarray, *, probe=None
+    config: ArchitectureConfig, bands: np.ndarray, *, probe: Probe | None = None
 ) -> BandStackAnalysis:
     """Transform, threshold and size a whole ``(T, N, W)`` band stack.
 
@@ -303,7 +303,7 @@ class BandStackSizes:
 
 
 def band_stack_sizes(
-    config: ArchitectureConfig, image: np.ndarray, *, probe=None
+    config: ArchitectureConfig, image: np.ndarray, *, probe: Probe | None = None
 ) -> BandStackSizes:
     """Compressed sizes of every traversal band in shared-row dataflow.
 

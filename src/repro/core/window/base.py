@@ -13,12 +13,16 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ...config import ArchitectureConfig
 from ...errors import ConfigError
 from ...kernels.base import WindowKernel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...observability.probe import Probe
 
 
 @dataclass(slots=True)
@@ -78,7 +82,7 @@ class WindowRun:
     #: Metrics snapshot of the engine's probe after this run (``None``
     #: when the engine ran without a probe — existing callers see no
     #: behavioural change).
-    metrics: dict | None = None
+    metrics: dict[str, Any] | None = None
 
 
 class SlidingWindowEngine(ABC):
@@ -89,7 +93,7 @@ class SlidingWindowEngine(ABC):
         config: ArchitectureConfig,
         kernel: WindowKernel,
         *,
-        probe=None,
+        probe: Probe | None = None,
     ) -> None:
         if kernel.window_size and kernel.window_size != config.window_size:
             raise ConfigError(
@@ -101,9 +105,9 @@ class SlidingWindowEngine(ABC):
         #: Optional :class:`~repro.observability.probe.Probe` this engine
         #: reports per-stage timing and per-band distributions through.
         #: ``None`` (the default) keeps every hot path untouched.
-        self.probe = probe
+        self.probe: Probe | None = probe
 
-    def _snapshot_metrics(self) -> dict | None:
+    def _snapshot_metrics(self) -> dict[str, Any] | None:
         """The probe's registry snapshot, or ``None`` when unprobed."""
         if self.probe is None:
             return None

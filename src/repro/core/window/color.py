@@ -10,6 +10,7 @@ deployments can be sized with the same accounting as grayscale ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -71,7 +72,8 @@ class MultiChannelEngine:
         kernel: WindowKernel,
         *,
         compressed: bool = True,
-        engine_factory=None,
+        engine_factory: Callable[[ArchitectureConfig, WindowKernel], SlidingWindowEngine]
+        | None = None,
     ) -> None:
         self.config = config
         self.kernel = kernel

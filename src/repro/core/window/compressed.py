@@ -44,6 +44,7 @@ from __future__ import annotations
 import numpy as np
 
 from math import ceil
+from typing import TYPE_CHECKING
 
 from ...config import ArchitectureConfig
 from ...errors import CapacityError, ConfigError
@@ -68,6 +69,11 @@ from .base import EngineStats, SlidingWindowEngine, WindowRun
 from .golden import golden_apply
 from .traditional import traditional_fill_cycles
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...hardware.mapping import MemoryMappingPlan
+    from ...observability.probe import Probe
+    from ...spec import EngineSpec
+
 
 class CompressedEngine(SlidingWindowEngine):
     """Fast vectorised model of the compressed architecture."""
@@ -80,12 +86,12 @@ class CompressedEngine(SlidingWindowEngine):
         recirculate: bool = True,
         bit_exact: bool = False,
         memory_budget_bits: int | None = None,
-        memory_plan=None,
+        memory_plan: "MemoryMappingPlan | None" = None,
         protection: ProtectionPolicy | str | None = None,
         injector: FaultInjector | None = None,
         fault_policy: str = "degrade",
         fast_path: bool | None = None,
-        probe=None,
+        probe: "Probe | None" = None,
     ) -> None:
         super().__init__(config, kernel, probe=probe)
         self.recirculate = recirculate
@@ -140,7 +146,9 @@ class CompressedEngine(SlidingWindowEngine):
         self.last_path: str | None = None
 
     @classmethod
-    def from_spec(cls, spec, *, probe=None) -> "CompressedEngine":
+    def from_spec(
+        cls, spec: "EngineSpec", *, probe: "Probe | None" = None
+    ) -> "CompressedEngine":
         """Build from an :class:`~repro.spec.EngineSpec` describing this kind."""
         if spec.engine != "compressed":
             raise ConfigError(

@@ -20,10 +20,16 @@ from collections import deque
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from ...kernels.base import as_kernel
 from ...observability.probe import NULL_PROBE
 from .base import EngineStats, SlidingWindowEngine, WindowRun
 from .golden import golden_apply
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ...observability.probe import Probe
+    from ...spec import EngineSpec
 
 
 def traditional_fill_cycles(window_size: int, image_width: int) -> int:
@@ -35,7 +41,9 @@ class TraditionalEngine(SlidingWindowEngine):
     """Fast functional model of the line-buffering architecture."""
 
     @classmethod
-    def from_spec(cls, spec, *, probe=None) -> "TraditionalEngine":
+    def from_spec(
+        cls, spec: "EngineSpec", *, probe: "Probe | None" = None
+    ) -> "TraditionalEngine":
         """Build from an :class:`~repro.spec.EngineSpec` describing this kind."""
         if spec.engine != "traditional":
             from ...errors import ConfigError

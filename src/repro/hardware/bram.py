@@ -25,7 +25,6 @@ that count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil
 
 from ..errors import ConfigError
 
@@ -62,7 +61,9 @@ class BramConfig:
             raise ConfigError("word count and width must be non-negative")
         if n_words == 0 or word_bits == 0:
             return 0
-        return ceil(word_bits / self.width) * ceil(n_words / self.depth)
+        # Integer ceiling divisions: float division would lose exactness
+        # for bit counts beyond the 53-bit double mantissa.
+        return (-(-word_bits // self.width)) * (-(-n_words // self.depth))
 
 
 #: All RAMB18 aspect ratios, widest first (the order the allocator scans).

@@ -209,5 +209,5 @@ class SecdedCodec:
 
     @property
     def overhead_percent(self) -> float:
-        """Storage overhead of the protection."""
-        return (self.code_bits / self.data_bits - 1.0) * 100.0
+        """Storage overhead of the protection (reporting only)."""
+        return (self.code_bits / self.data_bits - 1.0) * 100.0  # reprolint: disable=REP001

@@ -14,9 +14,12 @@ resident BRAM contents.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Generic, TypeVar
+from typing import TYPE_CHECKING, Callable, Generic, TypeVar
 
 from ..errors import CapacityError, ConfigError
+
+if TYPE_CHECKING:
+    from ..observability.probe import Probe
 
 T = TypeVar("T")
 
@@ -38,7 +41,7 @@ class Fifo(Generic[T]):
         name: str = "fifo",
         bit_capacity: int | None = None,
         fault_hook: Callable[[str, T, int], T] | None = None,
-        probe=None,
+        probe: Probe | None = None,
     ) -> None:
         if capacity < 1:
             raise ConfigError(f"capacity must be >= 1, got {capacity}")
@@ -50,7 +53,7 @@ class Fifo(Generic[T]):
         self.fault_hook = fault_hook
         #: Optional :class:`~repro.observability.probe.Probe` receiving
         #: high-water gauges and overflow counters (``None`` costs nothing).
-        self.probe = probe
+        self.probe: Probe | None = probe
         self._entries: deque[tuple[T, int]] = deque()
         self._bits = 0
         self.peak_entries = 0

@@ -14,7 +14,6 @@ Implements the arithmetic behind the paper's evaluation tables:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil
 
 import numpy as np
 
@@ -85,7 +84,7 @@ def packed_bram_count(
     r = choose_rows_per_bram(rows, capacity_bits=capacity_bits)
     if r > 1:
         return window_size // r, r
-    count = int(sum(max(1, ceil(int(b) / capacity_bits)) for b in rows))
+    count = int(sum(max(1, -(-int(b) // capacity_bits)) for b in rows))
     return count, 1
 
 
@@ -105,8 +104,8 @@ def management_bram_count(
 
     policy = resolve_policy(protection)
     cols = config.buffered_columns
-    nbits_width = ceil(2 * config.nbits_field_width * policy.nbits.expansion)
-    bitmap_width = ceil(config.window_size * policy.bitmap.expansion)
+    nbits_width = int(policy.nbits.scaled_bits(2 * config.nbits_field_width))
+    bitmap_width = int(policy.bitmap.scaled_bits(config.window_size))
     return min_brams(cols, nbits_width) + min_brams(cols, bitmap_width)
 
 
@@ -174,7 +173,7 @@ def plan_memory_mapping(
 
     policy = resolve_policy(protection)
     rows = np.asarray(row_bits_worst, dtype=np.int64)
-    stored_rows = np.ceil(rows * policy.payload.expansion).astype(np.int64)
+    stored_rows = np.asarray(policy.payload.scaled_bits(rows), dtype=np.int64)
     packed, r = packed_bram_count(
         config.window_size, stored_rows, capacity_bits=capacity_bits
     )

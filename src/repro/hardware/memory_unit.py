@@ -20,8 +20,7 @@ a real SEU would.
 
 from __future__ import annotations
 
-from math import ceil
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -31,6 +30,7 @@ from .fifo import Fifo
 from .mapping import MemoryMappingPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability.probe import Probe
     from ..resilience.injector import FaultInjector
     from ..resilience.protection import ProtectionPolicy
 
@@ -46,7 +46,7 @@ class MemoryUnit:
         protection: "ProtectionPolicy | str | None" = None,
         injector: "FaultInjector | None" = None,
         on_uncorrectable: str = "raise",
-        probe=None,
+        probe: Probe | None = None,
     ) -> None:
         # Imported here: repro.hardware's package init is consumed by the
         # resilience package, so a module-level import would cycle.
@@ -63,7 +63,7 @@ class MemoryUnit:
         self.on_uncorrectable = on_uncorrectable
         #: Optional :class:`~repro.observability.probe.Probe`; threaded to
         #: every stream FIFO and fed the correction counters.
-        self.probe = probe
+        self.probe: Probe | None = probe
         #: Management words whose single upset was corrected transparently.
         self.corrected_words = 0
         #: Detected-but-uncorrectable management words.
@@ -94,13 +94,19 @@ class MemoryUnit:
 
     # ------------------------------------------------------------------
 
-    def _code_hook(self, stream: str):
+    def _code_hook(
+        self, stream: str
+    ) -> Callable[
+        [str, tuple[np.ndarray, Any], int], tuple[np.ndarray, Any]
+    ] | None:
         """Fault hook corrupting resident protected code words on pop."""
         injector = self.injector
         if injector is None:
             return None
 
-        def hook(name: str, item, bits: int):
+        def hook(
+            name: str, item: tuple[np.ndarray, Any], bits: int
+        ) -> tuple[np.ndarray, Any]:
             """Upset the resident ``(code_words, meta)`` entry."""
             code, meta = item
             corrupted, _ = injector.inject_words(code, stream)
@@ -144,17 +150,17 @@ class MemoryUnit:
             raise ConfigError(
                 f"expected {cfg.window_size} row sizes, got {rows.shape}"
             )
-        expansion = self.policy.payload.expansion
+        payload = self.policy.payload
         for g, fifo in enumerate(self._groups):
             group_bits = int(
                 rows[g * self.rows_per_group : (g + 1) * self.rows_per_group].sum()
             )
-            stored = ceil(group_bits * expansion)
+            stored = int(payload.scaled_bits(group_bits))
             if fifo.bits + stored > self.group_capacity_bits:
                 protected = (
                     f" ({self.policy.name} protection adds "
-                    f"{self.policy.payload.overhead_percent:.1f}%)"
-                    if expansion > 1.0
+                    f"{payload.overhead_percent:.1f}%)"
+                    if payload.code_bits > payload.data_bits
                     else ""
                 )
                 raise CapacityError(
@@ -175,13 +181,13 @@ class MemoryUnit:
         nbits_code = self.policy.nbits.encode_stream(nbits_raw)
         self._nbits.push(
             (nbits_code, (int(nbits_even), int(nbits_odd))),
-            bits=ceil(2 * fw * self.policy.nbits.expansion),
+            bits=int(self.policy.nbits.scaled_bits(2 * fw)),
         )
         bitmap_raw = np.asarray(bitmap, dtype=np.uint8).ravel()
         bitmap_code = self.policy.bitmap.encode_stream(bitmap_raw)
         self._bitmap.push(
             (bitmap_code, int(bitmap_raw.size)),
-            bits=ceil(cfg.window_size * self.policy.bitmap.expansion),
+            bits=int(self.policy.bitmap.scaled_bits(cfg.window_size)),
         )
 
     def pop_column(self) -> tuple[tuple[int, int], np.ndarray]:

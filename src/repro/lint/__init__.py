@@ -1,0 +1,64 @@
+"""reprolint — the repo's domain-invariant static analyser.
+
+Generic linters (ruff) and type checkers (mypy) cannot see the
+invariants this reproduction actually rests on; ``repro.lint`` encodes
+them as AST rules, the way hardware flows encode design rules as lint
+checks run before synthesis:
+
+========  ======================  ==========================================
+Code      Name                    Invariant
+========  ======================  ==========================================
+REP001    bit-exact-integers      No floats / true division / np.float*
+                                  dtypes in the bit-exact datapath modules.
+REP002    resource-lifecycle      FrameRing.acquire / SharedMemory(create=
+                                  True) are release-protected (try/with).
+REP003    probe-purity            probe params default to None; probe-guarded
+                                  branches only call probe methods.
+REP004    import-layering         Imports follow the layer DAG; __all__
+                                  entries exist.
+REP005    no-deprecated-shims     No internal use of deprecated shim
+                                  locations (runtime.worker.EngineSpec).
+========  ======================  ==========================================
+
+Run it with ``repro lint src/`` (or ``--format json`` for the CI gate);
+waive a finding with ``# reprolint: disable=REPxxx`` on the offending
+line.  The package sits at the bottom of the layer DAG (it may import
+only :mod:`repro.errors`) so that linting never executes the code under
+analysis.
+"""
+
+from __future__ import annotations
+
+from .framework import (
+    LintReport,
+    ModuleSource,
+    Rule,
+    Violation,
+    check_module,
+    iter_python_files,
+    lint_paths,
+)
+from .reporting import (
+    JSON_SCHEMA,
+    load_report_json,
+    render_json,
+    render_rule_table,
+    render_text,
+)
+from .rules import default_rules
+
+__all__ = [
+    "JSON_SCHEMA",
+    "LintReport",
+    "ModuleSource",
+    "Rule",
+    "Violation",
+    "check_module",
+    "default_rules",
+    "iter_python_files",
+    "lint_paths",
+    "load_report_json",
+    "render_json",
+    "render_rule_table",
+    "render_text",
+]

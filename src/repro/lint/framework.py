@@ -1,0 +1,256 @@
+"""The reprolint rule framework: sources, violations, suppressions, driver.
+
+``reprolint`` is the repo's domain-specific static analyser.  Generic
+linters check style; this one checks the *invariants the reproduction
+rests on* — integer bit-exactness of the transform/packing datapaths,
+resource-lifecycle pairing in the streaming runtime, probe-seam purity,
+and the package layering DAG.  Hardware flows run lint/CDC checks before
+synthesis for exactly these classes of bug; this is the software
+analogue.
+
+The pieces:
+
+- :class:`ModuleSource` — one parsed file (text, AST, dotted module
+  name, parent links), computed once and shared by every rule.
+- :class:`Violation` — one finding, ``path:line:col: REPxxx message``.
+- :class:`Rule` — the protocol a rule implements: a ``code`` (``REPxxx``),
+  a ``name``, a ``description`` and ``check(source) -> violations``.
+- Suppressions — ``# reprolint: disable=REP001`` on the offending line
+  (or alone on the line above) waives that rule there;
+  ``# reprolint: disable-file=REP001`` anywhere waives it for the file.
+  ``disable=all`` waives every rule.  Waivers are the lint analogue of
+  timing-constraint exceptions: visible, greppable, reviewed.
+- :func:`check_module` / :func:`lint_paths` — the drivers.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Protocol, runtime_checkable
+
+from ..errors import ConfigError
+
+#: Matches one suppression comment; group 1 is the directive, group 2 the
+#: comma-separated rule codes (or ``all``).
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One lint finding, pinned to a file position."""
+
+    #: Rule code, e.g. ``"REP001"``.
+    rule: str
+    #: Path of the offending file (as given to the driver).
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node.
+    col: int
+    #: Human-readable explanation of what is wrong and why it matters.
+    message: str
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class ModuleSource:
+    """One Python file parsed for linting (shared by all rules).
+
+    Carries the raw text, the AST, the dotted module name (derived from
+    the ``__init__.py`` chain above the file, so rules can reason about
+    layering), and a child-to-parent node map for context checks.
+    """
+
+    def __init__(
+        self,
+        *,
+        text: str,
+        path: str = "<memory>",
+        module: str = "",
+        is_package: bool = False,
+    ) -> None:
+        self.text = text
+        self.path = path
+        self.module = module
+        self.is_package = is_package
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=path)
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    @classmethod
+    def from_path(cls, path: Path) -> "ModuleSource":
+        """Parse ``path``, deriving the dotted module name from packages.
+
+        Walks up while a ``__init__.py`` sibling exists, so
+        ``src/repro/core/transform/haar1d.py`` resolves to
+        ``repro.core.transform.haar1d`` no matter where the repo lives.
+        """
+        parts = [path.stem if path.name != "__init__.py" else None]
+        parent = path.parent
+        while (parent / "__init__.py").is_file():
+            parts.append(parent.name)
+            parent = parent.parent
+        module = ".".join(p for p in reversed(parts) if p)
+        return cls(
+            text=path.read_text(),
+            path=str(path),
+            module=module,
+            is_package=path.name == "__init__.py",
+        )
+
+    @classmethod
+    def from_source(
+        cls, text: str, *, module: str = "", is_package: bool = False
+    ) -> "ModuleSource":
+        """Parse an in-memory snippet (the fixture entry point for tests)."""
+        return cls(text=text, module=module, is_package=is_package)
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """The AST parent of ``node`` (``None`` for the module root)."""
+        if self._parents is None:
+            self._parents = {
+                child: parent
+                for parent in ast.walk(self.tree)
+                for child in ast.iter_child_nodes(parent)
+            }
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Yield ``node``'s ancestors, innermost first."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """What every reprolint rule provides."""
+
+    #: Stable rule code (``REPxxx``) used in reports and suppressions.
+    code: str
+    #: Short kebab-case name, e.g. ``"bit-exact-integers"``.
+    name: str
+    #: One-paragraph statement of the invariant the rule enforces.
+    description: str
+
+    def check(self, source: ModuleSource) -> Iterable[Violation]:
+        """Yield every violation of this rule in ``source``."""
+        ...  # pragma: no cover - protocol body
+
+
+def suppressed_lines(source: ModuleSource) -> tuple[dict[int, set[str]], set[str]]:
+    """Parse suppression comments out of ``source``.
+
+    Returns ``(per_line, file_wide)`` where ``per_line`` maps a 1-based
+    line number to the rule codes waived there and ``file_wide`` is the
+    set of codes waived for the whole file.  A code set containing
+    ``"all"`` waives everything.
+    """
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, line in enumerate(source.lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group(2).split(",") if c.strip()}
+        if match.group(1) == "disable-file":
+            file_wide |= codes
+        else:
+            per_line.setdefault(lineno, set()).update(codes)
+            # A suppression alone on its own line covers the next line.
+            if line.lstrip().startswith("#"):
+                per_line.setdefault(lineno + 1, set()).update(codes)
+    return per_line, file_wide
+
+
+def _is_suppressed(
+    violation: Violation,
+    per_line: dict[int, set[str]],
+    file_wide: set[str],
+) -> bool:
+    if violation.rule in file_wide or "all" in file_wide:
+        return True
+    codes = per_line.get(violation.line, ())
+    return violation.rule in codes or "all" in codes
+
+
+def check_module(
+    source: ModuleSource, rules: Sequence[Rule]
+) -> list[Violation]:
+    """Run ``rules`` over one parsed module, honouring suppressions."""
+    per_line, file_wide = suppressed_lines(source)
+    found = [
+        violation
+        for rule in rules
+        for violation in rule.check(source)
+        if not _is_suppressed(violation, per_line, file_wide)
+    ]
+    found.sort(key=lambda v: (v.line, v.col, v.rule))
+    return found
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into the sorted ``*.py`` files beneath.
+
+    ``__pycache__`` trees are skipped; a missing path raises
+    :class:`~repro.errors.ConfigError` rather than silently linting
+    nothing.
+    """
+    for path in paths:
+        if path.is_file():
+            yield path
+        elif path.is_dir():
+            yield from sorted(
+                p
+                for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+            )
+        else:
+            raise ConfigError(f"lint path does not exist: {path}")
+
+
+@dataclass(frozen=True, slots=True)
+class LintReport:
+    """Outcome of linting a set of paths."""
+
+    #: Every unsuppressed violation, in file order.
+    violations: tuple[Violation, ...]
+    #: Number of Python files parsed.
+    files_checked: int
+    #: The rules that ran (for reporting).
+    rules: tuple[Rule, ...] = field(default=())
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+
+def lint_paths(
+    paths: Iterable[Path], rules: Sequence[Rule] | None = None
+) -> LintReport:
+    """Lint every Python file under ``paths`` with ``rules``.
+
+    ``rules=None`` runs the default rule set (all ``REPxxx`` rules).
+    """
+    if rules is None:
+        from .rules import default_rules
+
+        rules = default_rules()
+    violations: list[Violation] = []
+    files = 0
+    for path in iter_python_files(paths):
+        files += 1
+        violations.extend(check_module(ModuleSource.from_path(path), rules))
+    return LintReport(
+        violations=tuple(violations), files_checked=files, rules=tuple(rules)
+    )

@@ -1,0 +1,82 @@
+"""Reporters for reprolint results: human text and machine JSON.
+
+The text form is the conventional compiler style one-violation-per-line
+plus a summary; the JSON form (schema ``reprolint/1``) is what the CI
+gate consumes and archives, so its shape is part of the tool's contract
+and validated by :func:`load_report_json`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import ConfigError
+from .framework import LintReport
+
+#: Version tag embedded in every JSON report.
+JSON_SCHEMA = "reprolint/1"
+
+
+def render_text(report: LintReport) -> str:
+    """One line per violation plus a ``N violation(s) ...`` summary."""
+    lines = [v.format() for v in report.violations]
+    n = len(report.violations)
+    noun = "violation" if n == 1 else "violations"
+    lines.append(
+        f"{n} {noun} in {len({v.path for v in report.violations})} file(s) "
+        f"({report.files_checked} checked)"
+        if n
+        else f"clean: {report.files_checked} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The ``reprolint/1`` JSON document for CI consumption."""
+    payload = {
+        "schema": JSON_SCHEMA,
+        "files_checked": report.files_checked,
+        "rules": [
+            {"code": r.code, "name": r.name, "description": r.description}
+            for r in report.rules
+        ],
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def load_report_json(text: str) -> dict[str, Any]:
+    """Parse + validate a ``reprolint/1`` document (the CI-side check)."""
+    payload = json.loads(text)
+    if payload.get("schema") != JSON_SCHEMA:
+        raise ConfigError(
+            f"not a {JSON_SCHEMA} document: schema={payload.get('schema')!r}"
+        )
+    for key in ("files_checked", "rules", "violations"):
+        if key not in payload:
+            raise ConfigError(f"reprolint report lacks key {key!r}")
+    for violation in payload["violations"]:
+        missing = {"rule", "path", "line", "col", "message"} - set(violation)
+        if missing:
+            raise ConfigError(
+                f"violation record lacks keys {sorted(missing)}"
+            )
+    return payload
+
+
+def render_rule_table(report: LintReport) -> str:
+    """A ``CODE  name  description`` listing of the rules that ran."""
+    rows = []
+    for rule in report.rules:
+        rows.append(f"{rule.code}  {rule.name:24s} {rule.description}")
+    return "\n".join(rows)

@@ -1,0 +1,39 @@
+"""The reprolint rule registry.
+
+One module per rule family; :func:`default_rules` builds the full set
+the CLI and the repo-consistency gate run.  Rules are instantiated
+fresh per call so callers can safely customise one instance (e.g. a
+narrowed bit-exact scope in tests) without affecting others.
+"""
+
+from __future__ import annotations
+
+from ..framework import Rule
+from .bitexact import BIT_EXACT_MODULES, BitExactRule
+from .layering import ALLOWED_IMPORTS, LAYER_PREFIXES, LayeringRule
+from .lifecycle import ResourceLifecycleRule
+from .probes import ProbePurityRule
+from .shims import DeprecatedShimRule
+
+__all__ = [
+    "ALLOWED_IMPORTS",
+    "BIT_EXACT_MODULES",
+    "LAYER_PREFIXES",
+    "BitExactRule",
+    "DeprecatedShimRule",
+    "LayeringRule",
+    "ProbePurityRule",
+    "ResourceLifecycleRule",
+    "default_rules",
+]
+
+
+def default_rules() -> tuple[Rule, ...]:
+    """Fresh instances of every REP rule, in code order."""
+    return (
+        BitExactRule(),
+        ResourceLifecycleRule(),
+        ProbePurityRule(),
+        LayeringRule(),
+        DeprecatedShimRule(),
+    )

@@ -1,0 +1,130 @@
+"""REP002 — resource acquisition must be release-protected.
+
+The streaming runtime hands out two kinds of leakable resources: ring
+slots (``FrameRing.acquire`` — a leaked slot permanently shrinks the
+ring until the stream deadlocks) and ``multiprocessing.shared_memory``
+segments created with ``create=True`` (a leaked segment outlives the
+process as a ``/dev/shm`` file).  Both must be structurally protected
+at the acquisition site, not by convention.
+
+A call is *protected* when any of these hold:
+
+- it is lexically inside a ``try`` that has handlers or a ``finally``
+  (the cleanup path exists on the error edge);
+- the statement containing it is immediately followed by a ``try``
+  statement in the same block (the ``slot = ring.acquire(); try: ...``
+  idiom, where the handler releases on failure);
+- it is a ``with`` statement's context expression (the context manager
+  owns the lifetime).
+
+Receivers are matched by name: ``.acquire(...)`` on anything whose
+dotted receiver mentions ``ring``, and any ``SharedMemory(...,
+create=True)`` call.  Locks and semaphores (also ``.acquire``) are out
+of scope on purpose — this rule is about the runtime's frame transport.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..framework import ModuleSource, Violation
+
+
+def _receiver_text(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on real ASTs
+        return ""
+
+
+def _is_ring_acquire(call: ast.Call) -> bool:
+    return (
+        isinstance(call.func, ast.Attribute)
+        and call.func.attr == "acquire"
+        and "ring" in _receiver_text(call.func.value).lower()
+    )
+
+
+def _is_shm_create(call: ast.Call) -> bool:
+    name = _receiver_text(call.func)
+    if not name.endswith("SharedMemory"):
+        return False
+    return any(
+        kw.arg == "create"
+        and isinstance(kw.value, ast.Constant)
+        and kw.value.value is True
+        for kw in call.keywords
+    )
+
+
+class ResourceLifecycleRule:
+    """REP002: ring slots and shared-memory segments cannot leak on error."""
+
+    code = "REP002"
+    name = "resource-lifecycle"
+    description = (
+        "FrameRing.acquire and SharedMemory(create=True) must be inside a "
+        "try with handlers/finally, immediately followed by one, or used as "
+        "a with-statement context, so the release path exists on the error "
+        "edge."
+    )
+
+    def check(self, source: ModuleSource) -> Iterator[Violation]:
+        """Yield every unprotected slot / segment acquisition."""
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_ring_acquire(node):
+                what = "ring-slot acquire()"
+            elif _is_shm_create(node):
+                what = "SharedMemory(create=True)"
+            else:
+                continue
+            if self._protected(source, node):
+                continue
+            yield Violation(
+                rule=self.code,
+                path=source.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{what} is not release-protected: wrap in try/finally "
+                    "(or try/except + release) or a with statement"
+                ),
+            )
+
+    @staticmethod
+    def _protected(source: ModuleSource, call: ast.Call) -> bool:
+        for ancestor in source.ancestors(call):
+            # The enclosing function is the lifecycle boundary: a try
+            # around the whole def does not protect the call site.
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return False
+            # Case 1: inside a try that has an error edge.
+            if isinstance(ancestor, ast.Try) and (
+                ancestor.handlers or ancestor.finalbody
+            ):
+                return True
+            # Case 3: the call is (part of) a with-statement context
+            # expression — the context manager owns the lifetime.
+            if isinstance(ancestor, ast.withitem) and any(
+                inner is call for inner in ast.walk(ancestor.context_expr)
+            ):
+                return True
+            # Case 2: the statement holding the call is immediately
+            # followed by a try in the same block.
+            if isinstance(ancestor, ast.stmt):
+                parent = source.parent(ancestor)
+                for body in (
+                    getattr(parent, "body", None),
+                    getattr(parent, "orelse", None),
+                    getattr(parent, "finalbody", None),
+                ):
+                    if body and ancestor in body:
+                        i = body.index(ancestor)
+                        if i + 1 < len(body) and isinstance(
+                            body[i + 1], ast.Try
+                        ):
+                            return True
+        return False

@@ -1,0 +1,216 @@
+"""REP003 — probe seams must be structurally bit-neutral.
+
+PR 4's observability layer promises that a probed run is *bit-identical*
+to an unprobed one.  The test suite pins that property empirically; this
+rule makes it structural, so a future edit cannot break it in a
+configuration the tests do not cover:
+
+- every ``probe`` parameter defaults to ``None`` (*not observed* is the
+  zero-cost default, and an engine constructed without a probe runs the
+  exact seed-code path);
+- inside a branch guarded by ``<x>.probe is not None`` (or ``probe is
+  not None``), every call is either a method on that same probe object
+  or one of a small allowlist of read-only helpers: monotonic clocks,
+  pure builtins, numpy reductions, read-only accessor methods, and
+  ``observe*`` helper methods (which by the same convention may only
+  feed the probe).  Nothing else may run there — a guarded branch that
+  mutates engine state makes probe-on/off behaviour diverge.
+
+The probe framework itself (:mod:`repro.observability`) is exempt: a
+span legitimately holds a required probe reference.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..framework import ModuleSource, Violation
+
+#: Calls that may appear inside a probe-guarded branch besides probe
+#: methods: monotonic clocks and side-effect-free builtins.
+_PURE_CALLS = frozenset(
+    {
+        "time.perf_counter",
+        "time.monotonic",
+        "perf_counter",
+        "monotonic",
+        "str",
+        "len",
+        "max",
+        "min",
+        "int",
+        "repr",
+        "format",
+        "float",
+        "round",
+        "tuple",
+        "replace",
+    }
+)
+
+#: Side-effect-free numpy functions allowed when called as ``np.<name>``
+#: or ``numpy.<name>`` (reductions and copies feeding an observation).
+_PURE_NUMPY = frozenset(
+    {
+        "concatenate",
+        "count_nonzero",
+        "asarray",
+        "array",
+        "mean",
+        "sum",
+        "abs",
+    }
+)
+
+#: Side-effect-free *method* names (numpy reductions plus the repo's own
+#: read-only accessors) allowed on any receiver inside a guard.
+_PURE_METHODS = frozenset(
+    {
+        "mean",
+        "max",
+        "min",
+        "sum",
+        "item",
+        "astype",
+        "ravel",
+        "tolist",
+        "copy",
+        "snapshot",
+        "zero_ratios",
+        "replace",
+    }
+)
+
+#: Modules exempt from the rule: the probe framework itself legitimately
+#: holds required probes and calls arbitrary registry machinery.
+EXEMPT_MODULES: tuple[str, ...] = ("repro.observability",)
+
+
+def _probe_expr(test: ast.expr) -> ast.expr | None:
+    """The probe operand if ``test`` (or an ``and`` arm) is
+    ``<probe> is not None``."""
+    candidates = test.values if isinstance(test, ast.BoolOp) else [test]
+    for cand in candidates:
+        if (
+            isinstance(cand, ast.Compare)
+            and len(cand.ops) == 1
+            and isinstance(cand.ops[0], ast.IsNot)
+            and isinstance(cand.comparators[0], ast.Constant)
+            and cand.comparators[0].value is None
+        ):
+            left = cand.left
+            name = (
+                left.id
+                if isinstance(left, ast.Name)
+                else left.attr
+                if isinstance(left, ast.Attribute)
+                else ""
+            )
+            if name == "probe" or name.endswith("_probe"):
+                return left
+    return None
+
+
+class ProbePurityRule:
+    """REP003: probes default off, and guarded branches only observe."""
+
+    code = "REP003"
+    name = "probe-purity"
+    description = (
+        "probe parameters must default to None, and probe-guarded branches "
+        "(`if x.probe is not None:`) may only call methods on that probe "
+        "(plus monotonic clocks / pure builtins), so probe-on/off "
+        "bit-identity holds by construction."
+    )
+
+    def __init__(self, exempt_modules: tuple[str, ...] = EXEMPT_MODULES) -> None:
+        self.exempt_modules = exempt_modules
+
+    def check(self, source: ModuleSource) -> Iterator[Violation]:
+        """Yield default-value and guarded-branch purity violations."""
+        if any(
+            source.module == m or source.module.startswith(m + ".")
+            for m in self.exempt_modules
+        ):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(source, node)
+            elif isinstance(node, ast.If):
+                yield from self._check_guard(source, node)
+
+    def _check_defaults(
+        self, source: ModuleSource, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        args = node.args
+        positional = [*args.posonlyargs, *args.args]
+        defaults: dict[str, ast.expr | None] = {
+            a.arg: None for a in positional
+        }
+        for arg, default in zip(
+            reversed(positional), reversed(args.defaults)
+        ):
+            defaults[arg.arg] = default
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            defaults[arg.arg] = kw_default
+        for name, default in defaults.items():
+            if name != "probe":
+                continue
+            if not (
+                isinstance(default, ast.Constant) and default.value is None
+            ):
+                yield Violation(
+                    rule=self.code,
+                    path=source.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        f"probe parameter of {node.name}() must default to "
+                        "None (unprobed must be the seed-code path)"
+                    ),
+                )
+
+    def _check_guard(
+        self, source: ModuleSource, node: ast.If
+    ) -> Iterator[Violation]:
+        probe = _probe_expr(node.test)
+        if probe is None:
+            return
+        probe_text = ast.unparse(probe)
+        for inner in node.body:
+            for call in ast.walk(inner):
+                if not isinstance(call, ast.Call):
+                    continue
+                func = call.func
+                callee = ast.unparse(func)
+                if callee in _PURE_CALLS:
+                    continue
+                if isinstance(func, ast.Attribute):
+                    # A probe method: the receiver chain starts at the
+                    # guarded probe expression (`self.probe.observe`).
+                    if callee.startswith(probe_text + "."):
+                        continue
+                    # Pure numpy functions and read-only reductions /
+                    # accessors feeding an observation.
+                    if (
+                        isinstance(func.value, ast.Name)
+                        and func.value.id in ("np", "numpy")
+                        and func.attr in _PURE_NUMPY
+                    ):
+                        continue
+                    if func.attr in _PURE_METHODS or func.attr.lstrip(
+                        "_"
+                    ).startswith("observe"):
+                        continue
+                yield Violation(
+                    rule=self.code,
+                    path=source.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    message=(
+                        f"call to {callee}() inside `if {probe_text} is not "
+                        "None:` — probe-guarded branches may only call probe "
+                        "methods (bit-identity must be structural)"
+                    ),
+                )

@@ -1,0 +1,81 @@
+"""REP005 — no new code on deprecated compatibility shims.
+
+PR 4 promoted :class:`EngineSpec` from ``repro.runtime.worker`` to
+:mod:`repro.spec` and left a module-``__getattr__`` shim behind that
+raises :class:`DeprecationWarning`.  The shim exists so *external*
+callers get a migration window; internal code reaching through it would
+keep the old path alive forever and hide the warning from the users it
+is aimed at.  This rule flags any import or attribute access of the
+deprecated location (the shim module itself is exempt — it has to name
+the thing it deprecates).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from ..framework import ModuleSource, Violation
+from .layering import resolve_relative
+
+#: Deprecated (module, name) locations and where to get the real thing.
+DEPRECATED_NAMES: tuple[tuple[str, str, str], ...] = (
+    ("repro.runtime.worker", "EngineSpec", "repro.spec.EngineSpec"),
+)
+
+
+class DeprecatedShimRule:
+    """REP005: internal code must not use deprecated shim locations."""
+
+    code = "REP005"
+    name = "no-deprecated-shims"
+    description = (
+        "Imports/attribute reads of deprecated shims (e.g. "
+        "repro.runtime.worker.EngineSpec) are forbidden in repo code; use "
+        "the promoted location (repro.spec.EngineSpec)."
+    )
+
+    def check(self, source: ModuleSource) -> Iterator[Violation]:
+        """Yield every use of a deprecated shim location."""
+        for module, name, replacement in DEPRECATED_NAMES:
+            if source.module == module:
+                continue  # the shim module itself
+            yield from self._check_one(source, module, name, replacement)
+
+    def _check_one(
+        self, source: ModuleSource, module: str, name: str, replacement: str
+    ) -> Iterator[Violation]:
+        tail = module.rsplit(".", maxsplit=1)[-1]
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ImportFrom):
+                resolved = resolve_relative(source, node)
+                if resolved == module and any(
+                    alias.name == name for alias in node.names
+                ):
+                    yield self._violation(source, node, module, name, replacement)
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr == name
+                and isinstance(node.value, (ast.Name, ast.Attribute))
+                and ast.unparse(node.value).endswith(tail)
+            ):
+                yield self._violation(source, node, module, name, replacement)
+
+    def _violation(
+        self,
+        source: ModuleSource,
+        node: ast.AST,
+        module: str,
+        name: str,
+        replacement: str,
+    ) -> Violation:
+        return Violation(
+            rule=self.code,
+            path=source.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=(
+                f"{module}.{name} is a deprecated shim; import "
+                f"{replacement} instead"
+            ),
+        )

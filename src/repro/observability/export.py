@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Iterable, Mapping
+from typing import Mapping
 
 from ..errors import ConfigError
 from .metrics import MetricsRegistry

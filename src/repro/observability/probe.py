@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import AbstractContextManager
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -56,7 +57,7 @@ def default_buckets(name: str) -> tuple[float, ...]:
 class Probe(Protocol):
     """What an instrumented component may call on its probe."""
 
-    def span(self, name: str):
+    def span(self, name: str) -> AbstractContextManager[object]:
         """A context manager timing one named stage."""
 
     def count(self, name: str, amount: float = 1.0, **labels: str) -> None:
@@ -74,7 +75,7 @@ class Probe(Protocol):
     def gauge_max(self, name: str, value: float, **labels: str) -> None:
         """Record a gauge high-water mark."""
 
-    def snapshot(self) -> dict | None:
+    def snapshot(self) -> dict[str, object] | None:
         """The backing registry's snapshot (``None`` when unbacked)."""
 
 

@@ -37,6 +37,7 @@ from ..errors import BitstreamError, ConfigError
 from ..core.packing.bitstream import bits_to_values, values_to_bits
 from ..core.packing.packer import BandCodec, EncodedBand
 from ..core.transform.haar2d import inverse_inplace, ll_dpcm_inverse
+from ..observability.probe import Probe
 from .injector import FaultInjector
 from .protection import ProtectionPolicy, resolve_policy
 
@@ -153,7 +154,7 @@ class ResilientBandCodec:
         *,
         injector: FaultInjector | None = None,
         on_uncorrectable: str = "resync",
-        probe=None,
+        probe: Probe | None = None,
     ) -> None:
         if on_uncorrectable not in ("resync", "raise"):
             raise ConfigError(

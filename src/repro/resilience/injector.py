@@ -27,9 +27,14 @@ construction, so a campaign cell is exactly reproducible from
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Callable
+
 import numpy as np
 
 from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..observability.probe import Probe
 
 #: Storage streams the injector can target.
 STREAM_NAMES: tuple[str, ...] = ("payload", "nbits", "bitmap")
@@ -59,7 +64,7 @@ class FaultInjector:
         flips_per_word: int | None = None,
         seed: int = 0,
         targets: tuple[str, ...] = STREAM_NAMES,
-        probe=None,
+        probe: Probe | None = None,
     ) -> None:
         if upset_rate < 0.0 or upset_rate > 1.0:
             raise ConfigError(f"upset_rate must be in [0, 1], got {upset_rate}")
@@ -79,7 +84,7 @@ class FaultInjector:
         self.targets = tuple(targets)
         #: Optional :class:`~repro.observability.probe.Probe` counting
         #: injected flips (``repro_seu_injected_total{stream=...}``).
-        self.probe = probe
+        self.probe: Probe | None = probe
         self._rng = np.random.default_rng(seed)
         #: Flips injected so far, per stream name.
         self.flips: dict[str, int] = {name: 0 for name in STREAM_NAMES}
@@ -161,7 +166,9 @@ class FaultInjector:
 
     # ------------------------------------------------------------------
 
-    def fifo_hook(self, stream: str = "payload"):
+    def fifo_hook(
+        self, stream: str = "payload"
+    ) -> Callable[[str, object, int], object]:
         """Adapter for :class:`~repro.hardware.fifo.Fifo`'s ``fault_hook``.
 
         Returns a callable ``(fifo_name, item, bits) -> item`` that upsets
@@ -169,7 +176,7 @@ class FaultInjector:
         corruption is modelled at the protected-stream level instead).
         """
 
-        def hook(name: str, item, bits: int):
+        def hook(name: str, item: object, bits: int) -> object:
             """Upset integer FIFO entries at the configured rate."""
             if isinstance(item, (int, np.integer)):
                 corrupted, _ = self.corrupt_word(int(item), int(bits), stream)

@@ -108,6 +108,17 @@ class ProtectionScheme(ABC):
         """Stored size of ``n_data_bits`` payload bits (padding included)."""
         return ceil(n_data_bits / self.data_bits) * self.code_bits if n_data_bits else 0
 
+    def scaled_bits(self, n_data_bits: int | np.ndarray) -> int | np.ndarray:
+        """Integer-exact occupancy charge ``ceil(n * code_bits / data_bits)``.
+
+        The runtime's bit-accounting must behave like 2's-complement
+        hardware, so the fractional code expansion is applied as a
+        ceiling division over integers — never through a float ratio,
+        whose rounding could drift from the RTL for large bit counts.
+        Accepts a scalar or an integer array (applied elementwise).
+        """
+        return -((-n_data_bits * self.code_bits) // self.data_bits)
+
 
 class NoProtection(ProtectionScheme):
     """Raw storage — the paper's baseline memory path."""
@@ -122,7 +133,9 @@ class NoProtection(ProtectionScheme):
         """Identity: raw words are stored as-is."""
         return np.atleast_2d(np.asarray(data_words, dtype=np.uint8))
 
-    def decode_words(self, code_words):
+    def decode_words(
+        self, code_words: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Identity decode; nothing is ever corrected or detected."""
         words = np.atleast_2d(np.asarray(code_words, dtype=np.uint8))
         none = np.zeros(words.shape[0], dtype=bool)
@@ -150,7 +163,9 @@ class ParityProtection(ProtectionScheme):
         parity = words.sum(axis=1, dtype=np.int64) % 2
         return np.concatenate([words, parity[:, None].astype(np.uint8)], axis=1)
 
-    def decode_words(self, code_words):
+    def decode_words(
+        self, code_words: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Flag words whose stored parity mismatches; never correct."""
         words = np.atleast_2d(np.asarray(code_words, dtype=np.uint8))
         data = words[:, : self.data_bits]
@@ -181,7 +196,9 @@ class TmrProtection(ProtectionScheme):
         words = np.atleast_2d(np.asarray(data_words, dtype=np.uint8))
         return np.concatenate([words, words, words], axis=1)
 
-    def decode_words(self, code_words):
+    def decode_words(
+        self, code_words: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Majority-vote the three copies bit by bit."""
         words = np.atleast_2d(np.asarray(code_words, dtype=np.uint8))
         d = self.data_bits
@@ -211,7 +228,9 @@ class SecdedProtection(ProtectionScheme):
         """Hamming-encode every word plus the overall parity bit."""
         return self._codec.encode_block(data_words)
 
-    def decode_words(self, code_words):
+    def decode_words(
+        self, code_words: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Syndrome-decode: correct singles, flag doubles."""
         return self._codec.decode_block(code_words)
 

@@ -115,7 +115,7 @@ class PersistentPool:
         *,
         callback: Callable[[R], None] | None = None,
         error_callback: Callable[[BaseException], None] | None = None,
-    ):
+    ) -> "mp.pool.AsyncResult[R]":
         """Submit one call; returns the pool's ``AsyncResult``."""
         return self._ensure().apply_async(
             fn, args, callback=callback, error_callback=error_callback

@@ -97,21 +97,30 @@ class FrameRing:
             out_dtype=np.dtype(out_dtype).name,
         )
         self._shm = shared_memory.SharedMemory(create=True, size=spec.total_bytes)
-        self.spec = RingSpec(
-            name=self._shm.name,
-            slots=spec.slots,
-            frame_shape=spec.frame_shape,
-            frame_dtype=spec.frame_dtype,
-            out_shape=spec.out_shape,
-            out_dtype=spec.out_dtype,
-        )
-        self._owner = True
-        self._free: queue.Queue[int] | None = queue.Queue()
-        for i in range(slots):
-            self._free.put(i)
-        #: High-water mark of simultaneously acquired slots.
-        self.in_flight_peak = 0
-        self._in_flight = 0
+        try:
+            self.spec = RingSpec(
+                name=self._shm.name,
+                slots=spec.slots,
+                frame_shape=spec.frame_shape,
+                frame_dtype=spec.frame_dtype,
+                out_shape=spec.out_shape,
+                out_dtype=spec.out_dtype,
+            )
+            self._owner = True
+            self._free: queue.Queue[int] | None = queue.Queue()
+            for i in range(slots):
+                self._free.put(i)
+            #: High-water mark of simultaneously acquired slots.
+            self.in_flight_peak = 0
+            self._in_flight = 0
+        except BaseException:
+            # A half-built owner must not leak the /dev/shm segment:
+            # ``_owner`` may not be set yet, so ``close()`` cannot be
+            # trusted to unlink here.
+            self._shm.close()
+            self._shm.unlink()
+            self._shm = None
+            raise
 
     @classmethod
     def attach(cls, spec: RingSpec) -> "FrameRing":

@@ -42,6 +42,7 @@ import atexit
 import queue
 import time
 import weakref
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -51,6 +52,7 @@ from ..core.window.base import EngineStats
 from ..errors import ConfigError, StateError
 from ..kernels.base import WindowKernel, as_kernel
 from ..observability.metrics import MetricsRegistry
+from ..observability.probe import Probe
 from ..spec import EngineSpec
 from .pool import PersistentPool, default_workers, preferred_context
 from .ring import FrameRing
@@ -133,7 +135,7 @@ class StreamingProcessor:
         recirculate: bool = True,
         fast_path: bool | None = None,
         delay_by_index: tuple[float, ...] | None = None,
-        probe=None,
+        probe: Probe | None = None,
         spec: EngineSpec | None = None,
     ) -> None:
         self.kernel = as_kernel(kernel, window_size=config.window_size)
@@ -190,7 +192,7 @@ class StreamingProcessor:
         *,
         workers: int | None = None,
         slots: int | None = None,
-        probe=None,
+        probe: Probe | None = None,
     ) -> "StreamingProcessor":
         """Build a processor running exactly the engine ``spec`` describes."""
         return cls(
@@ -232,19 +234,26 @@ class StreamingProcessor:
             raise ConfigError(f"frames must be integer pixels, got {arr.dtype}")
         t0 = time.perf_counter()
         slot = self._ring.acquire(timeout=timeout)
-        if self.probe is not None:
-            self.probe.observe(
-                "repro_slot_wait_seconds", time.perf_counter() - t0
+        try:
+            if self.probe is not None:
+                self.probe.observe(
+                    "repro_slot_wait_seconds", time.perf_counter() - t0
+                )
+            index = self._submitted
+            self._ring.input_view(slot)[...] = arr
+            self._pool.apply_async(
+                process_slot,
+                (FrameTask(index=index, slot=slot),),
+                callback=self._on_done,
+                error_callback=self._on_error,
             )
-        index = self._submitted
+        except BaseException:
+            # The frame never made it in flight (e.g. the pool was torn
+            # down under us): hand the slot back instead of shrinking the
+            # ring until the stream deadlocks.
+            self._ring.release(slot)
+            raise
         self._submitted += 1
-        self._ring.input_view(slot)[...] = arr
-        self._pool.apply_async(
-            process_slot,
-            (FrameTask(index=index, slot=slot),),
-            callback=self._on_done,
-            error_callback=self._on_error,
-        )
         if self.probe is not None:
             self.probe.gauge_set("repro_queue_depth", self.in_flight)
             self.probe.gauge_max("repro_queue_depth_peak", self.in_flight)
@@ -285,12 +294,12 @@ class StreamingProcessor:
             worker_pid=result.worker_pid,
         )
 
-    def as_completed(self):
+    def as_completed(self) -> Iterator[StreamResult]:
         """Yield every in-flight frame's result in completion order."""
         while self.in_flight:
             yield self._collect(self._next_completed())
 
-    def results(self):
+    def results(self) -> Iterator[StreamResult]:
         """Yield every in-flight frame's result in submission order.
 
         Out-of-order completions are parked (stats only — their ring slots
@@ -312,7 +321,9 @@ class StreamingProcessor:
             else:
                 parked[result.index] = result
 
-    def map(self, frames, *, timeout: float | None = None):
+    def map(
+        self, frames: Iterable[np.ndarray], *, timeout: float | None = None
+    ) -> Iterator[StreamResult]:
         """Stream ``frames`` through the pool; yield ordered results.
 
         Interleaves submission and consumption under the ring's
@@ -391,13 +402,13 @@ class StreamingProcessor:
 def stream_frames(
     config: ArchitectureConfig,
     kernel: WindowKernel,
-    frames,
+    frames: Iterable[np.ndarray],
     *,
     workers: int | None = None,
     slots: int | None = None,
     recirculate: bool = True,
     fast_path: bool | None = None,
-    probe=None,
+    probe: Probe | None = None,
 ) -> list[StreamResult]:
     """One-shot convenience: stream ``frames`` and return ordered results."""
     with StreamingProcessor(

@@ -14,7 +14,6 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro import ArchitectureConfig
-from repro.core.packing.bitstream import values_to_bits
 from repro.core.packing.hw_pack import BitPackingUnit
 from repro.core.packing.nbits import NBitsGateModel, min_bits_signed
 from repro.core.packing.packer import BandCodec

@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import ArchitectureConfig
 from repro.core.window.compressed import CompressedEngine
 from repro.errors import BitstreamError, ConfigError
 from repro.kernels import BoxFilterKernel

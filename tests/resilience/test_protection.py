@@ -10,7 +10,6 @@ from repro.resilience import (
     FaultInjector,
     NoProtection,
     ParityProtection,
-    ProtectionPolicy,
     SecdedProtection,
     TmrProtection,
     resolve_policy,

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import shutil
+import subprocess
 from pathlib import Path
+
+import pytest
 
 ROOT = Path(__file__).parent.parent
 
@@ -67,6 +71,59 @@ class TestBenchHygiene:
                 marker in source
                 for marker in ("report(", "assert", "run_bram_table", "run_resource_table")
             ), bench.name
+
+
+class TestStaticAnalysis:
+    def test_repro_lint_clean_on_src(self):
+        """`repro lint src/` must be clean: the rules gate the repo itself."""
+        from repro.lint import lint_paths
+
+        report = lint_paths([ROOT / "src"])
+        assert report.ok, "\n".join(v.format() for v in report.violations)
+
+    def test_no_bytecode_or_caches_tracked(self):
+        tracked = subprocess.run(
+            ["git", "ls-files"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.splitlines()
+        offenders = [
+            f
+            for f in tracked
+            if f.endswith((".pyc", ".pyo")) or "__pycache__" in f
+        ]
+        assert not offenders, offenders
+
+    def test_gitignore_covers_bytecode(self):
+        text = (ROOT / ".gitignore").read_text()
+        assert "__pycache__/" in text
+        assert "*.py[cod]" in text
+
+    @pytest.mark.skipif(
+        shutil.which("ruff") is None, reason="ruff not installed"
+    )
+    def test_ruff_clean(self):
+        proc = subprocess.run(
+            ["ruff", "check", "src", "tests", "benchmarks"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    @pytest.mark.skipif(
+        shutil.which("mypy") is None, reason="mypy not installed"
+    )
+    def test_mypy_strict_clean(self):
+        proc = subprocess.run(
+            ["mypy", "--strict", "src/repro"],
+            cwd=ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
 class TestDocstringCoverage:

@@ -12,7 +12,6 @@ from repro.core.transform.haar1d import forward_1d
 from repro.core.transform.lifting import (
     WAVELETS,
     LiftingStep,
-    LiftingWavelet,
     cdf97_int_wavelet,
     haar_wavelet,
     legall53_wavelet,
