@@ -1,0 +1,68 @@
+"""Chaos campaign — the runtime's robustness trajectory.
+
+Injects deterministic process-level fault mixes (worker SIGKILLs,
+in-worker raises, deadline delays, dropped results, poison frames) into
+supervised streamed runs and records how recovery went: frames delivered
+vs failed, retries, inline degradations, worker deaths, slot
+reclamations and loss-to-redelivery latency.  Besides the rendered
+recovery table under ``benchmarks/out/chaos.txt`` this bench writes
+``BENCH_chaos.json`` at the repo root — the machine-readable robustness
+point future supervision changes regress against.
+
+The acceptance bar is correctness, not speed: every scenario must
+account for every frame (delivered or structurally failed), every
+delivered output must be bit-identical to the sequential baseline, and
+every ring must come back to full slot capacity after the run.
+
+``REPRO_BENCH_IMAGES=2`` (or lower) selects a smoke-sized run with
+smaller frames and a tighter deadline; the scenario list never shrinks —
+a smoke run still exercises every rung of the recovery ladder.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.chaos import (
+    ChaosOptions,
+    measure_chaos,
+    write_chaos_json,
+)
+
+from _util import bench_images, full_geometry, report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _options() -> ChaosOptions:
+    if full_geometry():
+        return ChaosOptions(resolution=256, frames=32)
+    if bench_images() <= 2:  # smoke: small frames, short deadline
+        return ChaosOptions(resolution=96, frames=16, deadline_seconds=1.5)
+    return ChaosOptions()
+
+
+def test_bench_chaos(benchmark):
+    options = _options()
+    result = benchmark.pedantic(
+        lambda: measure_chaos(options),
+        rounds=1,
+        iterations=1,
+    )
+    report("chaos", result.render())
+    write_chaos_json(result, REPO_ROOT / "BENCH_chaos.json")
+    # Non-negotiable: no frame is ever silently lost, delivered pixels
+    # are exact, and no scenario leaks a ring slot.
+    assert result.all_frames_accounted
+    for point in result.points:
+        assert point.bit_identical, point.scenario.name
+        assert point.slots_recovered, point.scenario.name
+    # The kill scenario must actually have killed and recovered.
+    kill = result.at("worker-kill")
+    assert kill.worker_deaths >= 1
+    assert kill.retries + kill.degraded >= 1
+    assert kill.failed == 0
+    # Poison frames must quarantine (degrade_inline=False), not hang.
+    poison = result.at("poison-quarantine")
+    assert poison.failed >= 1
+    assert poison.delivered + poison.failed == options.frames

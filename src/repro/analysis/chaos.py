@@ -1,0 +1,432 @@
+"""Chaos campaign: measure the streaming runtime's recovery behaviour.
+
+:mod:`repro.analysis.stream_perf` measures how fast the streaming runtime
+is when everything goes right; this module measures what it does when
+things go wrong.  Each :class:`ChaosScenario` deterministically injects a
+mix of process-level faults (worker SIGKILLs, in-worker raises, deadline
+delays, dropped results, poison frames) into a streamed run via
+:class:`~repro.resilience.chaos.ChaosSpec` and records how the
+supervision layer coped: frames delivered vs failed, retries, inline
+degradations, worker deaths, slot reclamations and loss-to-redelivery
+latency — with every delivered output still compared bit-for-bit against
+the sequential baseline.
+
+The campaign is serialised as ``BENCH_chaos.json`` (schema
+``repro-chaos/1``), the robustness counterpart of ``BENCH_stream.json``:
+CI runs a smoke campaign and fails when a scenario loses frames or
+delivers a wrong pixel.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..errors import ConfigError
+from ..imaging import generate_scene
+from ..kernels import BoxFilterKernel
+from ..kernels.base import WindowKernel
+from ..resilience.chaos import ChaosSpec
+from ..runtime import StreamingProcessor
+from ..runtime.streaming import StreamResult
+from ..runtime.supervision import SupervisionPolicy
+from ..spec import EngineSpec, make_engine
+from .tables import render_table
+
+#: Version tag of the ``BENCH_chaos.json`` schema.
+CHAOS_SCHEMA = "repro-chaos/1"
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosScenario:
+    """One named fault mix injected into a streamed run."""
+
+    name: str
+    kill_rate: float = 0.0
+    raise_rate: float = 0.0
+    delay_rate: float = 0.0
+    drop_rate: float = 0.0
+    poison_rate: float = 0.0
+    #: Whether exhausted frames are computed inline (``True``) or
+    #: quarantined as :class:`~repro.runtime.supervision.FrameFailure`
+    #: values (``False`` — only sensible with ``poison_rate > 0``).
+    degrade_inline: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("scenario name must be non-empty")
+
+
+#: The standard campaign: every rung of the recovery ladder gets a
+#: scenario, from fault-free control to poison-frame quarantine.
+DEFAULT_SCENARIOS: tuple[ChaosScenario, ...] = (
+    ChaosScenario(name="baseline"),
+    ChaosScenario(name="worker-kill", kill_rate=0.12),
+    ChaosScenario(name="worker-raise", raise_rate=0.2),
+    ChaosScenario(name="delay-drop", delay_rate=0.15, drop_rate=0.1),
+    ChaosScenario(
+        name="mixed",
+        kill_rate=0.06,
+        raise_rate=0.1,
+        delay_rate=0.06,
+        drop_rate=0.06,
+    ),
+    ChaosScenario(
+        name="poison-quarantine", poison_rate=0.12, degrade_inline=False
+    ),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosOptions:
+    """Knobs of one chaos campaign."""
+
+    resolution: int = 128
+    window: int = 8
+    threshold: int = 0
+    #: Frames streamed per scenario.
+    frames: int = 16
+    workers: int = 2
+    seed: int = 0
+    #: Per-attempt supervision deadline (recovers dropped results).
+    deadline_seconds: float = 2.0
+    scenarios: tuple[ChaosScenario, ...] = DEFAULT_SCENARIOS
+
+    def __post_init__(self) -> None:
+        if self.frames < 1:
+            raise ConfigError(f"frames must be >= 1, got {self.frames}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.deadline_seconds <= 0:
+            raise ConfigError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
+        if not self.scenarios:
+            raise ConfigError("scenarios must name at least one scenario")
+
+
+@dataclass(frozen=True, slots=True)
+class ChaosPoint:
+    """What one scenario's streamed run survived."""
+
+    scenario: ChaosScenario
+    #: Frames injected with each fault kind (kill/raise/delay/drop/poison).
+    faults: dict
+    #: Frames delivered as results (retried / degraded ones included).
+    delivered: int
+    #: Frames delivered as structured failures (quarantined).
+    failed: int
+    retries: int
+    degraded: int
+    worker_deaths: int
+    slots_reclaimed: int
+    results_dropped: int
+    pool_respawns: int
+    recoveries: int
+    recovery_seconds_mean: float
+    recovery_seconds_max: float
+    #: True when every *delivered* frame matched the sequential baseline.
+    bit_identical: bool
+    #: Wall-clock seconds of the streamed pass (recovery time included).
+    seconds: float
+    #: Ring slots free after the run drained vs the ring's depth.
+    free_slots: int
+    slots: int
+
+    @property
+    def slots_recovered(self) -> bool:
+        """True when the ring came back to full capacity after the run."""
+        return self.free_slots == self.slots
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """One chaos campaign: every scenario's recovery outcome."""
+
+    options: ChaosOptions
+    cpu_count: int
+    points: tuple[ChaosPoint, ...]
+
+    def at(self, name: str) -> ChaosPoint:
+        """The point measured for scenario ``name``."""
+        for p in self.points:
+            if p.scenario.name == name:
+                return p
+        raise ConfigError(f"no chaos point for scenario {name!r}")
+
+    @property
+    def all_frames_accounted(self) -> bool:
+        """True when every scenario delivered or failed every frame."""
+        return all(
+            p.delivered + p.failed == self.options.frames for p in self.points
+        )
+
+    def render(self) -> str:
+        """Monospace recovery table plus the campaign geometry note."""
+        opt = self.options
+        rows = []
+        for p in self.points:
+            rows.append(
+                (
+                    p.scenario.name,
+                    p.delivered,
+                    p.failed,
+                    p.retries,
+                    p.degraded,
+                    p.worker_deaths,
+                    p.slots_reclaimed,
+                    p.recovery_seconds_mean,
+                    p.seconds,
+                    "yes" if p.bit_identical else "NO",
+                    "yes" if p.slots_recovered else "NO",
+                )
+            )
+        table = render_table(
+            (
+                "scenario",
+                "ok",
+                "failed",
+                "retries",
+                "inline",
+                "deaths",
+                "reclaims",
+                "recov s",
+                "seconds",
+                "bit-identical",
+                "ring whole",
+            ),
+            rows,
+            title="Chaos campaign: streaming recovery",
+        )
+        return (
+            f"{table}\n\n"
+            f"{opt.frames} frames of {opt.resolution}x{opt.resolution}, "
+            f"N={opt.window}, T={opt.threshold}, {opt.workers} worker(s), "
+            f"deadline {opt.deadline_seconds:g}s, seed {opt.seed}; "
+            f"{self.cpu_count} CPU core(s) visible"
+        )
+
+    def to_json_dict(self) -> dict:
+        """``BENCH_chaos.json`` payload (see README for the schema)."""
+        return {
+            "schema": CHAOS_SCHEMA,
+            "geometry": {
+                "width": self.options.resolution,
+                "height": self.options.resolution,
+                "window": self.options.window,
+                "threshold": self.options.threshold,
+            },
+            "frames": self.options.frames,
+            "workers": self.options.workers,
+            "seed": self.options.seed,
+            "deadline_seconds": self.options.deadline_seconds,
+            "cpu_count": self.cpu_count,
+            "scenarios": [
+                {
+                    "name": p.scenario.name,
+                    "rates": {
+                        "kill": p.scenario.kill_rate,
+                        "raise": p.scenario.raise_rate,
+                        "delay": p.scenario.delay_rate,
+                        "drop": p.scenario.drop_rate,
+                        "poison": p.scenario.poison_rate,
+                    },
+                    "degrade_inline": p.scenario.degrade_inline,
+                    "faults": p.faults,
+                    "delivered": p.delivered,
+                    "failed": p.failed,
+                    "retries": p.retries,
+                    "degraded": p.degraded,
+                    "worker_deaths": p.worker_deaths,
+                    "slots_reclaimed": p.slots_reclaimed,
+                    "results_dropped": p.results_dropped,
+                    "pool_respawns": p.pool_respawns,
+                    "recoveries": p.recoveries,
+                    "recovery_seconds_mean": p.recovery_seconds_mean,
+                    "recovery_seconds_max": p.recovery_seconds_max,
+                    "bit_identical": p.bit_identical,
+                    "seconds": p.seconds,
+                    "free_slots": p.free_slots,
+                    "slots": p.slots,
+                }
+                for p in self.points
+            ],
+        }
+
+
+def measure_chaos(
+    options: ChaosOptions = ChaosOptions(),
+    *,
+    kernel_factory: Callable[[int], WindowKernel] = BoxFilterKernel,
+) -> ChaosReport:
+    """Run every scenario's fault mix through a supervised stream.
+
+    Per scenario: a :class:`~repro.resilience.chaos.ChaosSpec` is sampled
+    from the campaign seed, rides into the workers on the engine spec,
+    and a fresh supervised :class:`StreamingProcessor` streams the same
+    synthetic frames the sequential baseline processed.  Delivered
+    outputs are compared bit-for-bit; after consumption the stream is
+    drained so zombie-quarantined slots prove they return to the free
+    list.
+    """
+    res = options.resolution
+    config = ArchitectureConfig(
+        image_width=res,
+        image_height=res,
+        window_size=options.window,
+        threshold=options.threshold,
+    )
+    kernel = kernel_factory(options.window)
+    frames = [
+        generate_scene(seed=i + 1, resolution=res).astype(np.int64)
+        for i in range(options.frames)
+    ]
+    spec = EngineSpec(config=config, kernel=kernel)
+    engine = make_engine(spec)
+    expected = [engine.run(frame).outputs for frame in frames]
+
+    points: list[ChaosPoint] = []
+    for scenario in options.scenarios:
+        chaos = ChaosSpec.sample(
+            options.frames,
+            seed=options.seed,
+            kill_rate=scenario.kill_rate,
+            raise_rate=scenario.raise_rate,
+            delay_rate=scenario.delay_rate,
+            drop_rate=scenario.drop_rate,
+            poison_rate=scenario.poison_rate,
+            # A delay fault must outlast the deadline or it never
+            # exercises the deadline-retry path at all.
+            delay_seconds=options.deadline_seconds * 1.5,
+        )
+        run_spec = spec.replace(chaos=chaos if chaos.any_faults else None)
+        policy = SupervisionPolicy(
+            deadline_seconds=options.deadline_seconds,
+            degrade_inline=scenario.degrade_inline,
+            reclaim_grace_seconds=1.0,
+        )
+        t0 = time.perf_counter()
+        with StreamingProcessor.from_spec(
+            run_spec, workers=options.workers, supervision=policy
+        ) as proc:
+            outcomes = list(proc.map(frames, timeout=60.0))
+            seconds = time.perf_counter() - t0
+            free = proc.drain(timeout=30.0)
+            slots = proc.slots
+            stats = proc.supervisor_stats
+        if stats is None:  # pragma: no cover - campaigns always supervise
+            raise ConfigError("chaos campaign requires a supervised stream")
+        delivered = [o for o in outcomes if isinstance(o, StreamResult)]
+        failed = len(outcomes) - len(delivered)
+        identical = all(
+            np.array_equal(r.outputs, expected[r.index]) for r in delivered
+        )
+        points.append(
+            ChaosPoint(
+                scenario=scenario,
+                faults=chaos.fault_counts,
+                delivered=len(delivered),
+                failed=failed,
+                retries=stats.retries,
+                degraded=stats.degraded,
+                worker_deaths=stats.worker_deaths,
+                slots_reclaimed=stats.slots_reclaimed,
+                results_dropped=stats.results_dropped,
+                pool_respawns=stats.pool_respawns,
+                recoveries=stats.recoveries,
+                recovery_seconds_mean=stats.recovery_seconds_mean,
+                recovery_seconds_max=stats.recovery_seconds_max,
+                bit_identical=identical,
+                seconds=seconds,
+                free_slots=free,
+                slots=slots,
+            )
+        )
+    return ChaosReport(
+        options=options,
+        cpu_count=os.cpu_count() or 1,
+        points=tuple(points),
+    )
+
+
+def write_chaos_json(report: ChaosReport, path: Path) -> None:
+    """Serialise ``report`` as a ``BENCH_chaos.json`` trajectory point."""
+    path.write_text(json.dumps(report.to_json_dict(), indent=2) + "\n")
+
+
+def load_chaos_json(path: Path) -> dict:
+    """Load and structurally validate a ``BENCH_chaos.json`` file.
+
+    Beyond shape, this enforces the campaign's promises: every frame is
+    accounted for (delivered + failed == frames), every scenario with
+    inline degradation delivered *all* frames bit-identically, and every
+    scenario handed its ring back whole.
+    """
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != CHAOS_SCHEMA:
+        raise ConfigError(
+            f"unexpected chaos schema {payload.get('schema')!r} in {path}"
+        )
+    for key in (
+        "geometry",
+        "frames",
+        "workers",
+        "deadline_seconds",
+        "cpu_count",
+        "scenarios",
+    ):
+        if key not in payload:
+            raise ConfigError(f"{path} lacks {key!r}")
+    if not payload["scenarios"]:
+        raise ConfigError(f"{path}: empty scenario list")
+    frames = payload["frames"]
+    for entry in payload["scenarios"]:
+        for key in (
+            "name",
+            "rates",
+            "degrade_inline",
+            "faults",
+            "delivered",
+            "failed",
+            "retries",
+            "degraded",
+            "worker_deaths",
+            "slots_reclaimed",
+            "recovery_seconds_mean",
+            "bit_identical",
+            "free_slots",
+            "slots",
+        ):
+            if key not in entry:
+                raise ConfigError(
+                    f"{path}: scenario entry lacks {key!r}: {entry}"
+                )
+        name = entry["name"]
+        if entry["delivered"] + entry["failed"] != frames:
+            raise ConfigError(
+                f"{path}: scenario {name!r} lost frames: "
+                f"{entry['delivered']} delivered + {entry['failed']} failed "
+                f"!= {frames}"
+            )
+        if entry["degrade_inline"] and entry["failed"] != 0:
+            raise ConfigError(
+                f"{path}: scenario {name!r} quarantined {entry['failed']} "
+                "frame(s) despite inline degradation"
+            )
+        if entry["bit_identical"] is not True:
+            raise ConfigError(
+                f"{path}: scenario {name!r} delivered non-identical outputs"
+            )
+        if entry["free_slots"] != entry["slots"]:
+            raise ConfigError(
+                f"{path}: scenario {name!r} leaked ring slots "
+                f"({entry['free_slots']}/{entry['slots']} free after drain)"
+            )
+    return payload

@@ -15,6 +15,7 @@ artifact can be regenerated from a shell::
     repro fault-campaign --schemes none secded --rates 1e-3
     repro perf --json BENCH_perf.json --strategy sequential fast
     repro stream --workers 1 2 4 --json BENCH_stream.json
+    repro chaos --frames 16 --json BENCH_chaos.json
     repro metrics --jsonl metrics.jsonl --prometheus metrics.prom
 """
 
@@ -223,6 +224,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_stream.add_argument(
         "--smoke", action="store_true", help="tiny frames, 1+2 workers only"
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos", help="fault-injection campaign against the streaming runtime"
+    )
+    add_common_engine_flags(p_chaos, resolution=128, window=8)
+    p_chaos.add_argument(
+        "--frames", type=int, default=16, help="frames per scenario"
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=2, help="streaming worker processes"
+    )
+    p_chaos.add_argument(
+        "--seed", type=int, default=0, help="fault-assignment seed"
+    )
+    p_chaos.add_argument(
+        "--deadline",
+        type=float,
+        default=2.0,
+        help="per-attempt supervision deadline in seconds",
+    )
+    p_chaos.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write a BENCH_chaos.json trajectory point here",
+    )
+    p_chaos.add_argument(
+        "--smoke", action="store_true", help="small frames, same scenario list"
     )
 
     p_met = sub.add_parser(
@@ -486,6 +516,37 @@ def main(argv: list[str] | None = None) -> int:
         print(result.render())
         if args.json is not None:
             write_stream_json(result, args.json)
+            print(f"wrote {args.json}")
+    elif args.command == "chaos":
+        from .analysis.chaos import (
+            ChaosOptions,
+            measure_chaos,
+            write_chaos_json,
+        )
+
+        if args.smoke:
+            options = ChaosOptions(
+                resolution=96,
+                window=8,
+                frames=args.frames,
+                workers=args.workers,
+                seed=args.seed,
+                deadline_seconds=args.deadline,
+            )
+        else:
+            options = ChaosOptions(
+                resolution=args.resolution,
+                window=args.window,
+                threshold=args.threshold,
+                frames=args.frames,
+                workers=args.workers,
+                seed=args.seed,
+                deadline_seconds=args.deadline,
+            )
+        result = measure_chaos(options)
+        print(result.render())
+        if args.json is not None:
+            write_chaos_json(result, args.json)
             print(f"wrote {args.json}")
     elif args.command == "metrics":
         from .analysis.metrics_perf import MetricsOptions, measure_metrics

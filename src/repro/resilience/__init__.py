@@ -17,8 +17,16 @@ quantifies and hardens that trade:
 
 The campaign driver lives in :mod:`repro.analysis.faults` and is exposed
 as the ``repro fault-campaign`` CLI subcommand.
+
+Process-level faults are the other half of the resilience story:
+:mod:`repro.resilience.chaos` injects worker kills, in-worker raises,
+delays and dropped results into the streaming runtime (driven by
+:mod:`repro.analysis.chaos` / ``repro chaos``), and
+:mod:`repro.runtime.supervision` is the recovery layer those faults
+exercise.
 """
 
+from .chaos import CHAOS_FAULTS, ChaosSpec, apply_worker_chaos
 from .injector import STREAM_NAMES, FaultInjector
 from .protection import (
     PROTECTION_LEVELS,
@@ -39,6 +47,9 @@ from .band import (
 )
 
 __all__ = [
+    "CHAOS_FAULTS",
+    "ChaosSpec",
+    "apply_worker_chaos",
     "STREAM_NAMES",
     "FaultInjector",
     "PROTECTION_LEVELS",

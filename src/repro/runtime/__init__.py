@@ -6,8 +6,11 @@ posture on multi-frame workloads: worker processes that live across calls
 and construct their engine exactly once (:mod:`repro.runtime.pool`,
 :mod:`repro.runtime.worker`), a shared-memory ring that moves frames
 between processes without pickling a single pixel
-(:mod:`repro.runtime.ring`), and a bounded streaming API with ordered and
-as-completed result iterators (:mod:`repro.runtime.streaming`).
+(:mod:`repro.runtime.ring`), a bounded streaming API with ordered and
+as-completed result iterators (:mod:`repro.runtime.streaming`), and a
+supervision layer that turns worker crashes, lost results and poison
+frames into retries, inline degradation or structured failures instead of
+hangs (:mod:`repro.runtime.supervision`).
 
 Quick start::
 
@@ -32,6 +35,12 @@ from .pool import (
 from ..spec import EngineSpec
 from .ring import FrameRing, RingSpec
 from .streaming import StreamingProcessor, StreamResult, stream_frames
+from .supervision import (
+    FrameFailure,
+    FrameSupervisor,
+    SupervisionPolicy,
+    SupervisorStats,
+)
 
 __all__ = [
     "PersistentPool",
@@ -45,4 +54,8 @@ __all__ = [
     "StreamResult",
     "stream_frames",
     "EngineSpec",
+    "FrameFailure",
+    "FrameSupervisor",
+    "SupervisionPolicy",
+    "SupervisorStats",
 ]

@@ -83,6 +83,8 @@ class PersistentPool:
         self._initializer = initializer
         self._initargs = initargs
         self._pool: mp.pool.Pool | None = None
+        self._seen_pids: set[int] = set()
+        self._suspect = False
 
     @property
     def started(self) -> bool:
@@ -97,6 +99,68 @@ class PersistentPool:
                 initargs=self._initargs,
             )
         return self._pool
+
+    # -- health ------------------------------------------------------------
+
+    def worker_health(self) -> tuple[tuple[int, bool], ...]:
+        """``(pid, alive)`` for every current worker process.
+
+        Empty before first use.  Reads the pool's worker list, which
+        ``multiprocessing`` maintains from its own handler thread — a pid
+        that vanishes between two calls was a dead worker that has
+        already been respawned over.
+        """
+        if self._pool is None:
+            return ()
+        procs = getattr(self._pool, "_pool", None) or ()
+        entries = tuple(
+            (proc.pid, proc.is_alive()) for proc in procs if proc.pid is not None
+        )
+        current = {pid for pid, _ in entries}
+        if any(not alive for _, alive in entries) or (self._seen_pids - current):
+            # A worker died (or was respawned over) at some point.  The
+            # pool may still complete work, but its shared task queue can
+            # hold a lock the corpse died owning — remember that so
+            # teardown avoids the graceful drain (see :meth:`close`).
+            self._suspect = True
+        self._seen_pids |= current
+        return entries
+
+    def worker_pids(self) -> tuple[int, ...]:
+        """PIDs of the current worker processes (empty before first use)."""
+        return tuple(pid for pid, _ in self.worker_health())
+
+    def healthy(self) -> bool:
+        """True when the pool can still accept and complete work.
+
+        A never-started pool is healthy (it will lazily start clean).  A
+        started pool is unhealthy once it left the ``RUN`` state
+        (closed/terminated underneath us) or any worker process is dead
+        — ``multiprocessing`` respawns dead workers eventually, but the
+        task the dead worker held is lost forever, so callers holding
+        results hostage on this pool need to know *now*.
+        """
+        if self._pool is None:
+            return True
+        if getattr(self._pool, "_state", mp.pool.RUN) != mp.pool.RUN:
+            return False
+        health = self.worker_health()
+        if self._suspect:
+            # Even after multiprocessing respawns over a corpse the shared
+            # task queue may be wedged on the lock the corpse died holding
+            # — callers should rebuild rather than trust this pool.
+            return False
+        return bool(health) and all(alive for _, alive in health)
+
+    def restart(self) -> None:
+        """Tear down the workers and lazily re-create them on next use.
+
+        The replacement pool re-runs ``initializer`` in every fresh
+        worker, so streaming pools come back already attached to their
+        ring.  Any task in flight at restart time is lost — callers
+        (the supervision layer) are expected to resubmit.
+        """
+        self.close()
 
     def map(
         self,
@@ -122,11 +186,47 @@ class PersistentPool:
         )
 
     def close(self) -> None:
-        """Terminate the workers (idempotent); the pool can be re-created."""
-        if self._pool is not None:
+        """Terminate the workers (idempotent); the pool can be re-created.
+
+        A pool that ever lost a worker is torn down the hard way: the
+        graceful ``Pool.terminate`` drains the task queue *under the
+        queue's reader lock*, and a worker SIGKILLed mid-``get`` died
+        holding that lock, so the graceful path deadlocks forever
+        (CPython bpo-22393).  Abandoning the queue machinery and killing
+        the surviving workers directly is leak-bounded and cannot hang.
+        """
+        if self._pool is None:
+            return
+        self.worker_health()  # refresh _suspect before choosing a path
+        if self._suspect:
+            self._abandon()
+        else:
             self._pool.terminate()
             self._pool.join()
-            self._pool = None
+        self._pool = None
+        self._seen_pids.clear()
+        self._suspect = False
+
+    def _abandon(self) -> None:
+        """Hard-stop a pool whose task-queue lock may be poisoned."""
+        pool = self._pool
+        if pool is None:  # pragma: no cover - guarded by close()
+            return
+        finalizer = getattr(pool, "_terminate", None)
+        if finalizer is not None:
+            # The atexit finalizer runs the same graceful drain we are
+            # avoiding; cancel it or interpreter exit deadlocks instead.
+            finalizer.cancel()
+        for name in ("_worker_handler", "_task_handler", "_result_handler"):
+            handler = getattr(pool, name, None)
+            if handler is not None:
+                handler._state = mp.pool.TERMINATE
+        procs = tuple(getattr(pool, "_pool", None) or ())
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=1.0)
 
     def __enter__(self) -> "PersistentPool":
         """Context-manager entry (no eager worker start)."""
@@ -147,9 +247,13 @@ def shared_pool(processes: int) -> PersistentPool:
 
     Created on first request and cached until :func:`shutdown_shared_pools`
     (registered with ``atexit``) tears it down, so every sweep stage that
-    asks for the same worker count shares one warm pool.  Only plain-map
-    workloads should use the shared pools — streaming processors own their
-    pools because their workers carry per-pool initializer state.
+    asks for the same worker count shares one warm pool.  Each request
+    health-checks the cached pool and restarts one whose workers have
+    died or whose underlying pool was closed/terminated — handing out a
+    broken cached pool would hang the next ``map`` forever.  Only
+    plain-map workloads should use the shared pools — streaming
+    processors own their pools because their workers carry per-pool
+    initializer state.
     """
     if processes < 1:
         raise ConfigError(f"processes must be >= 1, got {processes}")
@@ -157,6 +261,8 @@ def shared_pool(processes: int) -> PersistentPool:
     if pool is None:
         pool = PersistentPool(processes)
         _SHARED[processes] = pool
+    elif not pool.healthy():
+        pool.restart()
     return pool
 
 

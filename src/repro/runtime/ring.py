@@ -170,6 +170,19 @@ class FrameRing:
         self._in_flight -= 1
         self._free.put(slot)
 
+    @property
+    def free_slots(self) -> int:
+        """Slots currently available to :meth:`acquire` (owner side).
+
+        A healthy idle ring reports its full slot count; anything less
+        while no frames are in flight means a slot leaked — the
+        supervision layer's reclamation counters exist to keep this at
+        full after crash recovery.
+        """
+        if self._free is None:
+            raise ConfigError("only the ring owner tracks free slots")
+        return self._free.qsize()
+
     # -- views -----------------------------------------------------------
 
     def _slot_buffer(self, slot: int) -> memoryview:

@@ -21,12 +21,30 @@ tested across the lossless/lossy x recirculate matrix).
 Single-worker streams still run through the pool so that the semantics
 (ordering, backpressure, stats) are identical at every worker count.
 
+Fault tolerance: by default every stream runs under a
+:class:`~repro.runtime.supervision.FrameSupervisor` — the driver tracks
+each in-flight frame, polls worker liveness, and when a worker dies (or a
+per-frame deadline expires) retries the frame in place, reclaims orphaned
+ring slots, respawns a broken pool, and as a last resort computes the
+frame inline with a chaos-free engine, so ``results()`` never hangs on a
+completion that cannot come.  Frames that keep failing are delivered as
+structured :class:`~repro.runtime.supervision.FrameFailure` values when
+inline degradation is disabled.  Pass
+``supervision=SupervisionPolicy.disabled()`` to get the raw PR 3
+semantics back; either way the result iterators accept ``timeout=`` and
+raise :class:`TimeoutError` instead of blocking forever.  The driver
+(submission plus consumption) is single-threaded by design — pool
+callbacks only ever touch the internal completion queue.
+
 Observability: pass ``probe=MetricsProbe()`` and the driver records
 slot-wait time, queue depth and per-worker frame latency, while each
 worker's engine runs with its own probe; :meth:`metrics_snapshot` merges
 the driver registry with the latest cumulative snapshot shipped back by
 every worker (counters and histograms add, gauges keep the max — all
-emitted gauges are high-water marks, so the merge is exact).
+emitted gauges are high-water marks, so the merge is exact).  Supervised
+streams additionally emit the recovery counters
+(``repro_worker_deaths_total``, ``repro_frames_retried_total``, …) and the
+``repro_recovery_seconds`` loss-to-redelivery histogram.
 
 Lifecycle: every live processor is tracked in a module-level weak set and
 an ``atexit`` handler closes any still open at interpreter exit.  Close
@@ -39,24 +57,42 @@ subprocess).
 from __future__ import annotations
 
 import atexit
+import os
 import queue
 import time
 import weakref
+from collections import deque
 from collections.abc import Iterable, Iterator
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 import numpy as np
 
 from ..config import ArchitectureConfig
-from ..core.window.base import EngineStats
-from ..errors import ConfigError, StateError
+from ..core.window.base import EngineStats, SlidingWindowEngine
+from ..errors import ConfigError, StateError, WorkerError
 from ..kernels.base import WindowKernel, as_kernel
 from ..observability.metrics import MetricsRegistry
 from ..observability.probe import Probe
 from ..spec import EngineSpec
 from .pool import PersistentPool, default_workers, preferred_context
 from .ring import FrameRing
-from .worker import FrameResult, FrameTask, initialize_worker, process_slot
+from .supervision import (
+    INLINE_ATTEMPT,
+    DegradeAction,
+    FrameFailure,
+    FrameSupervisor,
+    ReclaimAction,
+    RetryAction,
+    SupervisionPolicy,
+    SupervisorStats,
+)
+from .worker import (
+    FrameError,
+    FrameResult,
+    FrameTask,
+    initialize_worker,
+    process_slot,
+)
 
 #: Live processors; the atexit hook below closes any left open.
 _LIVE: "weakref.WeakSet[StreamingProcessor]" = weakref.WeakSet()
@@ -92,8 +128,14 @@ class StreamResult:
     stats: EngineStats
     #: Worker-side seconds spent inside ``engine.run`` for this frame.
     seconds: float = 0.0
-    #: PID of the worker that processed the frame.
+    #: PID of the worker that processed the frame (the driver's own PID
+    #: when the frame was computed inline on the degraded path).
     worker_pid: int = 0
+    #: Pool attempts the frame consumed (1 = first try succeeded).
+    attempts: int = 1
+    #: True when the supervision layer computed the frame inline after
+    #: the pool could not deliver it.
+    degraded: bool = False
 
 
 class StreamingProcessor:
@@ -120,9 +162,17 @@ class StreamingProcessor:
         given, the driver records slot-wait/queue-depth/latency metrics
         and every worker runs a probed engine; aggregate with
         :meth:`metrics_snapshot`.
+    supervision:
+        The stream's :class:`~repro.runtime.supervision.SupervisionPolicy`.
+        ``None`` (the default) enables supervision with default knobs;
+        pass ``SupervisionPolicy.disabled()`` for the raw unsupervised
+        pipeline.
     spec:
         A full :class:`~repro.spec.EngineSpec` to run instead of building
-        one from the keyword arguments (see :meth:`from_spec`).
+        one from the keyword arguments (see :meth:`from_spec`).  A spec
+        carrying a :class:`~repro.resilience.chaos.ChaosSpec` injects
+        process-level faults in the workers — the supervision layer is
+        what turns those faults into retries instead of hangs.
     """
 
     def __init__(
@@ -136,6 +186,7 @@ class StreamingProcessor:
         fast_path: bool | None = None,
         delay_by_index: tuple[float, ...] | None = None,
         probe: Probe | None = None,
+        supervision: SupervisionPolicy | None = None,
         spec: EngineSpec | None = None,
     ) -> None:
         self.kernel = as_kernel(kernel, window_size=config.window_size)
@@ -159,6 +210,14 @@ class StreamingProcessor:
         self.slots = 2 * self.workers if slots is None else slots
         if self.slots < 1:
             raise ConfigError(f"slots must be >= 1, got {self.slots}")
+        self.supervision = (
+            SupervisionPolicy() if supervision is None else supervision
+        )
+        self._supervisor = (
+            FrameSupervisor(self.supervision, probe=probe)
+            if self.supervision.enabled
+            else None
+        )
         n = config.window_size
         out_shape = (config.image_height - n + 1, config.image_width - n + 1)
         # Probe the kernel's output dtype on one zero window so the ring's
@@ -178,6 +237,10 @@ class StreamingProcessor:
             initargs=(self._ring.spec, spec.blob()),
         )
         self._done: queue.Queue[tuple[str, object]] = queue.Queue()
+        self._pending_failures: deque[FrameFailure] = deque()
+        self._inline: SlidingWindowEngine | None = None
+        self._known_pids: set[int] = set()
+        self._reported_dead: set[int] = set()
         self._submitted = 0
         self._consumed = 0
         self._closed = False
@@ -193,6 +256,7 @@ class StreamingProcessor:
         workers: int | None = None,
         slots: int | None = None,
         probe: Probe | None = None,
+        supervision: SupervisionPolicy | None = None,
     ) -> "StreamingProcessor":
         """Build a processor running exactly the engine ``spec`` describes."""
         return cls(
@@ -201,6 +265,7 @@ class StreamingProcessor:
             workers=workers,
             slots=slots,
             probe=probe,
+            supervision=supervision,
             spec=spec,
         )
 
@@ -216,13 +281,28 @@ class StreamingProcessor:
         """High-water mark of simultaneously held ring slots."""
         return self._ring.in_flight_peak
 
+    @property
+    def free_slots(self) -> int:
+        """Ring slots currently free (full ring depth when idle)."""
+        return self._ring.free_slots
+
+    @property
+    def supervisor_stats(self) -> SupervisorStats | None:
+        """Recovery counters of the supervised stream (``None`` when off)."""
+        if self._supervisor is None:
+            return None
+        return self._supervisor.stats
+
     def submit(self, frame: np.ndarray, *, timeout: float | None = None) -> int:
         """Queue one frame; returns its stream index.
 
         Writes the frame straight into a shared-memory slot (the only copy
         the pipeline makes on the way in).  Blocks while all ring slots are
         in flight; ``timeout`` bounds that wait and raises
-        :class:`~repro.errors.CapacityError` on expiry.
+        :class:`~repro.errors.CapacityError` on expiry.  Supervised
+        streams keep running recovery sweeps while blocked, so zombie
+        slots reclaim and due retries dispatch even under a stalled
+        producer.
         """
         if self._closed:
             raise StateError("processor is closed")
@@ -233,7 +313,16 @@ class StreamingProcessor:
         if not np.issubdtype(arr.dtype, np.integer):
             raise ConfigError(f"frames must be integer pixels, got {arr.dtype}")
         t0 = time.perf_counter()
-        slot = self._ring.acquire(timeout=timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        sup = self._supervisor
+        if sup is not None:
+            self._sweep_while_full(sup, deadline)
+        remaining = (
+            timeout
+            if deadline is None
+            else max(deadline - time.monotonic(), 0.001)
+        )
+        slot = self._ring.acquire(timeout=remaining)
         try:
             if self.probe is not None:
                 self.probe.observe(
@@ -241,16 +330,15 @@ class StreamingProcessor:
                 )
             index = self._submitted
             self._ring.input_view(slot)[...] = arr
-            self._pool.apply_async(
-                process_slot,
-                (FrameTask(index=index, slot=slot),),
-                callback=self._on_done,
-                error_callback=self._on_error,
-            )
+            if sup is not None:
+                sup.track(index, slot, pooled=sup.pool_usable)
+            self._dispatch(FrameTask(index=index, slot=slot))
         except BaseException:
             # The frame never made it in flight (e.g. the pool was torn
             # down under us): hand the slot back instead of shrinking the
             # ring until the stream deadlocks.
+            if sup is not None:
+                sup.untrack(self._submitted)
             self._ring.release(slot)
             raise
         self._submitted += 1
@@ -259,23 +347,307 @@ class StreamingProcessor:
             self.probe.gauge_max("repro_queue_depth_peak", self.in_flight)
         return index
 
-    def _on_done(self, result: FrameResult) -> None:
+    def _sweep_while_full(
+        self, sup: FrameSupervisor, deadline: float | None
+    ) -> None:
+        """Run recovery sweeps while the ring has no free slot.
+
+        Delivered-but-zombie slots only come back through supervision
+        sweeps, and those normally run in the consumption loop — a
+        producer blocked inside ``submit`` must keep sweeping itself or a
+        ring full of zombies would never drain.
+        """
+        while self._ring.free_slots == 0:
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                return  # let acquire() raise the CapacityError
+            self._poll_worker_health(sup, now)
+            self._execute_supervision(sup, now)
+            if self._ring.free_slots:
+                return
+            wait = sup.policy.poll_interval_seconds
+            wakeup = sup.next_wakeup(now)
+            if wakeup is not None:
+                wait = min(wait, wakeup - now)
+            if deadline is not None:
+                wait = min(wait, deadline - now)
+            time.sleep(max(wait, 0.001))
+
+    def _dispatch(self, task: FrameTask) -> None:
+        """Hand a task to the pool, degrading when the pool cannot take it.
+
+        Unsupervised streams keep the historical contract: a broken pool
+        raises out of ``submit``.  Supervised streams never raise here —
+        a fresh frame on an unusable pool runs inline immediately, a
+        retry is left for the next sweep to escalate, and an
+        ``apply_async`` failure triggers the respawn/degrade ladder.
+        """
+        sup = self._supervisor
+        if sup is not None and not sup.pool_usable:
+            if task.attempt == 0:
+                self._run_inline(task.index, task.slot)
+            return
+        try:
+            self._pool.apply_async(
+                process_slot,
+                (task,),
+                callback=self._on_done,
+                error_callback=self._on_error,
+            )
+        except Exception:
+            if sup is None:
+                raise
+            self._handle_pool_breakage(sup)
+
+    def _handle_pool_breakage(self, sup: FrameSupervisor) -> None:
+        """The pool refused a submission: respawn it or give up on it.
+
+        Either way every task in flight died with the old workers, so the
+        supervisor zeroes their outstanding counts and reschedules all
+        tracked frames — onto the fresh pool after a respawn, inline once
+        the respawn budget is spent.
+        """
+        policy = sup.policy
+        if policy.respawn_pool and sup.stats.pool_respawns < policy.max_pool_respawns:
+            self._pool.restart()
+            self._known_pids.clear()
+            sup.on_pool_restart()
+        else:
+            sup.on_pool_unusable()
+
+    def _inline_engine(self) -> SlidingWindowEngine:
+        """The driver's own chaos-free engine for degraded frames."""
+        if self._inline is None:
+            spec = self.spec
+            if spec.chaos is not None:
+                spec = spec.replace(chaos=None)
+            self._inline = spec.build(probe=self.probe)
+        return self._inline
+
+    def _run_inline(self, index: int, slot: int) -> None:
+        """Compute a frame in the driver process (the degradation floor).
+
+        Reads the input from the frame's ring slot and writes the outputs
+        back in place, exactly like a worker would — concurrent stale
+        attempts write the same bytes, the engine being deterministic —
+        then queues a synthetic completion so delivery flows through the
+        one consumption path.
+        """
+        engine = self._inline_engine()
+        frame = np.asarray(self._ring.input_view(slot))
+        t0 = time.perf_counter()
+        run = engine.run(frame)
+        seconds = time.perf_counter() - t0
+        self._ring.output_view(slot)[...] = run.outputs
+        sup = self._supervisor
+        if sup is not None:
+            sup.count_degraded()
+        self._done.put(
+            (
+                "ok",
+                FrameResult(
+                    index=index,
+                    slot=slot,
+                    stats=asdict(run.stats),
+                    seconds=seconds,
+                    worker_pid=os.getpid(),
+                    metrics=None,
+                    attempt=INLINE_ATTEMPT,
+                    degraded=True,
+                ),
+            )
+        )
+
+    def _on_done(self, result: FrameResult | FrameError) -> None:
+        chaos = self.spec.chaos
+        if (
+            self._supervisor is not None
+            and chaos is not None
+            and isinstance(result, FrameResult)
+            and result.attempt == 0
+            and result.index in chaos.drop_on
+        ):
+            # Injected transport fault: the driver pretends the first
+            # completion never arrived.  Recovery needs a deadline sweep.
+            self._done.put(("dropped", result))
+            return
         self._done.put(("ok", result))
 
     def _on_error(self, exc: BaseException) -> None:
         self._done.put(("error", exc))
 
+    # -- supervision ------------------------------------------------------
+
+    def _poll_worker_health(self, sup: FrameSupervisor, now: float) -> None:
+        """Detect dead workers: liveness flags plus pid-set diffing.
+
+        ``multiprocessing`` quietly respawns a SIGKILLed worker with a new
+        PID, so a pid that vanished from the pool's roster since the last
+        poll *was* a death even if every currently listed process looks
+        alive.  Each corpse is reported to the supervisor exactly once.
+        """
+        if not self._pool.started:
+            return
+        health = self._pool.worker_health()
+        current = {pid for pid, _ in health}
+        dead_now = {pid for pid, alive in health if not alive}
+        new_deaths = (
+            (self._known_pids - current) | dead_now
+        ) - self._reported_dead
+        if new_deaths:
+            self._reported_dead |= new_deaths
+            sup.on_worker_death(len(new_deaths), now)
+        self._known_pids = {pid for pid, alive in health if alive}
+
+    def _execute_supervision(self, sup: FrameSupervisor, now: float) -> None:
+        """Run one recovery sweep and execute every action it emits."""
+        for action in sup.actions(now):
+            if isinstance(action, ReclaimAction):
+                self._ring.release(action.slot)
+            elif isinstance(action, RetryAction):
+                self._dispatch(
+                    FrameTask(
+                        index=action.index,
+                        slot=action.slot,
+                        attempt=action.attempt,
+                    )
+                )
+            elif isinstance(action, DegradeAction):
+                self._run_inline(action.index, action.slot)
+            else:
+                slot = sup.finish_failed(action.index, now)
+                if slot is not None:
+                    self._ring.release(slot)
+                self._pending_failures.append(
+                    FrameFailure(
+                        index=action.index,
+                        attempts=action.attempts,
+                        reason=action.reason,
+                        error=action.error,
+                    )
+                )
+
     # -- consumption ------------------------------------------------------
 
-    def _next_completed(self) -> FrameResult:
-        kind, payload = self._done.get()
-        if kind == "error":
-            raise payload  # worker exception, re-raised in the caller
-        return payload  # type: ignore[return-value]
+    def _next_delivery(
+        self, timeout: float | None = None
+    ) -> StreamResult | FrameFailure:
+        """Block until the next deliverable outcome.
 
-    def _collect(self, result: FrameResult) -> StreamResult:
+        ``timeout`` bounds this one wait and raises :class:`TimeoutError`
+        on expiry.  Supervised streams interleave waiting with worker
+        health polls and recovery sweeps, so a killed worker turns into a
+        retried (or inline-degraded) delivery instead of a hang.
+        """
+        sup = self._supervisor
+        if sup is None:
+            return self._unsupervised_next(timeout)
+        return self._supervised_next(sup, timeout)
+
+    def _unsupervised_next(self, timeout: float | None) -> StreamResult:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        wait = None
+        if deadline is not None:
+            wait = deadline - time.monotonic()
+            if wait <= 0:
+                raise TimeoutError(f"no stream result within {timeout:g}s")
+        try:
+            kind, payload = self._done.get(timeout=wait)
+        except queue.Empty:
+            raise TimeoutError(
+                f"no stream result within {timeout:g}s"
+            ) from None
+        if kind == "error" and isinstance(payload, BaseException):
+            raise payload  # pool infrastructure failure, re-raised here
+        if isinstance(payload, FrameError):
+            # Without supervision a failed frame is fatal to the stream,
+            # but its slot is still handed back so the ring stays whole.
+            self._ring.release(payload.slot)
+            self._consumed += 1
+            raise WorkerError(
+                f"frame {payload.index} failed in worker "
+                f"{payload.worker_pid}: {payload.error}"
+            )
+        if not isinstance(payload, FrameResult):  # pragma: no cover - guard
+            raise StateError(f"unexpected completion payload: {payload!r}")
+        return self._deliver(
+            payload,
+            release_slot=payload.slot,
+            attempts=payload.attempt + 1,
+        )
+
+    def _supervised_next(
+        self, sup: FrameSupervisor, timeout: float | None
+    ) -> StreamResult | FrameFailure:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._pending_failures:
+                failure = self._pending_failures.popleft()
+                self._consumed += 1
+                if self.probe is not None:
+                    self.probe.gauge_set("repro_queue_depth", self.in_flight)
+                return failure
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                raise TimeoutError(f"no stream result within {timeout:g}s")
+            self._poll_worker_health(sup, now)
+            self._execute_supervision(sup, now)
+            if self._pending_failures:
+                continue
+            wait = sup.policy.poll_interval_seconds
+            wakeup = sup.next_wakeup(now)
+            if wakeup is not None:
+                wait = min(wait, wakeup - now)
+            if deadline is not None:
+                wait = min(wait, deadline - now)
+            try:
+                kind, payload = self._done.get(timeout=max(wait, 0.001))
+            except queue.Empty:
+                continue
+            if kind == "error" and isinstance(payload, BaseException):
+                raise payload
+            if kind == "dropped" and isinstance(
+                payload, (FrameResult, FrameError)
+            ):
+                slot = sup.on_dropped(payload.index)
+                if slot is not None:
+                    self._ring.release(slot)
+                continue
+            if isinstance(payload, FrameError):
+                slot = sup.on_error(
+                    payload.index, payload.attempt, payload.error
+                )
+                if slot is not None:
+                    self._ring.release(slot)
+                continue
+            if isinstance(payload, FrameResult):
+                verdict = sup.on_result(payload.index, payload.attempt)
+                if not verdict.deliver:
+                    if verdict.release_slot is not None:
+                        self._ring.release(verdict.release_slot)
+                    continue
+                return self._deliver(
+                    payload,
+                    release_slot=verdict.release_slot,
+                    attempts=verdict.attempts,
+                )
+
+    def _deliver(
+        self,
+        result: FrameResult,
+        *,
+        release_slot: int | None,
+        attempts: int,
+    ) -> StreamResult:
+        """Copy a completion's outputs out of the ring and account it.
+
+        ``release_slot=None`` means the supervisor zombie-quarantined the
+        slot (stale attempts may still write to it) — a later sweep
+        reclaims it.
+        """
         outputs = np.array(self._ring.output_view(result.slot), copy=True)
-        self._ring.release(result.slot)
+        if release_slot is not None:
+            self._ring.release(release_slot)
         self._consumed += 1
         if result.metrics is not None:
             self._worker_snapshots[result.worker_pid] = result.metrics
@@ -292,21 +664,32 @@ class StreamingProcessor:
             stats=EngineStats(**result.stats),
             seconds=result.seconds,
             worker_pid=result.worker_pid,
+            attempts=attempts,
+            degraded=result.degraded,
         )
 
-    def as_completed(self) -> Iterator[StreamResult]:
-        """Yield every in-flight frame's result in completion order."""
-        while self.in_flight:
-            yield self._collect(self._next_completed())
+    def as_completed(
+        self, *, timeout: float | None = None
+    ) -> Iterator[StreamResult | FrameFailure]:
+        """Yield every in-flight frame's outcome in completion order.
 
-    def results(self) -> Iterator[StreamResult]:
-        """Yield every in-flight frame's result in submission order.
+        ``timeout`` bounds each individual wait and raises
+        :class:`TimeoutError` on expiry instead of blocking forever.
+        """
+        while self.in_flight:
+            yield self._next_delivery(timeout)
+
+    def results(
+        self, *, timeout: float | None = None
+    ) -> Iterator[StreamResult | FrameFailure]:
+        """Yield every in-flight frame's outcome in submission order.
 
         Out-of-order completions are parked (stats only — their ring slots
         are read and released immediately, so reordering never starves the
-        ring) until their turn comes.
+        ring) until their turn comes.  ``timeout`` bounds each individual
+        wait and raises :class:`TimeoutError` on expiry.
         """
-        parked: dict[int, StreamResult] = {}
+        parked: dict[int, StreamResult | FrameFailure] = {}
         next_index = self._consumed
         while self.in_flight or parked:
             while next_index in parked:
@@ -314,7 +697,7 @@ class StreamingProcessor:
                 next_index += 1
             if not self.in_flight:
                 continue
-            result = self._collect(self._next_completed())
+            result = self._next_delivery(timeout)
             if result.index == next_index:
                 yield result
                 next_index += 1
@@ -323,19 +706,21 @@ class StreamingProcessor:
 
     def map(
         self, frames: Iterable[np.ndarray], *, timeout: float | None = None
-    ) -> Iterator[StreamResult]:
-        """Stream ``frames`` through the pool; yield ordered results.
+    ) -> Iterator[StreamResult | FrameFailure]:
+        """Stream ``frames`` through the pool; yield ordered outcomes.
 
         Interleaves submission and consumption under the ring's
         backpressure: whenever every ring slot is in flight the producer
         blocks on the next completion before submitting more, so the
-        pipeline never holds more than ``slots`` frames.
+        pipeline never holds more than ``slots`` frames.  ``timeout``
+        bounds each slot wait (:class:`~repro.errors.CapacityError`) and
+        each result wait (:class:`TimeoutError`).
         """
-        parked: dict[int, StreamResult] = {}
+        parked: dict[int, StreamResult | FrameFailure] = {}
         next_index = self._submitted  # results of *this* map call
         for frame in frames:
             while self.in_flight >= self.slots:
-                result = self._collect(self._next_completed())
+                result = self._next_delivery(timeout)
                 parked[result.index] = result
             self.submit(frame, timeout=timeout)
             while next_index in parked:
@@ -346,8 +731,39 @@ class StreamingProcessor:
                 yield parked.pop(next_index)
                 next_index += 1
             if self.in_flight:
-                result = self._collect(self._next_completed())
+                result = self._next_delivery(timeout)
                 parked[result.index] = result
+
+    def drain(self, timeout: float | None = None) -> int:
+        """Sweep recovery until every ring slot is free; returns the count.
+
+        Call after consuming all results: delivered frames whose stale
+        attempts had not reported yet leave zombie-quarantined slots
+        behind, and those only return to the free list through
+        supervision sweeps.  ``timeout`` bounds the wait (zombies expire
+        after the policy's ``reclaim_grace_seconds`` at the latest).
+        Unsupervised streams return the current count immediately.
+        """
+        sup = self._supervisor
+        if sup is None:
+            return self._ring.free_slots
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while self._ring.free_slots < self.slots:
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                break
+            self._poll_worker_health(sup, now)
+            self._execute_supervision(sup, now)
+            if self._ring.free_slots >= self.slots:
+                break
+            wait = sup.policy.poll_interval_seconds
+            wakeup = sup.next_wakeup(now)
+            if wakeup is not None:
+                wait = min(wait, max(wakeup - now, 0.0))
+            if deadline is not None:
+                wait = min(wait, deadline - now)
+            time.sleep(max(wait, 0.001))
+        return self._ring.free_slots
 
     # -- observability ----------------------------------------------------
 
@@ -357,8 +773,9 @@ class StreamingProcessor:
         Worker snapshots are cumulative per worker process, so only the
         latest one per PID is merged; counters and histograms add across
         workers and gauges keep the maximum (every gauge the pipeline
-        emits is a high-water mark).  Returns ``None`` when the processor
-        runs unprobed.
+        emits is a high-water mark).  Supervised streams contribute their
+        recovery counters through the driver registry.  Returns ``None``
+        when the processor runs unprobed.
         """
         if self.probe is None:
             return None
@@ -409,7 +826,8 @@ def stream_frames(
     recirculate: bool = True,
     fast_path: bool | None = None,
     probe: Probe | None = None,
-) -> list[StreamResult]:
+    supervision: SupervisionPolicy | None = None,
+) -> list[StreamResult | FrameFailure]:
     """One-shot convenience: stream ``frames`` and return ordered results."""
     with StreamingProcessor(
         config,
@@ -419,5 +837,6 @@ def stream_frames(
         recirculate=recirculate,
         fast_path=fast_path,
         probe=probe,
+        supervision=supervision,
     ) as proc:
         return list(proc.map(frames))

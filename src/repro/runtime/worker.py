@@ -26,6 +26,7 @@ from dataclasses import asdict, dataclass, field
 import numpy as np
 
 from ..core.window.base import SlidingWindowEngine
+from ..resilience.chaos import apply_worker_chaos
 from ..spec import EngineSpec as _EngineSpec
 from .ring import FrameRing, RingSpec
 
@@ -45,10 +46,16 @@ def __getattr__(name: str):
 
 @dataclass(frozen=True, slots=True)
 class FrameTask:
-    """One unit of work: which frame, which ring slot (no pixels)."""
+    """One unit of work: which frame, which ring slot (no pixels).
+
+    ``attempt`` counts resubmissions of the same frame by the supervision
+    layer (0 for the first try); it rides back on the result so the
+    driver can tell a retry's completion from a stale duplicate.
+    """
 
     index: int
     slot: int
+    attempt: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -66,6 +73,31 @@ class FrameResult:
     #: Cumulative metrics snapshot of the worker's engine probe
     #: (``None`` unless the spec asked for a probe).
     metrics: dict | None = None
+    #: Which submission attempt produced this result (see ``FrameTask``).
+    attempt: int = 0
+    #: True when the driver computed the frame inline (degraded path).
+    degraded: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class FrameError:
+    """One *failed* frame attempt, shipped back as data, never raised.
+
+    Raising inside a pool task reaches ``error_callback`` stripped of any
+    task identity, which is useless for recovery.  The worker loop
+    instead catches everything and returns this structured record, so
+    the driver knows exactly which frame and attempt failed and can
+    retry, degrade or quarantine it.
+    """
+
+    index: int
+    slot: int
+    attempt: int
+    #: ``repr()`` of the exception that killed the attempt.
+    error: str
+    #: Exception class name (``ChaosError`` marks injected faults).
+    kind: str
+    worker_pid: int = 0
 
 
 #: Per-process engine cache: spec blob -> (engine, decoded spec).
@@ -99,7 +131,7 @@ def _engine() -> tuple[SlidingWindowEngine, _EngineSpec]:
     return cached
 
 
-def process_slot(task: FrameTask) -> FrameResult:
+def process_slot(task: FrameTask) -> FrameResult | FrameError:
     """Run the cached engine over ``task``'s ring slot, in place.
 
     Reads the input frame from the slot's shared-memory plane, writes the
@@ -107,23 +139,44 @@ def process_slot(task: FrameTask) -> FrameResult:
     only the stats payload (plus the worker's cumulative metrics snapshot
     when the spec asked for a probe — the driver aggregates the latest
     snapshot per worker PID, so cumulative is the right shape to ship).
+
+    Failures never raise across the pool: any exception (including
+    injected :class:`~repro.errors.ChaosError` faults) comes back as a
+    :class:`FrameError` carrying the frame identity, so the driver's
+    supervision layer can react per frame.  A chaos SIGKILL, of course,
+    returns nothing at all — that is the fault class the supervisor's
+    worker-death detection exists for.
     """
     if _RING is None:
         raise RuntimeError("worker used before initialize_worker ran")
-    engine, spec = _engine()
-    if spec.delay_by_index is not None and task.index < len(spec.delay_by_index):
-        time.sleep(spec.delay_by_index[task.index])
-    frame = np.asarray(_RING.input_view(task.slot))
-    t0 = time.perf_counter()
-    run = engine.run(frame)
-    seconds = time.perf_counter() - t0
-    out = _RING.output_view(task.slot)
-    out[...] = run.outputs
-    return FrameResult(
-        index=task.index,
-        slot=task.slot,
-        stats=asdict(run.stats),
-        seconds=seconds,
-        worker_pid=os.getpid(),
-        metrics=run.metrics,
-    )
+    try:
+        engine, spec = _engine()
+        apply_worker_chaos(spec.chaos, task.index, task.attempt)
+        if spec.delay_by_index is not None and task.index < len(
+            spec.delay_by_index
+        ):
+            time.sleep(spec.delay_by_index[task.index])
+        frame = np.asarray(_RING.input_view(task.slot))
+        t0 = time.perf_counter()
+        run = engine.run(frame)
+        seconds = time.perf_counter() - t0
+        out = _RING.output_view(task.slot)
+        out[...] = run.outputs
+        return FrameResult(
+            index=task.index,
+            slot=task.slot,
+            stats=asdict(run.stats),
+            seconds=seconds,
+            worker_pid=os.getpid(),
+            metrics=run.metrics,
+            attempt=task.attempt,
+        )
+    except Exception as exc:
+        return FrameError(
+            index=task.index,
+            slot=task.slot,
+            attempt=task.attempt,
+            error=repr(exc),
+            kind=type(exc).__name__,
+            worker_pid=os.getpid(),
+        )

@@ -32,6 +32,7 @@ from typing import TYPE_CHECKING
 from .config import ArchitectureConfig
 from .errors import ConfigError
 from .kernels.base import WindowKernel
+from .resilience.chaos import ChaosSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .core.window.base import SlidingWindowEngine
@@ -72,6 +73,12 @@ class EngineSpec:
     delay_by_index:
         Streaming test/bench knob — per-frame-index seconds a worker
         sleeps before processing (exercises out-of-order completion).
+    chaos:
+        Optional :class:`~repro.resilience.chaos.ChaosSpec` of injected
+        process-level faults (worker kills/raises/delays, dropped
+        results).  Only the streaming runtime honours it; a plain
+        :meth:`build` engine ignores chaos entirely, which is what lets
+        the supervision layer degrade to a chaos-free inline run.
     """
 
     config: ArchitectureConfig
@@ -86,6 +93,7 @@ class EngineSpec:
     fast_path: bool | None = None
     probe: bool = False
     delay_by_index: tuple[float, ...] | None = None
+    chaos: ChaosSpec | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_KINDS:

@@ -1,0 +1,151 @@
+"""Tests for the process-level chaos specification.
+
+``ChaosSpec`` is the seedable fault plan the chaos harness injects into
+streaming workers.  These tests pin the deterministic sampling ladder,
+the at-most-one-fault-per-frame invariant, attempt scoping (a kill fires
+on the first attempt only, so the retry succeeds), and the in-worker
+fault application paths that do not terminate the test process.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ChaosError, ConfigError
+from repro.resilience import ChaosSpec, apply_worker_chaos
+from repro.resilience.chaos import CHAOS_FAULTS
+
+
+class TestConstruction:
+    def test_default_is_fault_free(self):
+        spec = ChaosSpec()
+        assert not spec.any_faults
+        assert spec.fault_counts == {name: 0 for name in CHAOS_FAULTS}
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosSpec(kill_on=(-1,))
+
+    def test_invalid_delay_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosSpec(delay_on=(0,), delay_seconds=-0.5)
+
+    def test_invalid_attempt_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosSpec(kill_on=(0,), kill_attempts=0)
+
+    def test_fault_counts(self):
+        spec = ChaosSpec(kill_on=(0, 1), raise_on=(2,), drop_on=(3,))
+        counts = spec.fault_counts
+        assert counts["kill"] == 2
+        assert counts["raise"] == 1
+        assert counts["drop"] == 1
+        assert counts["delay"] == 0
+        assert spec.any_faults
+
+
+class TestAttemptScoping:
+    def test_kill_fires_only_within_attempt_budget(self):
+        spec = ChaosSpec(kill_on=(4,), kill_attempts=1)
+        assert spec.wants_kill(4, 0)
+        assert not spec.wants_kill(4, 1)  # retry must survive
+        assert not spec.wants_kill(5, 0)
+
+    def test_raise_always_ignores_attempt_budget(self):
+        spec = ChaosSpec(raise_always_on=(2,))
+        assert spec.wants_raise(2, 0)
+        assert spec.wants_raise(2, 7)  # poison: every attempt fails
+
+    def test_transient_raise_respects_budget(self):
+        spec = ChaosSpec(raise_on=(2,), raise_attempts=2)
+        assert spec.wants_raise(2, 0)
+        assert spec.wants_raise(2, 1)
+        assert not spec.wants_raise(2, 2)
+
+    def test_delay_scoping(self):
+        spec = ChaosSpec(delay_on=(1,), delay_attempts=1)
+        assert spec.wants_delay(1, 0)
+        assert not spec.wants_delay(1, 1)
+
+
+class TestSampling:
+    def test_same_seed_same_plan(self):
+        a = ChaosSpec.sample(32, seed=7, kill_rate=0.2, raise_rate=0.2)
+        b = ChaosSpec.sample(32, seed=7, kill_rate=0.2, raise_rate=0.2)
+        assert a == b
+
+    def test_different_seed_different_plan(self):
+        a = ChaosSpec.sample(64, seed=0, kill_rate=0.3, raise_rate=0.3)
+        b = ChaosSpec.sample(64, seed=1, kill_rate=0.3, raise_rate=0.3)
+        assert a != b
+
+    def test_at_most_one_fault_per_frame(self):
+        spec = ChaosSpec.sample(
+            128,
+            seed=3,
+            kill_rate=0.2,
+            raise_rate=0.2,
+            delay_rate=0.2,
+            drop_rate=0.2,
+            poison_rate=0.2,
+        )
+        buckets = [
+            spec.kill_on,
+            spec.raise_on,
+            spec.delay_on,
+            spec.drop_on,
+            spec.raise_always_on,
+        ]
+        flat = [i for bucket in buckets for i in bucket]
+        assert len(flat) == len(set(flat))
+
+    def test_ensure_each_guarantees_every_requested_fault(self):
+        # Tiny rates over few frames would often sample zero faults; the
+        # harness needs at least one of each requested class to make a
+        # scenario meaningful.
+        spec = ChaosSpec.sample(
+            16, seed=0, kill_rate=0.01, raise_rate=0.01, ensure_each=True
+        )
+        assert len(spec.kill_on) >= 1
+        assert len(spec.raise_on) >= 1
+
+    def test_rates_summing_past_one_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosSpec.sample(16, kill_rate=0.6, raise_rate=0.6)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            ChaosSpec.sample(16, kill_rate=-0.1)
+
+    def test_zero_rates_yield_no_faults(self):
+        spec = ChaosSpec.sample(16, seed=0)
+        assert not spec.any_faults
+
+
+class TestApplication:
+    def test_raise_path_raises_chaos_error(self):
+        spec = ChaosSpec(raise_on=(3,))
+        with pytest.raises(ChaosError):
+            apply_worker_chaos(spec, 3, 0)
+
+    def test_poison_path_raises_on_every_attempt(self):
+        spec = ChaosSpec(raise_always_on=(3,))
+        with pytest.raises(ChaosError):
+            apply_worker_chaos(spec, 3, 5)
+
+    def test_untargeted_frame_is_untouched(self):
+        spec = ChaosSpec(raise_on=(3,), delay_on=(4,))
+        apply_worker_chaos(spec, 0, 0)  # no fault, no exception
+
+    def test_none_spec_is_noop(self):
+        apply_worker_chaos(None, 0, 0)
+
+    def test_delay_path_sleeps(self, monkeypatch):
+        import repro.resilience.chaos as chaos_mod
+
+        slept = []
+        monkeypatch.setattr(chaos_mod.time, "sleep", slept.append)
+        apply_worker_chaos(
+            ChaosSpec(delay_on=(1,), delay_seconds=0.25), 1, 0
+        )
+        assert slept == [0.25]

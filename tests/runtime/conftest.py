@@ -1,0 +1,45 @@
+"""Runtime-test safety net: every test here gets a hard wall-clock cap.
+
+The whole point of this directory is multi-process streaming — the
+failure mode of a supervision bug is not a red assertion but a test that
+blocks forever on a completion that cannot come.  CI installs
+``pytest-timeout`` (see the ``test`` extra) and its plugin takes
+precedence; environments without it (the hermetic container) fall back
+to a SIGALRM alarm armed around each test.  Both honour
+``@pytest.mark.timeout(N)`` for tests that need a different budget.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+#: Wall-clock cap per runtime test when no marker overrides it.
+DEFAULT_TIMEOUT_SECONDS = 60
+
+
+@pytest.fixture(autouse=True)
+def _runtime_test_timeout(request):
+    """Arm a SIGALRM watchdog unless pytest-timeout is installed."""
+    if request.config.pluginmanager.hasplugin("timeout"):
+        yield  # pytest-timeout owns the budget
+        return
+    marker = request.node.get_closest_marker("timeout")
+    seconds = DEFAULT_TIMEOUT_SECONDS
+    if marker is not None and marker.args:
+        seconds = int(marker.args[0])
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"runtime test exceeded its {seconds}s wall-clock cap "
+            "(likely a hang the supervision layer should have prevented)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -74,6 +74,52 @@ class TestPersistentPool:
             PersistentPool(0)
 
 
+class TestPoolHealth:
+    def test_unstarted_pool_is_healthy_with_no_workers(self):
+        with PersistentPool(2) as pool:
+            assert pool.healthy()
+            assert pool.worker_health() == ()
+            assert pool.worker_pids() == ()
+
+    def test_started_pool_reports_live_workers(self):
+        with PersistentPool(2) as pool:
+            pool.map(square, [1])
+            health = pool.worker_health()
+            assert len(health) == 2
+            assert all(alive for _, alive in health)
+            assert pool.healthy()
+            assert set(pool.worker_pids()) == {pid for pid, _ in health}
+
+    def test_sigkilled_worker_marks_pool_unhealthy(self):
+        import signal
+        import time
+
+        with PersistentPool(2) as pool:
+            pool.map(square, [1])
+            victim = pool.worker_pids()[0]
+            os.kill(victim, signal.SIGKILL)
+            # The corpse is observable either directly (not alive) or as a
+            # vanished pid once mp's handler thread respawns over it.
+            deadline = time.monotonic() + 10.0
+            saw_unhealthy_or_replaced = False
+            while time.monotonic() < deadline:
+                if not pool.healthy() or victim not in pool.worker_pids():
+                    saw_unhealthy_or_replaced = True
+                    break
+                time.sleep(0.01)
+            assert saw_unhealthy_or_replaced
+
+    def test_restart_replaces_workers(self):
+        with PersistentPool(1) as pool:
+            pool.map(square, [1])
+            before = set(pool.worker_pids())
+            pool.restart()
+            assert not pool.started  # lazily re-created on next use
+            assert pool.map(square, [5]) == [25]
+            after = set(pool.worker_pids())
+            assert before.isdisjoint(after)
+
+
 class TestSharedPool:
     def test_same_count_reuses_one_pool(self):
         try:
@@ -93,3 +139,24 @@ class TestSharedPool:
     def test_invalid_count(self):
         with pytest.raises(ConfigError):
             shared_pool(0)
+
+    def test_dead_cached_pool_is_rebuilt_on_request(self):
+        import signal
+        import time
+
+        try:
+            pool = shared_pool(2)
+            pool.map(square, [1])
+            for pid in pool.worker_pids():
+                os.kill(pid, signal.SIGKILL)
+            # Wait until the cached pool observably degraded, then ask
+            # again: the registry must hand back a working pool, never a
+            # broken one that would hang the next map.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline and pool.healthy():
+                time.sleep(0.01)
+            again = shared_pool(2)
+            assert again.map(square, [2, 3]) == [4, 9]
+            assert again.healthy()
+        finally:
+            shutdown_shared_pools()
