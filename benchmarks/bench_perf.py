@@ -12,6 +12,9 @@ against.
 ``REPRO_BENCH_FULL=1`` runs the paper-scale 2048 x 2048 frame.
 ``REPRO_PERF_STRATEGY`` (comma-separated ``--strategy`` names) restricts
 the timed engine subset, e.g. ``REPRO_PERF_STRATEGY=sequential,fast``.
+``REPRO_PERF_CODEC`` picks the pack/size tier of the compressed engines
+(``auto`` / ``numpy`` / ``native``); the resolved tier lands in every
+``BENCH_perf.json`` entry's ``codec`` field.
 """
 
 from __future__ import annotations
@@ -38,15 +41,22 @@ def _engines() -> tuple[str, ...] | None:
     return resolve_strategies(name.strip() for name in raw.split(","))
 
 
+def _codec() -> str:
+    return os.environ.get("REPRO_PERF_CODEC", "").strip() or "auto"
+
+
 def _options() -> PerfOptions:
     engines = _engines()
+    codec = _codec()
     if full_geometry():
         return PerfOptions(
-            resolution=2048, windows=(8, 16, 32, 64), engines=engines
+            resolution=2048, windows=(8, 16, 32, 64), engines=engines, codec=codec
         )
     if bench_images() <= 2:  # smoke: default geometry only, single repeat
-        return PerfOptions(windows=(), thresholds=(0,), repeats=1, engines=engines)
-    return PerfOptions(engines=engines)
+        return PerfOptions(
+            windows=(), thresholds=(0,), repeats=1, engines=engines, codec=codec
+        )
+    return PerfOptions(engines=engines, codec=codec)
 
 
 def test_bench_perf(benchmark):

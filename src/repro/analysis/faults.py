@@ -158,13 +158,16 @@ def fault_campaign(
     flips_per_word: int | None = None,
     seed: int = 0,
     fault_policy: str = "degrade",
+    codec: str = "auto",
 ) -> FaultCampaignResult:
     """Run the soft-error campaign and return every sweep point.
 
     ``flips_per_word`` switches the injector from Bernoulli rate mode to
     exactly-k-flips-per-stored-word mode (the acceptance experiment: k=1
     must be fully corrected by SECDED, k=2 must degrade gracefully); the
-    ``upset_rates`` axis then collapses to a single entry.
+    ``upset_rates`` axis then collapses to a single entry.  ``codec``
+    picks the pack/size tier of every engine in the sweep (all tiers are
+    bit-identical, so campaign numbers are tier-independent).
     """
     kernel = BoxFilterKernel(window)
     image = generate_scene(seed=seed + 1, resolution=resolution)
@@ -180,7 +183,7 @@ def fault_campaign(
             window_size=window,
             threshold=threshold,
         )
-        clean = CompressedEngine(config, kernel).run(image)
+        clean = CompressedEngine(config, kernel, codec=codec).run(image)
         overheads = {
             scheme: measured_storage_overhead(config, image, scheme)
             for scheme in schemes
@@ -198,6 +201,7 @@ def fault_campaign(
                     protection=scheme,
                     injector=injector,
                     fault_policy=fault_policy,
+                    codec=codec,
                 )
                 run = engine.run(image)
                 summary = run.faults

@@ -34,8 +34,10 @@ from ..kernels.base import WindowKernel
 from ..spec import EngineSpec, make_engine
 from .tables import render_table
 
-#: Version tag of the ``BENCH_perf.json`` schema.
-PERF_SCHEMA = "repro-perf/1"
+#: Version tag of the ``BENCH_perf.json`` schema.  ``repro-perf/2`` adds
+#: a ``codec`` field to every engine/sweep entry, so trajectory points
+#: record which codec tier (numpy or native) produced them.
+PERF_SCHEMA = "repro-perf/2"
 
 #: Engine order used in tables and JSON (baseline last-but-one).
 ENGINE_ORDER = (
@@ -88,6 +90,9 @@ class PerfSample:
     threshold: int
     #: Best-of-``repeats`` wall-clock seconds for one frame.
     seconds: float
+    #: Resolved codec tier the engine actually ran with (``numpy`` for
+    #: engines without codec tiers — golden and traditional).
+    codec: str = "numpy"
 
     @property
     def pixels_per_sec(self) -> float:
@@ -122,8 +127,14 @@ class PerfOptions:
     #: measures all four.  The baseline engine is always included so
     #: ``speedup_vs_seed`` stays well-defined.
     engines: tuple[str, ...] | None = None
+    #: Codec tier requested for the compressed engines
+    #: (``auto`` / ``numpy`` / ``native``; the samples record the tier
+    #: that actually resolved).
+    codec: str = "auto"
 
     def __post_init__(self) -> None:
+        from ..core.packing.tiers import CODEC_TIERS
+
         if self.repeats < 1:
             raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
         if self.engines is not None:
@@ -133,6 +144,10 @@ class PerfOptions:
                     f"unknown engines {sorted(unknown)}; choose from "
                     f"{list(ENGINE_ORDER)}"
                 )
+        if self.codec not in CODEC_TIERS:
+            raise ConfigError(
+                f"codec must be one of {CODEC_TIERS}, got {self.codec!r}"
+            )
 
     @property
     def measured_engines(self) -> tuple[str, ...]:
@@ -185,6 +200,7 @@ class PerfReport:
             rows.append(
                 (
                     s.engine,
+                    s.codec,
                     f"{s.width}x{s.height}",
                     s.window,
                     s.threshold,
@@ -194,7 +210,7 @@ class PerfReport:
                 )
             )
         table = render_table(
-            ("engine", "frame", "N", "T", "ms/frame", "Mpx/s", "vs seed"),
+            ("engine", "codec", "frame", "N", "T", "ms/frame", "Mpx/s", "vs seed"),
             rows,
             title="Engine wall-clock throughput",
         )
@@ -226,6 +242,7 @@ class PerfReport:
             engines[name] = {
                 "pixels_per_sec": s.pixels_per_sec,
                 "speedup_vs_seed": self.speedup_vs_seed(s),
+                "codec": s.codec,
                 "geometry": s.geometry,
             }
         sweep = [
@@ -233,6 +250,7 @@ class PerfReport:
                 "engine": s.engine,
                 "pixels_per_sec": s.pixels_per_sec,
                 "speedup_vs_seed": self.speedup_vs_seed(s),
+                "codec": s.codec,
                 "geometry": s.geometry,
             }
             for s in self.samples
@@ -256,6 +274,7 @@ def _engines(
     config: ArchitectureConfig,
     kernel: WindowKernel,
     names: tuple[str, ...] = ENGINE_ORDER,
+    codec: str = "auto",
 ) -> dict[str, SlidingWindowEngine]:
     """The measured engines (``names`` subset) for one configuration.
 
@@ -271,10 +290,18 @@ def _engines(
             config=config, kernel=kernel, engine="traditional"
         ),
         "compressed-sequential": EngineSpec(
-            config=config, kernel=kernel, recirculate=False, fast_path=False
+            config=config,
+            kernel=kernel,
+            recirculate=False,
+            fast_path=False,
+            codec=codec,
         ),
         "compressed-fast": EngineSpec(
-            config=config, kernel=kernel, recirculate=False, fast_path=True
+            config=config,
+            kernel=kernel,
+            recirculate=False,
+            fast_path=True,
+            codec=codec,
         ),
     }
     factories: dict[str, Callable[[], SlidingWindowEngine]] = {
@@ -311,7 +338,10 @@ def measure_perf(
                 image_width=res, image_height=res, window_size=n, threshold=t
             )
             engines = _engines(
-                config, kernel_factory(n), options.measured_engines
+                config,
+                kernel_factory(n),
+                options.measured_engines,
+                options.codec,
             )
             for name, engine in engines.items():
                 if t != thresholds[0] and name in ("golden", "traditional"):
@@ -324,6 +354,7 @@ def measure_perf(
                         window=n,
                         threshold=t,
                         seconds=_time_engine(engine, image, options.repeats),
+                        codec=getattr(engine, "codec_resolved", "numpy"),
                     )
                 )
     return PerfReport(options=options, samples=tuple(samples))
@@ -358,7 +389,12 @@ def load_bench_json(path: Path) -> dict:
         entry = payload["engines"].get(name)
         if entry is None:
             raise ConfigError(f"{path} is missing engine {name!r}")
-        for key in ("pixels_per_sec", "speedup_vs_seed", "geometry"):
+        for key in ("pixels_per_sec", "speedup_vs_seed", "codec", "geometry"):
             if key not in entry:
                 raise ConfigError(f"{path}: {name} lacks {key!r}")
+    for s in payload.get("sweep", []):
+        if "codec" not in s:
+            raise ConfigError(
+                f"{path}: sweep entry for {s.get('engine')!r} lacks 'codec'"
+            )
     return payload

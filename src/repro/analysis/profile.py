@@ -1,0 +1,198 @@
+"""Per-span flame table: where a frame's wall-clock actually goes.
+
+``repro perf`` answers *how fast*; this module answers *why*.  It runs
+one engine over one synthetic frame with a
+:class:`~repro.observability.probe.MetricsProbe` attached, then folds the
+``repro_span_seconds`` histogram series into a flame table: one row per
+span path with its call count, total time, and *self* time (total minus
+direct children) — the number that names the optimisation target.
+
+This is the profile-guided front door the compiled codec tier was built
+from: the table showed ``run/transform`` + ``run/pack`` dominating the
+compressed-fast gap, which is exactly the set of loops
+``core/packing/native`` compiles.  Future perf work should start from
+this table, not from guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..config import ArchitectureConfig
+from ..errors import ConfigError
+from ..imaging import generate_scene
+from ..kernels import BoxFilterKernel
+from ..kernels.base import WindowKernel
+from ..observability.probe import MetricsProbe
+from ..spec import EngineSpec, make_engine
+from .tables import render_table
+
+#: Strategy names accepted by ``repro profile --strategy``.
+PROFILE_STRATEGIES = ("fast", "sequential", "traditional")
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileOptions:
+    """Knobs of one profiling run (defaults are the perf headline)."""
+
+    resolution: int = 512
+    window: int = 16
+    threshold: int = 0
+    #: Engine strategy to profile: ``fast`` / ``sequential`` (compressed)
+    #: or ``traditional``.
+    strategy: str = "fast"
+    #: Frames run (spans accumulate; counts divide back out).
+    repeats: int = 3
+    #: Codec tier requested for the compressed engines.
+    codec: str = "auto"
+
+    def __post_init__(self) -> None:
+        from ..core.packing.tiers import CODEC_TIERS
+
+        if self.strategy not in PROFILE_STRATEGIES:
+            raise ConfigError(
+                f"strategy must be one of {PROFILE_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if self.repeats < 1:
+            raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
+        if self.codec not in CODEC_TIERS:
+            raise ConfigError(
+                f"codec must be one of {CODEC_TIERS}, got {self.codec!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRow:
+    """One span path of the flame table."""
+
+    path: str
+    count: int
+    total_seconds: float
+    #: Total minus the totals of direct child spans.
+    self_seconds: float
+
+    @property
+    def depth(self) -> int:
+        """Nesting depth of the span path (``run`` is 0)."""
+        return self.path.count("/")
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """The folded span tree of one profiling run."""
+
+    options: ProfileOptions
+    #: Resolved codec tier the engine actually ran with.
+    codec: str
+    rows: tuple[SpanRow, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed time of the root spans (one frame x repeats)."""
+        return sum(r.total_seconds for r in self.rows if r.depth == 0)
+
+    def render(self) -> str:
+        """Monospace flame table, tree-ordered, self-time highlighted."""
+        total = self.total_seconds
+        table_rows = []
+        for r in self.rows:
+            indent = "  " * r.depth
+            name = r.path.rsplit("/", 1)[-1]
+            share = 100.0 * r.total_seconds / total if total else 0.0
+            table_rows.append(
+                (
+                    f"{indent}{name}",
+                    r.count,
+                    r.total_seconds * 1000.0,
+                    r.self_seconds * 1000.0,
+                    share,
+                )
+            )
+        table = render_table(
+            ("span", "count", "total ms", "self ms", "% of run"),
+            table_rows,
+            title="Per-span flame table",
+        )
+        opt = self.options
+        return (
+            f"{table}\n\n"
+            f"{opt.resolution}x{opt.resolution}, N={opt.window}, "
+            f"T={opt.threshold}, strategy={opt.strategy}, "
+            f"codec={self.codec}, frames={opt.repeats}"
+        )
+
+
+def fold_spans(snapshot: dict) -> tuple[SpanRow, ...]:
+    """Fold a probe snapshot's span histograms into flame-table rows.
+
+    ``repro_span_seconds`` series carry the full span path in their
+    ``span`` label; self time subtracts each path's direct children.
+    Rows come back in tree (depth-first) order.
+    """
+    totals: dict[str, tuple[int, float]] = {}
+    for series in snapshot.get("histograms", []):
+        if series.get("name") != "repro_span_seconds":
+            continue
+        path = series.get("labels", {}).get("span")
+        if not path:
+            continue
+        count, seconds = totals.get(path, (0, 0.0))
+        totals[path] = (
+            count + int(series["count"]),
+            seconds + float(series["sum"]),
+        )
+    ordered = sorted(totals, key=lambda p: p.split("/"))
+    rows = []
+    for path in ordered:
+        count, seconds = totals[path]
+        children = sum(
+            totals[p][1]
+            for p in totals
+            if p.startswith(path + "/") and "/" not in p[len(path) + 1 :]
+        )
+        rows.append(
+            SpanRow(
+                path=path,
+                count=count,
+                total_seconds=seconds,
+                self_seconds=max(seconds - children, 0.0),
+            )
+        )
+    return tuple(rows)
+
+
+def measure_profile(
+    options: ProfileOptions = ProfileOptions(),
+    *,
+    kernel_factory: Callable[[int], WindowKernel] = BoxFilterKernel,
+) -> ProfileReport:
+    """Run one instrumented engine and fold its spans into a report."""
+    res = options.resolution
+    config = ArchitectureConfig(
+        image_width=res,
+        image_height=res,
+        window_size=options.window,
+        threshold=options.threshold,
+    )
+    spec = EngineSpec(
+        config=config,
+        kernel=kernel_factory(options.window),
+        engine="traditional" if options.strategy == "traditional" else "compressed",
+        recirculate=False,
+        fast_path=options.strategy == "fast" if options.strategy != "traditional" else None,
+        codec=options.codec,
+    )
+    probe = MetricsProbe()
+    engine = make_engine(spec, probe=probe)
+    image = generate_scene(seed=1, resolution=res).astype(np.int64)
+    for _ in range(options.repeats):
+        engine.run(image)
+    return ProfileReport(
+        options=options,
+        codec=getattr(engine, "codec_resolved", "numpy"),
+        rows=fold_spans(probe.snapshot()),
+    )

@@ -50,10 +50,18 @@ class StreamOptions:
     frames: int = 8
     #: Worker counts swept (each gets its own pool + ring).
     worker_counts: tuple[int, ...] = (1, 2, 4)
+    #: Codec tier the workers (and the baseline loop) run with.
+    codec: str = "auto"
 
     def __post_init__(self) -> None:
+        from ..core.packing.tiers import CODEC_TIERS
+
         if self.frames < 1:
             raise ConfigError(f"frames must be >= 1, got {self.frames}")
+        if self.codec not in CODEC_TIERS:
+            raise ConfigError(
+                f"codec must be one of {CODEC_TIERS}, got {self.codec!r}"
+            )
         if not self.worker_counts:
             raise ConfigError("worker_counts must name at least one count")
         if any(w < 1 for w in self.worker_counts):
@@ -206,7 +214,7 @@ def measure_stream(
         for i in range(options.frames)
     ]
 
-    spec = EngineSpec(config=config, kernel=kernel)
+    spec = EngineSpec(config=config, kernel=kernel, codec=options.codec)
     engine = make_engine(spec)
     t0 = time.perf_counter()
     expected = [engine.run(frame).outputs for frame in frames]

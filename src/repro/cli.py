@@ -35,6 +35,7 @@ def add_common_engine_flags(
     resolution: int,
     window: int,
     threshold: int | None = 0,
+    codec: bool = False,
 ) -> None:
     """Attach the engine-geometry flags shared by the perf-family commands.
 
@@ -42,7 +43,8 @@ def add_common_engine_flags(
     the same thing — one engine geometry to run — so they share one flag
     vocabulary instead of four drifting copies.  Pass ``threshold=None``
     to skip the ``--threshold`` flag (``fault-campaign`` sweeps a plural
-    ``--thresholds`` instead).
+    ``--thresholds`` instead); ``codec=True`` adds the codec-tier flag
+    for commands that build compressed engines.
     """
     p.add_argument(
         "--resolution",
@@ -62,6 +64,13 @@ def add_common_engine_flags(
             type=int,
             default=threshold,
             help=f"compression threshold T (default {threshold})",
+        )
+    if codec:
+        p.add_argument(
+            "--codec",
+            choices=("auto", "numpy", "native"),
+            default="auto",
+            help="pack/size codec tier (default auto: native when available)",
         )
 
 
@@ -145,7 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fc = sub.add_parser(
         "fault-campaign", help="SEU injection sweep over protection schemes"
     )
-    add_common_engine_flags(p_fc, resolution=96, window=8, threshold=None)
+    add_common_engine_flags(
+        p_fc, resolution=96, window=8, threshold=None, codec=True
+    )
     p_fc.add_argument(
         "--schemes",
         nargs="+",
@@ -181,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_perf = sub.add_parser("perf", help="wall-clock pixels/sec of every engine")
-    add_common_engine_flags(p_perf, resolution=512, window=16)
+    add_common_engine_flags(p_perf, resolution=512, window=16, codec=True)
     p_perf.add_argument(
         "--repeats", type=int, default=3, help="timing repeats (best is kept)"
     )
@@ -202,10 +213,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="engine subset to time (sequential baseline always included)",
     )
 
+    p_profile = sub.add_parser(
+        "profile", help="per-span flame table of one engine run"
+    )
+    add_common_engine_flags(p_profile, resolution=512, window=16, codec=True)
+    p_profile.add_argument(
+        "--strategy",
+        choices=("fast", "sequential", "traditional"),
+        default="fast",
+        help="engine strategy to profile (default fast)",
+    )
+    p_profile.add_argument(
+        "--repeats", type=int, default=3, help="frames run (spans accumulate)"
+    )
+
     p_stream = sub.add_parser(
         "stream", help="multi-frame streaming throughput vs worker count"
     )
-    add_common_engine_flags(p_stream, resolution=512, window=16)
+    add_common_engine_flags(p_stream, resolution=512, window=16, codec=True)
     p_stream.add_argument(
         "--frames", type=int, default=8, help="frames per timed pass"
     )
@@ -447,6 +472,7 @@ def main(argv: list[str] | None = None) -> int:
                 thresholds=(0,),
                 flips_per_word=args.flips_per_word,
                 seed=args.seed,
+                codec=args.codec,
             )
         else:
             result = fault_campaign(
@@ -457,6 +483,7 @@ def main(argv: list[str] | None = None) -> int:
                 thresholds=tuple(args.thresholds),
                 flips_per_word=args.flips_per_word,
                 seed=args.seed,
+                codec=args.codec,
             )
         print(result.render())
     elif args.command == "perf":
@@ -479,6 +506,7 @@ def main(argv: list[str] | None = None) -> int:
                 thresholds=(),
                 repeats=1,
                 engines=engines,
+                codec=args.codec,
             )
         else:
             options = PerfOptions(
@@ -487,12 +515,28 @@ def main(argv: list[str] | None = None) -> int:
                 threshold=args.threshold,
                 repeats=args.repeats,
                 engines=engines,
+                codec=args.codec,
             )
         result = measure_perf(options)
         print(result.render())
         if args.json is not None:
             write_bench_json(result, args.json)
             print(f"wrote {args.json}")
+    elif args.command == "profile":
+        from .analysis.profile import ProfileOptions, measure_profile
+
+        print(
+            measure_profile(
+                ProfileOptions(
+                    resolution=args.resolution,
+                    window=args.window,
+                    threshold=args.threshold,
+                    strategy=args.strategy,
+                    repeats=args.repeats,
+                    codec=args.codec,
+                )
+            ).render()
+        )
     elif args.command == "stream":
         from .analysis.stream_perf import (
             StreamOptions,
@@ -502,7 +546,11 @@ def main(argv: list[str] | None = None) -> int:
 
         if args.smoke:
             options = StreamOptions(
-                resolution=128, window=8, frames=4, worker_counts=(1, 2)
+                resolution=128,
+                window=8,
+                frames=4,
+                worker_counts=(1, 2),
+                codec=args.codec,
             )
         else:
             options = StreamOptions(
@@ -511,6 +559,7 @@ def main(argv: list[str] | None = None) -> int:
                 threshold=args.threshold,
                 frames=args.frames,
                 worker_counts=tuple(args.workers),
+                codec=args.codec,
             )
         result = measure_stream(options)
         print(result.render())

@@ -22,12 +22,49 @@ column ``13, 12, -9, 7`` needs NBits = 5).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ...errors import ConfigError
 
 #: Powers of two used by the vectorised bit-length computation.
 _POW2 = (1 << np.arange(63, dtype=np.int64)).astype(np.int64)
+
+#: Per-thread scratch buffers, keyed by array shape (and dtype for the
+#: magnitude buffer).  The engine fast path sizes every frame through
+#: same-shape stacks, so the frexp mantissa/exponent temporaries and the
+#: signed-magnitude temporary are reused instead of reallocated per call.
+_scratch = threading.local()
+
+
+def _frexp_buffers(shape: tuple[int, ...]) -> tuple[np.ndarray, np.ndarray]:
+    """Reusable frexp output buffers for one array shape (per thread)."""
+    cache = getattr(_scratch, "frexp", None)
+    if cache is None:
+        cache = {}
+        _scratch.frexp = cache
+    bufs = cache.get(shape)
+    if bufs is None:
+        # np.empty's default dtype is frexp's mantissa output type (the
+        # mantissa values are never read); np.intc is its exponent type.
+        bufs = (np.empty(shape), np.empty(shape, dtype=np.intc))
+        cache[shape] = bufs
+    return bufs
+
+
+def _magnitude_buffer(shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+    """Reusable signed-magnitude buffer for one shape/dtype (per thread)."""
+    cache = getattr(_scratch, "magnitude", None)
+    if cache is None:
+        cache = {}
+        _scratch.magnitude = cache
+    key = (shape, dtype.str)
+    buf = cache.get(key)
+    if buf is None:
+        buf = np.empty(shape, dtype=dtype)
+        cache[key] = buf
+    return buf
 
 
 def _bit_length(magnitude: np.ndarray) -> np.ndarray:
@@ -37,9 +74,14 @@ def _bit_length(magnitude: np.ndarray) -> np.ndarray:
     which is exactly the bit length — and is exact while ``m`` fits a
     float64 mantissa.  Larger magnitudes (only reachable with >52-bit
     coefficients) take the binary-search path.
+
+    The frexp result is returned in a shared per-thread scratch buffer:
+    callers must reduce or copy it before calling back in.
     """
     if magnitude.size == 0 or int(magnitude.max()) < (1 << 52):
-        return np.frexp(magnitude)[1].astype(np.int64)
+        mantissa, exponent = _frexp_buffers(magnitude.shape)
+        np.frexp(magnitude, mantissa, exponent)
+        return exponent
     return np.searchsorted(
         _POW2, magnitude.astype(np.int64), side="right"
     ).astype(np.int64)
@@ -51,12 +93,16 @@ def _signed_magnitude(arr: np.ndarray) -> np.ndarray:
     ``v ^ (v >> (bits-1))`` computes this branch-free: the arithmetic
     shift yields all-zeros for non-negative values and all-ones for
     negative ones (XOR with all-ones is ``~``).  Unsigned dtypes are
-    already their own magnitude.
+    already their own magnitude.  The result lands in a shared
+    per-thread scratch buffer (callers must not retain it).
     """
     if np.issubdtype(arr.dtype, np.unsignedinteger):
         return arr
     shift = arr.dtype.itemsize * 8 - 1
-    return arr ^ (arr >> shift)
+    out = _magnitude_buffer(arr.shape, arr.dtype)
+    np.right_shift(arr, shift, out=out)
+    np.bitwise_xor(arr, out, out=out)
+    return out
 
 
 def min_bits_signed_scalar(value: int) -> int:
@@ -80,12 +126,13 @@ def min_bits_signed(values: np.ndarray, axis: int | None = None) -> np.ndarray |
     arr = np.asarray(values)
     if not np.issubdtype(arr.dtype, np.integer):
         raise ConfigError(f"NBits requires integer coefficients, got {arr.dtype}")
-    widths = _bit_length(_signed_magnitude(arr)) + 1
+    lengths = _bit_length(_signed_magnitude(arr))  # scratch-backed
     if axis is None:
         if arr.size == 0:
             return 1
-        return int(widths.max())
-    return np.maximum(widths.max(axis=axis), 1)
+        return int(lengths.max()) + 1
+    # max(length + 1) == max(length) + 1: reduce first, then widen.
+    return np.maximum(lengths.max(axis=axis).astype(np.int64) + 1, 1)
 
 
 def bit_widths_signed(values: np.ndarray) -> np.ndarray:
@@ -97,7 +144,9 @@ def bit_widths_signed(values: np.ndarray) -> np.ndarray:
     arr = np.asarray(values)
     if not np.issubdtype(arr.dtype, np.integer):
         raise ConfigError(f"NBits requires integer coefficients, got {arr.dtype}")
-    return _bit_length(_signed_magnitude(arr)) + 1
+    widths = _bit_length(_signed_magnitude(arr)).astype(np.int64)
+    widths += 1  # fresh int64 copy: never hand scratch to callers
+    return widths
 
 
 class NBitsGateModel:

@@ -232,9 +232,12 @@ class BandCodec:
     steady state: ``encode(decode(encode(x)))`` produces identical bits.
     """
 
-    def __init__(self, config: ArchitectureConfig) -> None:
+    def __init__(self, config: ArchitectureConfig, *, codec: str = "numpy") -> None:
         self.config = config
         self._wrap_bits = config.coefficient_bits if config.wrap_coefficients else None
+        #: Resolved codec tier for the bit-stream assembly loops
+        #: (``"numpy"`` or ``"native"``; see ``repro.core.packing.tiers``).
+        self.codec = codec
 
     # ------------------------------------------------------------------
 
@@ -270,9 +273,17 @@ class BandCodec:
         parity = (np.arange(plane.shape[0]) % 2)[:, None]
         per_element = np.where(parity == 0, nbits[0][None, :], nbits[1][None, :])
         widths = np.where(bitmap, per_element, 0)
-        row_payloads = tuple(
-            values_to_bits(plane[i], widths[i]) for i in range(plane.shape[0])
-        )
+        if self.codec == "native":
+            from . import native  # deferred: only tier-selected codecs load it
+
+            row_payloads = tuple(
+                native.pack_values(plane[i], widths[i])
+                for i in range(plane.shape[0])
+            )
+        else:
+            row_payloads = tuple(
+                values_to_bits(plane[i], widths[i]) for i in range(plane.shape[0])
+            )
         return EncodedBand(
             config=self.config, nbits=nbits, bitmap=bitmap, row_payloads=row_payloads
         )
@@ -304,6 +315,12 @@ class BandCodec:
         """Reconstruct the thresholded coefficient plane from packed bits."""
         from .bitstream import bits_to_values  # local import avoids cycle at module load
 
+        if self.codec == "native":
+            from . import native
+
+            decode = native.unpack_values
+        else:
+            decode = bits_to_values
         widths = encoded.widths
         n_rows, n_cols = widths.shape
         plane = np.zeros((n_rows, n_cols), dtype=np.int64)
@@ -314,7 +331,7 @@ class BandCodec:
                     f"row {i} payload has {encoded.row_payloads[i].size} bits, "
                     f"management implies {expected}"
                 )
-            plane[i] = bits_to_values(encoded.row_payloads[i], widths[i], signed=True)
+            plane[i] = decode(encoded.row_payloads[i], widths[i], signed=True)
         return plane
 
     # ------------------------------------------------------------------

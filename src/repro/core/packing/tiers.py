@@ -1,0 +1,70 @@
+"""Codec-tier registry: which pack/size implementation a run uses.
+
+Three tier names exist, one of which is virtual:
+
+- ``"numpy"`` — the vectorised NumPy reference path, always available;
+- ``"native"`` — the compiled C kernels of :mod:`.native`, bit-identical
+  to NumPy and considerably faster on the fast-path hot loops;
+- ``"auto"`` — resolve to ``"native"`` when the compiled tier loads in
+  this environment, silently falling back to ``"numpy"`` otherwise
+  (the default everywhere).
+
+:func:`resolve_codec` maps a requested tier to a concrete one.  An
+explicit ``"native"`` request in an environment that cannot provide it
+(no compiler, ``REPRO_NATIVE=0``, broken toolchain) degrades to NumPy
+with a single :class:`RuntimeWarning` per process — loud enough to
+notice, quiet enough not to spam a streaming worker pool — so NumPy-only
+deployments keep working with every CLI flag and spec unchanged.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+from ...errors import ConfigError
+from . import native
+
+#: Tier names accepted by EngineSpec.codec and every --codec flag.
+CODEC_TIERS: tuple[str, ...] = ("auto", "numpy", "native")
+
+#: Concrete tiers a request can resolve to.
+RESOLVED_TIERS: tuple[str, ...] = ("numpy", "native")
+
+_warned_fallback = False
+
+
+def resolve_codec(requested: str = "auto") -> str:
+    """Resolve a requested tier name to a concrete one.
+
+    ``"auto"`` probes the native tier and falls back silently;
+    ``"native"`` falls back with one :class:`RuntimeWarning` per process
+    (the request was explicit, so the degradation is worth a notice).
+    Unknown names raise :class:`~repro.errors.ConfigError`.
+    """
+    global _warned_fallback
+    if requested not in CODEC_TIERS:
+        raise ConfigError(
+            f"codec must be one of {CODEC_TIERS}, got {requested!r}"
+        )
+    if requested == "numpy":
+        return "numpy"
+    try:
+        native.load()
+    except native.NativeUnavailable as exc:
+        if requested == "native" and not _warned_fallback:
+            _warned_fallback = True
+            warnings.warn(
+                f"native codec tier unavailable ({exc}); falling back to "
+                f"the NumPy tier",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        return "numpy"
+    return "native"
+
+
+def reset_codec_state() -> None:
+    """Forget the cached native probe and the fallback warning (tests)."""
+    global _warned_fallback
+    _warned_fallback = False
+    native.reset()

@@ -24,6 +24,7 @@ import numpy as np
 from ..config import ArchitectureConfig
 from ..errors import ConfigError
 from ..observability.probe import NULL_PROBE, Probe
+from .packing import native as native_codec
 from .packing.bitmap import apply_threshold
 from .packing.nbits import bit_widths_signed, min_bits_signed
 from .transform.haar2d import (
@@ -229,7 +230,11 @@ class BandStackAnalysis:
 
 
 def analyze_band_stack(
-    config: ArchitectureConfig, bands: np.ndarray, *, probe: Probe | None = None
+    config: ArchitectureConfig,
+    bands: np.ndarray,
+    *,
+    probe: Probe | None = None,
+    codec: str = "numpy",
 ) -> BandStackAnalysis:
     """Transform, threshold and size a whole ``(T, N, W)`` band stack.
 
@@ -239,6 +244,11 @@ def analyze_band_stack(
     :func:`analyze_band` calls.  Bit-identical per band to the scalar
     analysis (no payload bits are materialised here either).  ``probe``
     times the three stages, one span per whole-stack pass.
+
+    ``codec`` selects the threshold/NBits implementation: ``"numpy"``
+    (default) or the compiled ``"native"`` tier — a *resolved* tier name
+    from :func:`repro.core.packing.tiers.resolve_codec`, bit-identical
+    either way.
     """
     prb = probe if probe is not None else NULL_PROBE
     arr = np.asarray(bands)
@@ -251,21 +261,36 @@ def analyze_band_stack(
         plane = forward_inplace(arr, config.decomposition_levels, wrap_bits=wrap)
         if config.ll_dpcm:
             plane = ll_dpcm_forward(plane, config.decomposition_levels)
-    with prb.span("threshold"):
-        exempt = None
-        if config.threshold_bands == "details" or config.ll_dpcm:
-            # (N, W) mask broadcasts over the traversal axis.
-            exempt = ll_mask_inplace(plane.shape[-2:], config.decomposition_levels)
-        plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
-    with prb.span("pack"):
-        nbits = np.stack(
-            [
-                min_bits_signed(plane[:, 0::2, :], axis=1),
-                min_bits_signed(plane[:, 1::2, :], axis=1),
-            ],
-            axis=1,
-        ).astype(np.int64)
-        bitmap = plane != 0
+    exempt_ll = config.threshold_bands == "details" or config.ll_dpcm
+    if codec == "native":
+        with prb.span("threshold"):
+            # forward_inplace copied the input, so in-place zeroing is safe.
+            native_codec.threshold_inplace(
+                plane,
+                config.threshold,
+                exempt_mod=(1 << config.decomposition_levels) if exempt_ll else 0,
+            )
+        with prb.span("pack"):
+            nbits = native_codec.stack_nbits(plane)
+            bitmap = plane != 0
+    else:
+        with prb.span("threshold"):
+            exempt = None
+            if exempt_ll:
+                # (N, W) mask broadcasts over the traversal axis.
+                exempt = ll_mask_inplace(
+                    plane.shape[-2:], config.decomposition_levels
+                )
+            plane = apply_threshold(plane, config.threshold, exempt_mask=exempt)
+        with prb.span("pack"):
+            nbits = np.stack(
+                [
+                    min_bits_signed(plane[:, 0::2, :], axis=1),
+                    min_bits_signed(plane[:, 1::2, :], axis=1),
+                ],
+                axis=1,
+            ).astype(np.int64)
+            bitmap = plane != 0
     return BandStackAnalysis(
         config=config, plane=plane, nbits=nbits, bitmap=bitmap
     )
@@ -303,7 +328,11 @@ class BandStackSizes:
 
 
 def band_stack_sizes(
-    config: ArchitectureConfig, image: np.ndarray, *, probe: Probe | None = None
+    config: ArchitectureConfig,
+    image: np.ndarray,
+    *,
+    probe: Probe | None = None,
+    codec: str = "numpy",
 ) -> BandStackSizes:
     """Compressed sizes of every traversal band in shared-row dataflow.
 
@@ -319,7 +348,11 @@ def band_stack_sizes(
     one pair apart — use :func:`analyze_band_stack` for those).
 
     ``probe`` times the ``transform`` / ``threshold`` / ``pack`` stages
-    (one span per whole-frame pass).
+    (one span per whole-frame pass).  ``codec`` selects the kernel
+    implementation — ``"numpy"`` (default) or the compiled ``"native"``
+    tier, a *resolved* name from
+    :func:`repro.core.packing.tiers.resolve_codec`; both produce
+    bit-identical sizes (property-tested).
     """
     prb = probe if probe is not None else NULL_PROBE
     arr = np.asarray(image)
@@ -335,6 +368,8 @@ def band_stack_sizes(
     if h < n:
         raise ConfigError(f"image height {h} shorter than one {n}-band")
     wrap = config.coefficient_bits if config.wrap_coefficients else None
+    if codec == "native":
+        return _band_stack_sizes_native(config, arr, prb)
     with prb.span("transform"):
         pairs = sliding_band_stack(arr, 2)  # (H-1, 2, W) zero-copy
         plane = forward_inplace(pairs, 1, wrap_bits=wrap)
@@ -378,6 +413,33 @@ def band_stack_sizes(
         payload_bits_per_column=cols,
         nbits=nbits,
         significant_counts=signif_totals,
+    )
+
+
+def _band_stack_sizes_native(
+    config: ArchitectureConfig, arr: np.ndarray, prb: Probe
+) -> BandStackSizes:
+    """Compiled-tier body of :func:`band_stack_sizes` (same spans)."""
+    wrap = config.coefficient_bits if config.wrap_coefficients else None
+    with prb.span("transform"):
+        plane = native_codec.pair_transform(
+            arr, ll_dpcm=config.ll_dpcm, wrap_bits=wrap
+        )
+    with prb.span("threshold"):
+        if config.threshold:  # T=0 thresholding is the identity; skip the call
+            exempt_ll = config.threshold_bands == "details" or config.ll_dpcm
+            native_codec.threshold_inplace(
+                plane, config.threshold, exempt_mod=2 if exempt_ll else 0
+            )
+    with prb.span("pack"):
+        nbits, cols, counts = native_codec.pair_reduce(
+            plane, config.window_size
+        )
+    return BandStackSizes(
+        config=config,
+        payload_bits_per_column=cols,
+        nbits=nbits,
+        significant_counts=counts,
     )
 
 

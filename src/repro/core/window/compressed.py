@@ -53,10 +53,12 @@ from ...observability.probe import NULL_PROBE
 from ...resilience.band import EngineFaultSummary, ResilientBandCodec
 from ...resilience.injector import FaultInjector
 from ...resilience.protection import ProtectionPolicy, resolve_policy
+from ..packing import native as native_codec
 from ..packing.hw_pack import BitPackingUnit, PackedWord
 from ..packing.hw_unpack import BitUnpackingUnit
 from ..packing.nbits import NBitsGateModel
 from ..packing.packer import BandCodec
+from ..packing.tiers import resolve_codec
 from ..stats import (
     analyze_band,
     analyze_band_stack,
@@ -92,9 +94,16 @@ class CompressedEngine(SlidingWindowEngine):
         fault_policy: str = "degrade",
         fast_path: bool | None = None,
         probe: "Probe | None" = None,
+        codec: str = "auto",
     ) -> None:
         super().__init__(config, kernel, probe=probe)
         self.recirculate = recirculate
+        #: Requested codec tier (``auto`` / ``numpy`` / ``native``).
+        self.codec = codec
+        #: Concrete tier the run will use (``numpy`` or ``native``),
+        #: resolved once at construction so an explicit-but-unavailable
+        #: ``native`` request warns here rather than mid-frame.
+        self.codec_resolved = resolve_codec(codec)
         self.bit_exact = bit_exact
         self.memory_budget_bits = memory_budget_bits
         #: Optional design-time BRAM plan
@@ -117,7 +126,7 @@ class CompressedEngine(SlidingWindowEngine):
         #: (zero-fill plus corrupted-pixel counting) instead of raising.
         self.injector = injector
         self.fault_policy = fault_policy
-        self._codec = BandCodec(config)
+        self._codec = BandCodec(config, codec=self.codec_resolved)
         self._resilient: ResilientBandCodec | None = None
         if injector is not None or not self.protection.is_trivial:
             self._resilient = ResilientBandCodec(
@@ -340,6 +349,10 @@ class CompressedEngine(SlidingWindowEngine):
         ``prev_last`` carries the final sizes of the preceding chunk (the
         very first traversal of a frame references itself).
         """
+        if self.codec_resolved == "native" and cols.ndim == 2:
+            return native_codec.occupancy_peaks(
+                cols, self.config.window_size, mgmt, prev_last=prev_last
+            )
         carry = cols[:1] if prev_last is None else prev_last[None]
         prev = np.concatenate([carry, cols[:-1]], axis=0)
         occ = sliding_occupancy(prev, cols, self.config.window_size, mgmt)
@@ -363,7 +376,9 @@ class CompressedEngine(SlidingWindowEngine):
         cfg = self.config
         n, w = cfg.window_size, cfg.image_width
         prb = self.probe if self.probe is not None else NULL_PROBE
-        sizes = band_stack_sizes(cfg, arr, probe=self.probe)
+        sizes = band_stack_sizes(
+            cfg, arr, probe=self.probe, codec=self.codec_resolved
+        )
         cols = sizes.payload_bits_per_column
         mgmt = sizes.management_bits_per_column
         with prb.span("fifo"):
@@ -414,7 +429,10 @@ class CompressedEngine(SlidingWindowEngine):
         chunk = max(1, self._FAST_CHUNK_BUDGET // (n * w * 8))
         for t0 in range(0, stack.shape[0], chunk):
             analysis = analyze_band_stack(
-                cfg, stack[t0 : t0 + chunk], probe=self.probe
+                cfg,
+                stack[t0 : t0 + chunk],
+                probe=self.probe,
+                codec=self.codec_resolved,
             )
             mgmt = analysis.management_bits_per_column
             cols = analysis.payload_bits_per_column  # (C, W)

@@ -79,6 +79,13 @@ class EngineSpec:
         results).  Only the streaming runtime honours it; a plain
         :meth:`build` engine ignores chaos entirely, which is what lets
         the supervision layer degrade to a chaos-free inline run.
+    codec:
+        Codec tier of the compressed engine's pack/size kernels:
+        ``"auto"`` (default — compiled tier when available, NumPy
+        otherwise), ``"numpy"``, or ``"native"`` (compiled tier, with a
+        one-time :class:`RuntimeWarning` fallback to NumPy when the
+        environment cannot provide it).  All tiers are bit-identical;
+        the traditional engine ignores this knob.
     """
 
     config: ArchitectureConfig
@@ -94,11 +101,18 @@ class EngineSpec:
     probe: bool = False
     delay_by_index: tuple[float, ...] | None = None
     chaos: ChaosSpec | None = None
+    codec: str = "auto"
 
     def __post_init__(self) -> None:
+        from .core.packing.tiers import CODEC_TIERS
+
         if self.engine not in ENGINE_KINDS:
             raise ConfigError(
                 f"engine must be one of {ENGINE_KINDS}, got {self.engine!r}"
+            )
+        if self.codec not in CODEC_TIERS:
+            raise ConfigError(
+                f"codec must be one of {CODEC_TIERS}, got {self.codec!r}"
             )
         if self.protection is not None and not isinstance(self.protection, str):
             raise ConfigError(
@@ -149,6 +163,7 @@ class EngineSpec:
             fault_policy=self.fault_policy,
             fast_path=self.fast_path,
             probe=probe,
+            codec=self.codec,
         )
 
     def blob(self) -> bytes:

@@ -76,6 +76,27 @@ class TestRep001BitExact:
             BitExactRule(), "x = 0.5\n", "repro.hardware.resources"
         )
 
+    def test_native_wrapper_in_scope(self):
+        # The ctypes wrappers of the compiled tier marshal the bit-exact
+        # payloads; a float sneaking into them corrupts the contract just
+        # as surely as in the pure-NumPy path.
+        found = _violations(
+            BitExactRule(),
+            "ratio = used / total\n",
+            "repro.core.packing.native.loader",
+        )
+        assert [v.rule for v in found] == ["REP001"]
+
+    def test_native_wrapper_integer_code_clean(self):
+        code = (
+            "import numpy as np\n"
+            "widths = np.maximum(lengths + 1, 1)\n"
+            "total = int(widths.sum()) // 8\n"
+        )
+        assert not _violations(
+            BitExactRule(), code, "repro.core.packing.native"
+        )
+
 
 class TestRep002Lifecycle:
     MOD = "repro.runtime.fake"

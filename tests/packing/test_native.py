@@ -1,0 +1,291 @@
+"""Compiled codec tier: bit-identity with NumPy, and graceful fallback.
+
+Two halves:
+
+- kernel- and engine-level equivalence (skipped when no C compiler is
+  present): every native wrapper must be *bit-identical* to its NumPy
+  reference — the tier is a pure speed knob, never a semantics knob;
+- fallback behaviour (always runs): a broken or disabled native tier
+  must degrade to NumPy — silently for ``"auto"``, with exactly one
+  ``RuntimeWarning`` per process for an explicit ``"native"`` request —
+  both inline and through the streaming worker pool.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import ArchitectureConfig, CompressedEngine
+from repro.core.packing import (
+    apply_threshold,
+    bits_to_values,
+    native,
+    pack_interleaved_column,
+    values_to_bits,
+)
+from repro.core.packing.nbits import bit_widths_signed, min_bits_signed
+from repro.core.packing.tiers import reset_codec_state, resolve_codec
+from repro.core.stats import band_stack_sizes, sliding_occupancy
+from repro.kernels import BoxFilterKernel
+from repro.spec import EngineSpec
+
+from helpers import random_image
+
+NATIVE_AVAILABLE = native.is_available()
+
+needs_native = pytest.mark.skipif(
+    not NATIVE_AVAILABLE,
+    reason="native codec tier unavailable (no usable C compiler)",
+)
+
+
+def cfg(**kw):
+    defaults = dict(image_width=32, image_height=24, window_size=8)
+    defaults.update(kw)
+    return ArchitectureConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Kernel-level bit-identity (native wrapper vs NumPy reference)
+# ----------------------------------------------------------------------
+
+
+@needs_native
+class TestKernelEquivalence:
+    @pytest.mark.parametrize(
+        "extra",
+        [
+            {},
+            {"threshold": 4},
+            {"threshold": 4, "threshold_bands": "details"},
+            {"threshold": 3, "ll_dpcm": True},
+            {"coefficient_bits": 8, "wrap_coefficients": True},
+        ],
+        ids=["lossless", "lossy", "details", "dpcm", "wrap"],
+    )
+    def test_band_stack_sizes_bit_identical(self, rng, extra):
+        config = cfg(**extra)
+        img = random_image(rng, config.image_height, config.image_width)
+        ref = band_stack_sizes(config, img, codec="numpy")
+        nat = band_stack_sizes(config, img, codec="native")
+        assert np.array_equal(ref.nbits, nat.nbits)
+        assert np.array_equal(
+            ref.payload_bits_per_column, nat.payload_bits_per_column
+        )
+        assert np.array_equal(ref.significant_counts, nat.significant_counts)
+
+    def test_stack_nbits_matches_min_bits(self, rng):
+        stack = rng.integers(-(2**17), 2**17, size=(5, 6, 12)).astype(np.int32)
+        stack[0, :, 0] = 0  # all-zero column: width must clamp to 1
+        nbits = native.stack_nbits(stack)
+        for q in (0, 1):
+            expected = min_bits_signed(stack[:, q::2, :], axis=1)
+            assert np.array_equal(nbits[:, q, :], expected)
+
+    def test_bit_widths_matches_reference(self, rng):
+        vals = rng.integers(-(2**40), 2**40, size=257)
+        vals[:6] = (0, -1, 1, 2**62, -(2**62), -(2**63))
+        assert np.array_equal(native.bit_widths(vals), bit_widths_signed(vals))
+
+    def test_threshold_inplace_matches_apply_threshold(self, rng):
+        plane = rng.integers(-40, 41, size=(7, 2, 10)).astype(np.int32)
+        exempt = np.zeros((2, 10), dtype=bool)
+        exempt[0, 0::2] = True  # the residual-LL lattice at mod == 2
+        expected = apply_threshold(plane, 9, exempt_mask=exempt)
+        got = native.threshold_inplace(plane.copy(), 9, exempt_mod=2)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("signed", [True, False])
+    def test_pack_unpack_roundtrip(self, rng, signed):
+        widths = rng.integers(0, 20, size=64)
+        if signed:
+            values = np.array(
+                [
+                    int(rng.integers(-(2 ** max(w - 1, 0)), 2 ** max(w - 1, 0)))
+                    if w
+                    else 0
+                    for w in widths
+                ]
+            )
+        else:
+            values = np.array([int(rng.integers(0, 2**w)) for w in widths])
+        bits = native.pack_values(values, widths)
+        assert np.array_equal(bits, values_to_bits(values, widths))
+        decoded = native.unpack_values(bits, widths, signed=signed)
+        assert np.array_equal(
+            decoded, bits_to_values(bits, widths, signed=signed)
+        )
+        assert np.array_equal(decoded, values)
+
+    @pytest.mark.parametrize("threshold,exempt", [(0, False), (5, False), (5, True)])
+    def test_pack_column_matches_reference(self, rng, threshold, exempt):
+        column = rng.integers(-60, 61, size=16)
+        ref = pack_interleaved_column(
+            column, threshold=threshold, exempt_even=exempt
+        )
+        ne, no, bitmap, payload = native.pack_column(
+            column, threshold=threshold, exempt_even=exempt
+        )
+        assert (ne, no) == (ref.nbits_even, ref.nbits_odd)
+        assert np.array_equal(bitmap, ref.bitmap)
+        assert np.array_equal(payload, ref.payload)
+
+    def test_occupancy_peaks_matches_sliding_occupancy(self, rng):
+        t_total, w, n, mgmt = 9, 20, 6, 11
+        cols = rng.integers(0, 300, size=(t_total, w)).astype(np.int64)
+        peaks = native.occupancy_peaks(cols, n, mgmt)
+        prev = np.concatenate([cols[:1], cols[:-1]], axis=0)
+        expected = sliding_occupancy(prev, cols, n, mgmt).max(axis=-1)
+        assert np.array_equal(peaks, expected)
+
+    def test_occupancy_peaks_carry_between_chunks(self, rng):
+        t_total, w, n, mgmt = 8, 18, 4, 7
+        cols = rng.integers(0, 200, size=(t_total, w)).astype(np.int64)
+        whole = native.occupancy_peaks(cols, n, mgmt)
+        split = np.concatenate(
+            [
+                native.occupancy_peaks(cols[:3], n, mgmt),
+                native.occupancy_peaks(cols[3:], n, mgmt, prev_last=cols[2]),
+            ]
+        )
+        assert np.array_equal(whole, split)
+
+
+# ----------------------------------------------------------------------
+# Engine-level bit-identity: native == numpy == sequential
+# ----------------------------------------------------------------------
+
+
+@needs_native
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("threshold", [0, 4], ids=["lossless", "lossy"])
+    @pytest.mark.parametrize(
+        "recirculate", [False, True], ids=["single-pass", "recirculate"]
+    )
+    def test_native_matches_numpy_and_sequential(
+        self, rng, threshold, recirculate
+    ):
+        config = cfg(threshold=threshold)
+        img = random_image(rng, config.image_height, config.image_width)
+        kernel = BoxFilterKernel(config.window_size)
+        # Lossy + recirculating frames are inherently sequential (the fast
+        # path refuses them); the native codec still runs inside the
+        # sequential band codec there.
+        fast_ok = threshold == 0 or not recirculate
+        native_run, numpy_run, sequential_run = (
+            CompressedEngine(
+                config,
+                kernel,
+                codec=tier,
+                fast_path=fast if fast_ok else None,
+                recirculate=recirculate,
+            ).run(img)
+            for tier, fast in (
+                ("native", True),
+                ("numpy", True),
+                ("numpy", False),
+            )
+        )
+        for other in (numpy_run, sequential_run):
+            assert np.array_equal(native_run.outputs, other.outputs)
+            assert native_run.stats.buffer_bits_peak == other.stats.buffer_bits_peak
+            assert np.array_equal(
+                native_run.stats.band_total_bits, other.stats.band_total_bits
+            )
+
+    def test_chunked_deep_decomposition_path(self, rng):
+        # levels=2 routes through analyze_band_stack (the chunked path).
+        config = cfg(decomposition_levels=2, threshold=3)
+        img = random_image(rng, config.image_height, config.image_width)
+        kernel = BoxFilterKernel(config.window_size)
+        nat = CompressedEngine(config, kernel, codec="native").run(img)
+        ref = CompressedEngine(config, kernel, codec="numpy").run(img)
+        assert np.array_equal(nat.outputs, ref.outputs)
+        assert nat.stats.buffer_bits_peak == ref.stats.buffer_bits_peak
+
+
+# ----------------------------------------------------------------------
+# Fallback behaviour (runs everywhere, native or not)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def codec_state():
+    """Fresh tier-resolution state before and after each fallback test."""
+    reset_codec_state()
+    yield
+    reset_codec_state()
+
+
+def _break_native(monkeypatch):
+    def broken_load():
+        raise native.NativeUnavailable("simulated broken toolchain")
+
+    monkeypatch.setattr(native, "load", broken_load)
+
+
+class TestFallback:
+    def test_explicit_native_warns_once_then_stays_quiet(
+        self, monkeypatch, codec_state
+    ):
+        _break_native(monkeypatch)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert resolve_codec("native") == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_codec("native") == "numpy"
+
+    def test_auto_falls_back_silently(self, monkeypatch, codec_state):
+        _break_native(monkeypatch)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_codec("auto") == "numpy"
+
+    def test_numpy_never_touches_the_native_probe(self, monkeypatch, codec_state):
+        def exploding_load():  # pragma: no cover - must not run
+            raise AssertionError("numpy tier probed the native loader")
+
+        monkeypatch.setattr(native, "load", exploding_load)
+        assert resolve_codec("numpy") == "numpy"
+
+    def test_engine_runs_on_fallback_tier(self, rng, monkeypatch, codec_state):
+        _break_native(monkeypatch)
+        config = cfg(threshold=2)
+        img = random_image(rng, config.image_height, config.image_width)
+        kernel = BoxFilterKernel(config.window_size)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            engine = CompressedEngine(config, kernel, codec="native")
+        assert engine.codec_resolved == "numpy"
+        ref = CompressedEngine(config, kernel, codec="numpy").run(img)
+        assert np.array_equal(engine.run(img).outputs, ref.outputs)
+
+    def test_kill_switch_disables_native(self, monkeypatch, codec_state):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reset_codec_state()
+        assert not native.is_available()
+        assert resolve_codec("auto") == "numpy"
+
+    def test_streaming_workers_fall_back(self, rng, monkeypatch, codec_state):
+        # The kill switch travels through the environment, so forked
+        # workers inherit it: every worker resolves to NumPy and the
+        # streamed outputs still match the inline engine bit for bit.
+        from repro.runtime import StreamingProcessor
+
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        reset_codec_state()
+        config = cfg(image_width=16, image_height=12, window_size=4)
+        kernel = BoxFilterKernel(4)
+        frames = [random_image(rng, 12, 16) for _ in range(4)]
+        spec = EngineSpec(config=config, kernel=kernel, codec="native")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            inline = CompressedEngine(config, kernel, codec="native")
+        assert inline.codec_resolved == "numpy"
+        expected = [inline.run(f).outputs for f in frames]
+        with StreamingProcessor.from_spec(spec, workers=2) as proc:
+            results = list(proc.map(frames))
+        assert len(results) == len(expected)
+        for got, want in zip(results, expected):
+            assert np.array_equal(got.outputs, want)
