@@ -1,0 +1,63 @@
+"""Gateway offered-load sweep — the serving layer's perf trajectory.
+
+Starts a real :class:`~repro.serve.gateway.FrameGateway` on an ephemeral
+port, sweeps closed-loop offered concurrency with the load generator,
+and writes ``BENCH_serve.json`` (schema ``repro-serve/1``) at the repo
+root: per-level p50/p99 latency and throughput, the detected saturation
+point, shed/error counts and ``cpu_count``.  The rendered sweep table
+lands under ``benchmarks/out/serve.txt``.
+
+Two invariants are non-negotiable at any scale: every 200 response must
+be byte-identical to a sequential ``CompressedEngine.run()`` on the same
+frame, and no request may fail for a reason other than deliberate
+admission-control shedding.
+
+``REPRO_SERVE_FRAMES=8`` (the CI smoke lane) shrinks each level to eight
+jobs and the sweep to two levels; the full run sweeps 1..8 clients.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.analysis.serve_perf import (
+    ServeOptions,
+    measure_serve,
+    write_serve_json,
+)
+
+from _util import report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _options() -> ServeOptions:
+    smoke = int(os.environ.get("REPRO_SERVE_FRAMES", "0") or 0)
+    if 0 < smoke <= 8:
+        return ServeOptions(
+            resolution=48,
+            window=8,
+            levels=(1, 2),
+            frames_per_level=smoke,
+            distinct_frames=2,
+            workers=1,
+        )
+    return ServeOptions()
+
+
+def test_bench_serve(benchmark):
+    options = _options()
+    result = benchmark.pedantic(
+        lambda: measure_serve(options),
+        rounds=1,
+        iterations=1,
+    )
+    report("serve", result.render())
+    write_serve_json(result, REPO_ROOT / "BENCH_serve.json")
+    # Non-negotiable: gateway-served outputs match the sequential engine
+    # exactly, and nothing failed except deliberate 429 shedding.
+    assert result.bit_identical
+    assert result.total_errors == 0
+    assert result.total_completed > 0
+    assert result.max_sustained_frames_per_sec > 0

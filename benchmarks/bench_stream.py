@@ -21,7 +21,6 @@ JSON so readers can tell physics from regressions.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 from repro.analysis.stream_perf import (
@@ -45,13 +44,6 @@ def _options() -> StreamOptions:
     return StreamOptions()
 
 
-def _available_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux hosts
-        return os.cpu_count() or 1
-
-
 def test_bench_stream(benchmark):
     options = _options()
     result = benchmark.pedantic(
@@ -67,9 +59,9 @@ def test_bench_stream(benchmark):
     for sample in result.samples:
         assert sample.frames_per_sec > 0
     # The >= 3x acceptance bar needs 4 real cores; otherwise only sanity-
-    # check that pipelining overhead doesn't cripple throughput.
-    cores = _available_cores()
-    if cores >= 4 and 4 in options.worker_counts:
+    # check that pipelining overhead doesn't cripple throughput.  The
+    # report records which branch ran (``scaling_gated`` in the JSON).
+    if not result.scaling_gated:
         assert result.speedup(result.at_workers(4)) >= 3.0
     else:
         best = max(result.speedup(s) for s in result.samples)

@@ -39,6 +39,19 @@ from .tables import render_table
 STREAM_SCHEMA = "repro-stream/1"
 
 
+def available_cores() -> int:
+    """CPU cores actually schedulable for this process.
+
+    Container CPU quotas show up in the scheduling affinity mask, not in
+    ``os.cpu_count()``; the affinity set is what decides whether a
+    multi-worker speedup is physically possible here.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
 @dataclass(frozen=True, slots=True)
 class StreamOptions:
     """Knobs of one streaming-throughput run."""
@@ -99,6 +112,11 @@ class StreamReport:
     #: Wall-clock seconds of the single-process ``CompressedEngine`` loop.
     baseline_seconds: float
     samples: tuple[StreamSample, ...]
+    #: True when the >=3x-at-4-workers acceptance bar was *not* applied
+    #: to this curve — either fewer than 4 cores were schedulable or the
+    #: sweep never measured 4 workers.  Recorded in the JSON so a reader
+    #: can tell a physics-gated curve from a regressed one.
+    scaling_gated: bool = False
 
     @property
     def baseline_frames_per_sec(self) -> float:
@@ -169,6 +187,7 @@ class StreamReport:
             },
             "frames": self.options.frames,
             "cpu_count": self.cpu_count,
+            "scaling_gated": self.scaling_gated,
             "baseline": {
                 "seconds": self.baseline_seconds,
                 "frames_per_sec": self.baseline_frames_per_sec,
@@ -246,6 +265,9 @@ def measure_stream(
         cpu_count=os.cpu_count() or 1,
         baseline_seconds=baseline_seconds,
         samples=tuple(samples),
+        scaling_gated=not (
+            available_cores() >= 4 and 4 in options.worker_counts
+        ),
     )
 
 
@@ -261,9 +283,21 @@ def load_stream_json(path: Path) -> dict:
         raise ConfigError(
             f"unexpected stream schema {payload.get('schema')!r} in {path}"
         )
-    for key in ("geometry", "frames", "cpu_count", "baseline", "scaling"):
+    for key in (
+        "geometry",
+        "frames",
+        "cpu_count",
+        "scaling_gated",
+        "baseline",
+        "scaling",
+    ):
         if key not in payload:
             raise ConfigError(f"{path} lacks {key!r}")
+    if not isinstance(payload["scaling_gated"], bool):
+        raise ConfigError(
+            f"{path}: scaling_gated must be a bool, got "
+            f"{payload['scaling_gated']!r}"
+        )
     for key in ("seconds", "frames_per_sec"):
         if key not in payload["baseline"]:
             raise ConfigError(f"{path}: baseline lacks {key!r}")

@@ -251,6 +251,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true", help="tiny frames, 1+2 workers only"
     )
 
+    p_serve = sub.add_parser(
+        "serve", help="asyncio frame-serving gateway over the streaming runtime"
+    )
+    add_common_engine_flags(p_serve, resolution=128, window=8, codec=True)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=8080, help="TCP port (0: ephemeral)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None, help="worker processes"
+    )
+    p_serve.add_argument(
+        "--slots", type=int, default=None, help="ring depth (frames in flight)"
+    )
+    p_serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="admission budget before 429 shedding (default: 2x ring slots)",
+    )
+    p_serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request deadline in seconds (expiry answers 504)",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen", help="closed-loop offered-load sweep against the gateway"
+    )
+    add_common_engine_flags(p_load, resolution=96, window=8, codec=True)
+    p_load.add_argument(
+        "--url",
+        default=None,
+        help="target an already-running gateway (default: self-managed)",
+    )
+    p_load.add_argument(
+        "--levels",
+        type=int,
+        nargs="+",
+        default=(1, 2, 4, 8),
+        help="offered concurrency levels to sweep",
+    )
+    p_load.add_argument(
+        "--frames", type=int, default=32, help="frame jobs per level"
+    )
+    p_load.add_argument(
+        "--workers", type=int, default=None, help="gateway worker processes"
+    )
+    p_load.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write a BENCH_serve.json trajectory point here",
+    )
+    p_load.add_argument(
+        "--smoke", action="store_true", help="tiny frames, two levels"
+    )
+
     p_chaos = sub.add_parser(
         "chaos", help="fault-injection campaign against the streaming runtime"
     )
@@ -565,6 +624,73 @@ def main(argv: list[str] | None = None) -> int:
         print(result.render())
         if args.json is not None:
             write_stream_json(result, args.json)
+            print(f"wrote {args.json}")
+    elif args.command == "serve":
+        import asyncio
+
+        from .serve.gateway import FrameGateway, GatewayConfig
+
+        gateway_config = GatewayConfig(
+            host=args.host,
+            port=args.port,
+            resolution=args.resolution,
+            window=args.window,
+            threshold=args.threshold,
+            codec=args.codec,
+            workers=args.workers,
+            slots=args.slots,
+            max_in_flight=args.max_in_flight,
+            request_timeout_seconds=args.request_timeout,
+        )
+
+        async def _serve_foreground() -> None:
+            gateway = FrameGateway(gateway_config)
+            await gateway.start()
+            print(
+                f"serving {gateway_config.resolution}x"
+                f"{gateway_config.resolution} frames on "
+                f"http://{gateway_config.host}:{gateway.port} "
+                "(Ctrl-C to stop)"
+            )
+            try:
+                await gateway.serve_forever()
+            finally:
+                await gateway.close()
+
+        try:
+            asyncio.run(_serve_foreground())
+        except KeyboardInterrupt:
+            pass
+    elif args.command == "loadgen":
+        from .analysis.serve_perf import (
+            ServeOptions,
+            measure_serve,
+            write_serve_json,
+        )
+
+        if args.smoke:
+            serve_options = ServeOptions(
+                resolution=48,
+                window=8,
+                levels=(1, 2),
+                frames_per_level=8,
+                distinct_frames=2,
+                workers=args.workers,
+            )
+        else:
+            serve_options = ServeOptions(
+                resolution=args.resolution,
+                window=args.window,
+                threshold=args.threshold,
+                codec=args.codec,
+                levels=tuple(args.levels),
+                frames_per_level=args.frames,
+                workers=args.workers,
+            )
+        serve_result = measure_serve(serve_options, url=args.url)
+        print(serve_result.render())
+        if args.json is not None:
+            write_serve_json(serve_result, args.json)
             print(f"wrote {args.json}")
     elif args.command == "chaos":
         from .analysis.chaos import (

@@ -9,8 +9,9 @@ PRs 1-4 grew the codebase in strict layers::
                      └─ resilience ── hardware ── core.video
                           └─ core.window ── spec
                                └─ runtime ── baselines
-                                    └─ analysis
-                                         └─ cli
+                                    └─ serve
+                                         └─ analysis
+                                              └─ cli
 
 The invariants that keep the model honest: ``core`` imports nothing
 above it (so the datapath model never depends on the runtime that
@@ -54,6 +55,7 @@ LAYER_PREFIXES: tuple[tuple[str, str], ...] = (
     ("repro.hardware", "hardware"),
     ("repro.spec", "spec"),
     ("repro.runtime", "runtime"),
+    ("repro.serve", "serve"),
     ("repro.baselines", "baselines"),
     ("repro.analysis", "analysis"),
     ("repro.cli", "cli"),
@@ -133,6 +135,19 @@ ALLOWED_IMPORTS: Mapping[str, frozenset[str]] = {
             "imaging",
         }
     ),
+    "serve": _CORE_COMMON
+    | frozenset(
+        {
+            "core.stats",
+            "core.window",
+            "core.api",
+            "spec",
+            "kernels",
+            "observability",
+            "resilience",
+            "runtime",
+        }
+    ),
     "baselines": _CORE_COMMON
     | frozenset({"core.stats", "core.window", "core.api", "kernels", "imaging"}),
     "analysis": _CORE_COMMON
@@ -150,6 +165,7 @@ ALLOWED_IMPORTS: Mapping[str, frozenset[str]] = {
             "hardware.ecc",
             "hardware",
             "runtime",
+            "serve",
             "baselines",
             "api",
         }

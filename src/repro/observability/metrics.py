@@ -176,6 +176,36 @@ class Histogram:
         """Sample mean (0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear bucket interpolation.
+
+        Follows the Prometheus ``histogram_quantile`` convention: the
+        target rank is located in the cumulative bucket counts, then
+        interpolated linearly inside that bucket (the first finite
+        bucket's lower edge is 0 — all recorded distributions here are
+        non-negative).  A rank landing in the ``+Inf`` overflow bucket
+        returns the last finite bound (the estimate cannot exceed what
+        the buckets resolve).  Returns ``nan`` for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"{self.name}: quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        cumulative = 0
+        for idx, bucket_count in enumerate(self.bucket_counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative < target or bucket_count == 0:
+                continue
+            if idx >= len(self.bounds):
+                return self.bounds[-1]
+            lower = 0.0 if idx == 0 else self.bounds[idx - 1]
+            upper = self.bounds[idx]
+            fraction = (target - previous) / bucket_count
+            return lower + (upper - lower) * fraction
+        return self.bounds[-1]  # pragma: no cover - cumulative == count
+
 
 class MetricsRegistry:
     """Get-or-create home of every instrument, with snapshot and merge.

@@ -58,10 +58,11 @@ from __future__ import annotations
 
 import atexit
 import os
+import pickle
 import queue
 import time
 import weakref
-from collections import deque
+from collections import OrderedDict, deque
 from collections.abc import Iterable, Iterator
 from dataclasses import asdict, dataclass, replace
 
@@ -239,6 +240,13 @@ class StreamingProcessor:
         self._done: queue.Queue[tuple[str, object]] = queue.Queue()
         self._pending_failures: deque[FrameFailure] = deque()
         self._inline: SlidingWindowEngine | None = None
+        #: Per-frame spec-blob overrides (multi-tenant serving path);
+        #: entries live exactly as long as their frame is in flight.
+        self._task_specs: dict[int, bytes] = {}
+        #: Inline engines for override specs (bounded LRU, degraded path).
+        self._inline_overrides: "OrderedDict[bytes, SlidingWindowEngine]" = (
+            OrderedDict()
+        )
         self._known_pids: set[int] = set()
         self._reported_dead: set[int] = set()
         self._submitted = 0
@@ -293,7 +301,46 @@ class StreamingProcessor:
             return None
         return self._supervisor.stats
 
-    def submit(self, frame: np.ndarray, *, timeout: float | None = None) -> int:
+    def check_spec_compatible(self, spec: EngineSpec) -> None:
+        """Raise :class:`~repro.errors.ConfigError` unless ``spec`` can run
+        on this processor's ring.
+
+        A per-frame spec override may change anything about the engine
+        (threshold, engine kind, codec, recirculation, protection) except
+        the ring geometry: the input frame shape, the valid-region output
+        shape and the kernel's output dtype are baked into the
+        shared-memory slots at construction time.
+        """
+        config = spec.resolved_config
+        frame_shape = (config.image_height, config.image_width)
+        if frame_shape != self._ring.spec.frame_shape:
+            raise ConfigError(
+                f"spec frame shape {frame_shape} != ring "
+                f"{self._ring.spec.frame_shape}"
+            )
+        n = config.window_size
+        out_shape = (config.image_height - n + 1, config.image_width - n + 1)
+        if out_shape != self._ring.spec.out_shape:
+            raise ConfigError(
+                f"spec output shape {out_shape} (window {n}) != ring "
+                f"{self._ring.spec.out_shape}"
+            )
+        sample = np.asarray(
+            spec.kernel.apply(np.zeros((1, n, n), dtype=np.int64))
+        )
+        if np.dtype(sample.dtype).name != self._ring.spec.out_dtype:
+            raise ConfigError(
+                f"spec kernel output dtype {sample.dtype} != ring "
+                f"{self._ring.spec.out_dtype}"
+            )
+
+    def submit(
+        self,
+        frame: np.ndarray,
+        *,
+        timeout: float | None = None,
+        spec: EngineSpec | None = None,
+    ) -> int:
         """Queue one frame; returns its stream index.
 
         Writes the frame straight into a shared-memory slot (the only copy
@@ -303,6 +350,13 @@ class StreamingProcessor:
         streams keep running recovery sweeps while blocked, so zombie
         slots reclaim and due retries dispatch even under a stalled
         producer.
+
+        ``spec`` overrides the processor-wide engine spec for this one
+        frame (the serving gateway's multi-tenant path): the workers run
+        the override engine — cached per spec blob in their bounded LRU —
+        while the frame still travels through the shared ring.  The
+        override must pass :meth:`check_spec_compatible`; retries and the
+        inline degradation floor honour it too.
         """
         if self._closed:
             raise StateError("processor is closed")
@@ -312,6 +366,10 @@ class StreamingProcessor:
             raise ConfigError(f"frame shape {arr.shape} != configured {expected}")
         if not np.issubdtype(arr.dtype, np.integer):
             raise ConfigError(f"frames must be integer pixels, got {arr.dtype}")
+        spec_blob: bytes | None = None
+        if spec is not None:
+            self.check_spec_compatible(spec)
+            spec_blob = spec.blob()
         t0 = time.perf_counter()
         deadline = None if timeout is None else time.monotonic() + timeout
         sup = self._supervisor
@@ -330,15 +388,20 @@ class StreamingProcessor:
                 )
             index = self._submitted
             self._ring.input_view(slot)[...] = arr
+            if spec_blob is not None:
+                self._task_specs[index] = spec_blob
             if sup is not None:
                 sup.track(index, slot, pooled=sup.pool_usable)
-            self._dispatch(FrameTask(index=index, slot=slot))
+            self._dispatch(
+                FrameTask(index=index, slot=slot, spec_blob=spec_blob)
+            )
         except BaseException:
             # The frame never made it in flight (e.g. the pool was torn
             # down under us): hand the slot back instead of shrinking the
             # ring until the stream deadlocks.
             if sup is not None:
                 sup.untrack(self._submitted)
+            self._task_specs.pop(self._submitted, None)
             self._ring.release(slot)
             raise
         self._submitted += 1
@@ -415,13 +478,33 @@ class StreamingProcessor:
         else:
             sup.on_pool_unusable()
 
-    def _inline_engine(self) -> SlidingWindowEngine:
-        """The driver's own chaos-free engine for degraded frames."""
+    def _inline_engine(self, index: int) -> SlidingWindowEngine:
+        """The driver's own chaos-free engine for degraded frames.
+
+        Frames carrying a per-task spec override degrade onto an engine
+        built from *that* spec (chaos stripped), cached in a small LRU so
+        a burst of degraded multi-tenant frames does not rebuild per
+        frame.
+        """
+        blob = self._task_specs.get(index)
+        if blob is not None:
+            engine = self._inline_overrides.get(blob)
+            if engine is None:
+                spec: EngineSpec = pickle.loads(blob)
+                if spec.chaos is not None:
+                    spec = spec.replace(chaos=None)
+                engine = spec.build(probe=self.probe)
+                self._inline_overrides[blob] = engine
+                while len(self._inline_overrides) > 4:
+                    self._inline_overrides.popitem(last=False)
+            else:
+                self._inline_overrides.move_to_end(blob)
+            return engine
         if self._inline is None:
-            spec = self.spec
-            if spec.chaos is not None:
-                spec = spec.replace(chaos=None)
-            self._inline = spec.build(probe=self.probe)
+            base = self.spec
+            if base.chaos is not None:
+                base = base.replace(chaos=None)
+            self._inline = base.build(probe=self.probe)
         return self._inline
 
     def _run_inline(self, index: int, slot: int) -> None:
@@ -433,7 +516,7 @@ class StreamingProcessor:
         then queues a synthetic completion so delivery flows through the
         one consumption path.
         """
-        engine = self._inline_engine()
+        engine = self._inline_engine(index)
         frame = np.asarray(self._ring.input_view(slot))
         t0 = time.perf_counter()
         run = engine.run(frame)
@@ -510,6 +593,7 @@ class StreamingProcessor:
                         index=action.index,
                         slot=action.slot,
                         attempt=action.attempt,
+                        spec_blob=self._task_specs.get(action.index),
                     )
                 )
             elif isinstance(action, DegradeAction):
@@ -518,6 +602,7 @@ class StreamingProcessor:
                 slot = sup.finish_failed(action.index, now)
                 if slot is not None:
                     self._ring.release(slot)
+                self._task_specs.pop(action.index, None)
                 self._pending_failures.append(
                     FrameFailure(
                         index=action.index,
@@ -564,6 +649,7 @@ class StreamingProcessor:
             # but its slot is still handed back so the ring stays whole.
             self._ring.release(payload.slot)
             self._consumed += 1
+            self._task_specs.pop(payload.index, None)
             raise WorkerError(
                 f"frame {payload.index} failed in worker "
                 f"{payload.worker_pid}: {payload.error}"
@@ -649,6 +735,7 @@ class StreamingProcessor:
         if release_slot is not None:
             self._ring.release(release_slot)
         self._consumed += 1
+        self._task_specs.pop(result.index, None)
         if result.metrics is not None:
             self._worker_snapshots[result.worker_pid] = result.metrics
         if self.probe is not None:
@@ -667,6 +754,24 @@ class StreamingProcessor:
             attempts=attempts,
             degraded=result.degraded,
         )
+
+    def poll(
+        self, timeout: float = 0.0
+    ) -> StreamResult | FrameFailure | None:
+        """One non-raising consumption step (the serving bridge's driver).
+
+        Returns the next completed outcome in completion order, or
+        ``None`` when nothing is in flight or nothing completed within
+        ``timeout`` seconds.  Unlike the iterators this never raises
+        :class:`TimeoutError`, so an event-loop bridge can interleave
+        submission and consumption without exception control flow.
+        """
+        if not self.in_flight:
+            return None
+        try:
+            return self._next_delivery(max(timeout, 0.001))
+        except TimeoutError:
+            return None
 
     def as_completed(
         self, *, timeout: float | None = None

@@ -5,10 +5,15 @@ and a pickled :class:`~repro.spec.EngineSpec`.  The first frame a worker
 processes builds the engine (config + kernel) and caches it in the
 process-global :data:`_ENGINES` table keyed by the spec blob — engines are
 *constructed* per worker, not *pickled* per frame, and every later frame
-with the same key reuses the cached instance.  Per frame, only a tiny
-:class:`FrameTask` travels to the worker and a :class:`FrameResult`
-(slot index + stats scalars + optional metrics snapshot) travels back;
-the pixel planes stay in the shared-memory ring.
+with the same key reuses the cached instance.  A :class:`FrameTask` may
+carry its own ``spec_blob`` override (the serving gateway's multi-tenant
+path), so the table is a bounded LRU (``REPRO_WORKER_ENGINE_CACHE``,
+default 8): under many distinct tenant specs the cold tenants' engines
+are evicted and rebuilt on demand instead of growing worker memory
+without limit.  Per frame, only a tiny :class:`FrameTask` travels to the
+worker and a :class:`FrameResult` (slot index + stats scalars + optional
+metrics snapshot) travels back; the pixel planes stay in the
+shared-memory ring.
 
 The spec class itself lives in :mod:`repro.spec`; the old
 ``repro.runtime.worker.EngineSpec`` import path still resolves through a
@@ -21,6 +26,7 @@ import os
 import pickle
 import time
 import warnings
+from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 
 import numpy as np
@@ -51,11 +57,19 @@ class FrameTask:
     ``attempt`` counts resubmissions of the same frame by the supervision
     layer (0 for the first try); it rides back on the result so the
     driver can tell a retry's completion from a stale duplicate.
+
+    ``spec_blob`` overrides the pool-wide engine spec for this one frame
+    (the multi-tenant serving path: many specs multiplexed onto one
+    ring).  ``None`` — the single-spec streaming default — runs the spec
+    the pool was initialised with.  An override must describe the same
+    frame geometry as the ring; the driver validates that before
+    dispatch.
     """
 
     index: int
     slot: int
     attempt: int = 0
+    spec_blob: bytes | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,11 +115,38 @@ class FrameError:
 
 
 #: Per-process engine cache: spec blob -> (engine, decoded spec).
-_ENGINES: dict[bytes, tuple[SlidingWindowEngine, _EngineSpec]] = {}
+#: Insertion order is recency order (LRU) — see :func:`_engine`.
+_ENGINES: "OrderedDict[bytes, tuple[SlidingWindowEngine, _EngineSpec]]" = (
+    OrderedDict()
+)
 #: Per-process attached ring (set by :func:`initialize_worker`).
 _RING: FrameRing | None = None
 #: Per-process engine spec blob (set by :func:`initialize_worker`).
 _SPEC_BLOB: bytes | None = None
+
+#: Default bound of the per-worker engine cache.  Under many distinct
+#: tenant specs (the serving gateway's per-task overrides) an unbounded
+#: table would pin one engine per spec a worker has ever seen; eight
+#: covers the hot tenants while keeping worker memory flat.
+DEFAULT_ENGINE_CACHE_LIMIT = 8
+
+
+def engine_cache_limit() -> int:
+    """Max engines a worker caches (``REPRO_WORKER_ENGINE_CACHE``)."""
+    env = os.environ.get("REPRO_WORKER_ENGINE_CACHE")
+    if env is None:
+        return DEFAULT_ENGINE_CACHE_LIMIT
+    try:
+        value = int(env)
+    except ValueError as exc:
+        raise RuntimeError(
+            f"REPRO_WORKER_ENGINE_CACHE must be an int, got {env!r}"
+        ) from exc
+    if value < 1:
+        raise RuntimeError(
+            f"REPRO_WORKER_ENGINE_CACHE must be >= 1, got {value}"
+        )
+    return value
 
 
 def initialize_worker(ring_spec: RingSpec, spec_blob: bytes) -> None:
@@ -116,18 +157,28 @@ def initialize_worker(ring_spec: RingSpec, spec_blob: bytes) -> None:
 
 
 def cached_engine_count() -> int:
-    """Number of engines this process has constructed (test hook)."""
+    """Number of engines this process currently caches (test hook)."""
     return len(_ENGINES)
 
 
-def _engine() -> tuple[SlidingWindowEngine, _EngineSpec]:
-    if _SPEC_BLOB is None:
-        raise RuntimeError("worker used before initialize_worker ran")
-    cached = _ENGINES.get(_SPEC_BLOB)
+def _engine(blob: bytes) -> tuple[SlidingWindowEngine, _EngineSpec]:
+    """The cached engine for ``blob``, constructing (and evicting) LRU-wise.
+
+    Eviction is safe for correctness: an engine rebuilt from the same
+    blob is bit-identical to the evicted one (the spec fully determines
+    the engine and engines hold no cross-frame state between ``run``
+    calls) — eviction only re-pays construction cost.
+    """
+    cached = _ENGINES.get(blob)
     if cached is None:
-        spec = pickle.loads(_SPEC_BLOB)
+        spec: _EngineSpec = pickle.loads(blob)
         cached = (spec.build(), spec)
-        _ENGINES[_SPEC_BLOB] = cached
+        _ENGINES[blob] = cached
+        limit = engine_cache_limit()
+        while len(_ENGINES) > limit:
+            _ENGINES.popitem(last=False)
+    else:
+        _ENGINES.move_to_end(blob)
     return cached
 
 
@@ -150,7 +201,10 @@ def process_slot(task: FrameTask) -> FrameResult | FrameError:
     if _RING is None:
         raise RuntimeError("worker used before initialize_worker ran")
     try:
-        engine, spec = _engine()
+        blob = task.spec_blob if task.spec_blob is not None else _SPEC_BLOB
+        if blob is None:
+            raise RuntimeError("worker used before initialize_worker ran")
+        engine, spec = _engine(blob)
         apply_worker_chaos(spec.chaos, task.index, task.attempt)
         if spec.delay_by_index is not None and task.index < len(
             spec.delay_by_index

@@ -1,0 +1,32 @@
+"""``repro.serve`` — the network-facing layer above the runtime.
+
+A zero-dependency asyncio HTTP/1.1 gateway that serves frame jobs from
+the shared-memory streaming runtime, with admission control, per-tenant
+engine-spec caching and Prometheus metrics — plus the closed-loop load
+generator that benchmarks it.  See :mod:`repro.serve.gateway` for the
+serving model and ``docs/api.md`` for the wire protocol.
+"""
+
+from .bridge import FrameBridge
+from .cache import SpecCache, canonical_params
+from .gateway import FrameGateway, GatewayConfig, GatewayThread
+from .http import HttpError, HttpRequest, HttpResponse
+from .loadgen import LevelResult, build_frame_request, run_level
+from .payload import decode_frame, encode_array
+
+__all__ = [
+    "FrameBridge",
+    "FrameGateway",
+    "GatewayConfig",
+    "GatewayThread",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponse",
+    "LevelResult",
+    "SpecCache",
+    "build_frame_request",
+    "canonical_params",
+    "decode_frame",
+    "encode_array",
+    "run_level",
+]

@@ -1,0 +1,142 @@
+"""Per-tenant :class:`~repro.spec.EngineSpec` caching for the gateway.
+
+Every ``POST /v1/frames`` may carry engine parameters (threshold, engine
+kind, codec tier, recirculation).  Building a spec per request would be
+cheap; what is *not* cheap is what the spec's pickled blob keys further
+down: each distinct blob makes every worker construct and cache a new
+engine (see :mod:`repro.runtime.worker`).  The gateway therefore
+canonicalises the parameter dict first — defaults filled in, keys
+sorted, types validated — so that ``{"threshold": 0}`` and ``{}`` and
+``{"codec": "auto", "threshold": 0}`` all resolve to the *same* spec
+object, and the workers only ever see one blob per distinct tenant
+configuration.
+
+The cache is a bounded LRU: under many distinct tenants the cold
+entries fall out (and their worker-side engines eventually fall out of
+the workers' own bounded caches), so gateway memory stays flat.  Hit,
+miss and eviction counts are kept for ``GET /v1/specs``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..spec import ENGINE_KINDS, EngineSpec
+
+#: Parameters a frame job may override, in canonical order.
+TENANT_PARAMS: tuple[str, ...] = ("threshold", "engine", "codec", "recirculate")
+
+#: Canonical cache key: the full parameter tuple in ``TENANT_PARAMS`` order.
+ParamsKey = tuple[tuple[str, object], ...]
+
+
+def canonical_params(
+    base: EngineSpec, params: Mapping[str, object] | None
+) -> ParamsKey:
+    """Validate ``params`` and canonicalise them against ``base``.
+
+    Unknown keys and ill-typed values raise :class:`ConfigError` (the
+    gateway maps that to HTTP 400).  Omitted keys take the base spec's
+    value, so every request resolves to a *complete* key — two requests
+    describing the same engine always collide in the cache no matter
+    which subset of parameters they spelled out.
+    """
+    from ..core.packing.tiers import CODEC_TIERS
+
+    params = dict(params or {})
+    unknown = set(params) - set(TENANT_PARAMS)
+    if unknown:
+        raise ConfigError(
+            f"unknown engine params {sorted(unknown)}; "
+            f"allowed: {list(TENANT_PARAMS)}"
+        )
+    threshold = params.get("threshold", base.resolved_config.threshold)
+    if not isinstance(threshold, int) or isinstance(threshold, bool):
+        raise ConfigError(f"threshold must be an int, got {threshold!r}")
+    engine = params.get("engine", base.engine)
+    if engine not in ENGINE_KINDS:
+        raise ConfigError(
+            f"engine must be one of {ENGINE_KINDS}, got {engine!r}"
+        )
+    codec = params.get("codec", base.codec)
+    if codec not in CODEC_TIERS:
+        raise ConfigError(
+            f"codec must be one of {CODEC_TIERS}, got {codec!r}"
+        )
+    recirculate = params.get("recirculate", base.recirculate)
+    if not isinstance(recirculate, bool):
+        raise ConfigError(
+            f"recirculate must be a bool, got {recirculate!r}"
+        )
+    return (
+        ("threshold", threshold),
+        ("engine", engine),
+        ("codec", codec),
+        ("recirculate", recirculate),
+    )
+
+
+@dataclass(slots=True)
+class _Entry:
+    """One cached tenant configuration."""
+
+    spec: EngineSpec
+    hits: int = 0
+
+
+class SpecCache:
+    """Bounded LRU of canonical engine parameters -> built specs.
+
+    Not thread-safe by itself; the gateway only touches it from the
+    event loop, which serialises access.
+    """
+
+    def __init__(self, base: EngineSpec, *, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.base = base
+        self.capacity = capacity
+        self._entries: OrderedDict[ParamsKey, _Entry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def resolve(
+        self, params: Mapping[str, object] | None
+    ) -> tuple[EngineSpec, bool]:
+        """The spec for ``params`` plus whether it was already cached."""
+        key = canonical_params(self.base, params)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.hits += 1
+            return entry.spec, True
+        changes = dict(key)
+        spec = self.base.replace(**changes)
+        self._entries[key] = _Entry(spec=spec)
+        self.misses += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return spec, False
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-plain cache state for ``GET /v1/specs``."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": [
+                {"params": dict(key), "hits": entry.hits}
+                for key, entry in self._entries.items()
+            ],
+        }

@@ -1,0 +1,222 @@
+"""Closed-loop load generator for the frame-serving gateway.
+
+Each offered-load level runs ``offered`` concurrent clients, every one a
+keep-alive TCP connection issuing its share of the level's frame jobs
+back-to-back — classic closed-loop load, so offered concurrency (not an
+open-loop arrival rate) is the swept variable and the gateway's
+admission control is visible as 429 counts rather than as unbounded
+queueing.
+
+Latency is recorded into a dense geometric
+:class:`~repro.observability.metrics.Histogram` and summarised with the
+interpolated :meth:`~repro.observability.metrics.Histogram.quantile`
+(p50/p99) — the same estimator the gateway's own ``Retry-After`` hint
+uses, so client-side and server-side numbers are comparable.
+
+Every 200 response is verified against the expected ``outputs_b64`` the
+caller precomputed with a sequential engine: a load sweep whose outputs
+drift is not a throughput number, it is a bug, and ``mismatches`` makes
+it one loudly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..observability.metrics import Histogram
+from .http import read_response, render_request
+
+#: Dense geometric latency buckets (0.5 ms .. ~15 min, x1.2 steps):
+#: narrow enough that interpolated p50/p99 land within a few percent.
+LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    0.0005 * 1.2**i for i in range(75)
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LevelResult:
+    """One offered-load level's aggregate outcome."""
+
+    #: Concurrent closed-loop clients the level ran.
+    offered: int
+    #: Frame jobs attempted (completed + shed + errors).
+    frames: int
+    #: 200 responses whose payload parsed.
+    completed: int
+    #: 429 responses (admission control shed the job).
+    shed: int
+    #: Everything else: non-200/429 statuses, broken connections.
+    errors: int
+    #: Completed responses whose outputs differed from the sequential
+    #: baseline (must be zero; anything else is a correctness bug).
+    mismatches: int
+    #: Wall-clock seconds for the whole level.
+    seconds: float
+    #: Interpolated latency quantiles of *completed* requests.
+    p50_seconds: float
+    p99_seconds: float
+
+    @property
+    def frames_per_sec(self) -> float:
+        """Completed-frame throughput of the level."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.completed / self.seconds
+
+
+def build_frame_request(
+    frame_b64: str, params: dict[str, object] | None = None
+) -> bytes:
+    """The JSON body of one ``POST /v1/frames`` job."""
+    body: dict[str, object] = {"frame_b64": frame_b64}
+    if params is not None:
+        body["params"] = params
+    return json.dumps(body).encode()
+
+
+class _LevelTally:
+    """Mutable counters shared by one level's client tasks."""
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.shed = 0
+        self.errors = 0
+        self.mismatches = 0
+        self.histogram = Histogram("loadgen_latency_seconds", LATENCY_BUCKETS)
+
+
+async def _client(
+    host: str,
+    port: int,
+    jobs: list[int],
+    payloads: list[bytes],
+    expected: list[str] | None,
+    tally: _LevelTally,
+    timeout: float,
+) -> None:
+    """One closed-loop client: its share of jobs over one connection.
+
+    A broken connection costs the current job an error and a reconnect;
+    the remaining jobs still run, so a level's totals always add up to
+    its attempted frame count.
+    """
+    reader: asyncio.StreamReader | None = None
+    writer: asyncio.StreamWriter | None = None
+    try:
+        for job in jobs:
+            if writer is None:
+                reader, writer = await asyncio.open_connection(host, port)
+            payload = payloads[job % len(payloads)]
+            request = render_request(
+                "POST", "/v1/frames", payload, host=host
+            )
+            t0 = time.perf_counter()
+            try:
+                writer.write(request)
+                await writer.drain()
+                assert reader is not None
+                response = await asyncio.wait_for(
+                    read_response(reader), timeout
+                )
+            except (ConnectionError, TimeoutError, OSError, ValueError):
+                response = None
+            elapsed = time.perf_counter() - t0
+            if response is None:
+                tally.errors += 1
+                if writer is not None:
+                    writer.close()
+                writer = None
+                continue
+            if response.status == 200:
+                tally.completed += 1
+                tally.histogram.observe(elapsed)
+                if expected is not None:
+                    try:
+                        outputs = json.loads(response.body)["outputs_b64"]
+                    except (json.JSONDecodeError, KeyError):
+                        outputs = None
+                    if outputs != expected[job % len(expected)]:
+                        tally.mismatches += 1
+            elif response.status == 429:
+                tally.shed += 1
+            else:
+                tally.errors += 1
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+async def _run_level(
+    host: str,
+    port: int,
+    payloads: list[bytes],
+    expected: list[str] | None,
+    offered: int,
+    frames: int,
+    timeout: float,
+) -> LevelResult:
+    """Run one level: ``offered`` concurrent clients, ``frames`` jobs."""
+    tally = _LevelTally()
+    shares: list[list[int]] = [[] for _ in range(offered)]
+    for job in range(frames):
+        shares[job % offered].append(job)
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client(host, port, share, payloads, expected, tally, timeout)
+            for share in shares
+            if share
+        )
+    )
+    seconds = time.perf_counter() - t0
+    hist = tally.histogram
+    p50 = hist.quantile(0.5) if hist.count else math.nan
+    p99 = hist.quantile(0.99) if hist.count else math.nan
+    return LevelResult(
+        offered=offered,
+        frames=frames,
+        completed=tally.completed,
+        shed=tally.shed,
+        errors=tally.errors,
+        mismatches=tally.mismatches,
+        seconds=seconds,
+        p50_seconds=p50,
+        p99_seconds=p99,
+    )
+
+
+def run_level(
+    host: str,
+    port: int,
+    payloads: list[bytes],
+    *,
+    expected: list[str] | None = None,
+    offered: int,
+    frames: int,
+    timeout: float = 120.0,
+) -> LevelResult:
+    """Synchronous front door: one offered-load level against a gateway.
+
+    ``payloads`` are pre-rendered frame-job bodies (see
+    :func:`build_frame_request`); job ``i`` posts ``payloads[i % len]``
+    and, when ``expected`` is given, checks the response's
+    ``outputs_b64`` against ``expected[i % len]``.
+    """
+    if offered < 1:
+        raise ConfigError(f"offered concurrency must be >= 1, got {offered}")
+    if frames < 1:
+        raise ConfigError(f"frames must be >= 1, got {frames}")
+    if not payloads:
+        raise ConfigError("payloads must not be empty")
+    if expected is not None and len(expected) != len(payloads):
+        raise ConfigError(
+            f"{len(expected)} expected outputs for {len(payloads)} payloads"
+        )
+    return asyncio.run(
+        _run_level(host, port, payloads, expected, offered, frames, timeout)
+    )

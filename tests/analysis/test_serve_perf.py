@@ -1,0 +1,237 @@
+"""Tests for the gateway load-sweep harness (tiny geometries only)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.serve_perf import (
+    SERVE_SCHEMA,
+    ServeOptions,
+    ServeReport,
+    _parse_url,
+    load_serve_json,
+    measure_serve,
+    serve_frames_budget,
+    write_serve_json,
+)
+from repro.errors import ConfigError
+from repro.serve.loadgen import LevelResult
+
+SMOKE = ServeOptions(
+    resolution=32,
+    window=8,
+    levels=(1, 2),
+    frames_per_level=4,
+    distinct_frames=2,
+    workers=1,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_report() -> ServeReport:
+    """One tiny measured sweep shared by the assertions below."""
+    return measure_serve(SMOKE)
+
+
+def level(
+    offered: int,
+    *,
+    completed: int = 10,
+    shed: int = 0,
+    errors: int = 0,
+    mismatches: int = 0,
+    seconds: float = 1.0,
+    p50: float = 0.01,
+    p99: float = 0.02,
+) -> LevelResult:
+    return LevelResult(
+        offered=offered,
+        frames=completed + shed + errors,
+        completed=completed,
+        shed=shed,
+        errors=errors,
+        mismatches=mismatches,
+        seconds=seconds,
+        p50_seconds=p50,
+        p99_seconds=p99,
+    )
+
+
+def report(*samples: LevelResult) -> ServeReport:
+    return ServeReport(
+        options=SMOKE, cpu_count=1, warm_seconds=0.5, samples=samples
+    )
+
+
+class TestMeasureServe:
+    def test_covers_every_level(self, smoke_report):
+        assert [s.offered for s in smoke_report.samples] == [1, 2]
+        for sample in smoke_report.samples:
+            assert sample.frames == 4
+            assert sample.completed + sample.shed + sample.errors == 4
+
+    def test_served_outputs_bit_identical(self, smoke_report):
+        assert smoke_report.bit_identical
+        assert smoke_report.total_errors == 0
+        assert smoke_report.total_completed >= 1
+
+    def test_throughput_and_quantiles(self, smoke_report):
+        assert smoke_report.max_sustained_frames_per_sec > 0
+        for sample in smoke_report.samples:
+            if sample.completed:
+                assert sample.p50_seconds > 0
+                assert sample.p99_seconds >= sample.p50_seconds
+
+    def test_warm_up_measured(self, smoke_report):
+        assert smoke_report.warm_seconds > 0
+        assert smoke_report.cpu_count >= 1
+
+    def test_render_mentions_geometry_and_saturation(self, smoke_report):
+        text = smoke_report.render()
+        assert "32x32" in text
+        assert "saturation at offered=" in text
+        assert "CPU core" in text
+
+
+class TestSaturation:
+    def test_first_shedding_level_wins(self):
+        rep = report(level(1), level(2, shed=3), level(4, shed=9))
+        assert rep.saturation.offered == 2
+
+    def test_flat_throughput_is_saturation(self):
+        # 2 -> 4 gains only 5%: under the 10% bar, so 4 saturates.
+        rep = report(
+            level(1, seconds=1.0),
+            level(2, seconds=0.5),
+            level(4, completed=21, seconds=1.0),
+        )
+        assert rep.saturation.offered == 4
+
+    def test_never_saturated_returns_last(self):
+        rep = report(
+            level(1, seconds=1.0),
+            level(2, seconds=0.5),
+            level(4, seconds=0.25),
+        )
+        assert rep.saturation.offered == 4
+        assert rep.max_sustained_frames_per_sec == pytest.approx(40.0)
+
+    def test_bit_identical_needs_completions_and_no_mismatches(self):
+        assert not report(level(1, completed=0, shed=10)).bit_identical
+        assert not report(level(1, mismatches=1)).bit_identical
+        assert report(level(1)).bit_identical
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ConfigError):
+            ServeOptions(levels=())
+        with pytest.raises(ConfigError):
+            ServeOptions(levels=(1, 0))
+        with pytest.raises(ConfigError):
+            ServeOptions(frames_per_level=0)
+        with pytest.raises(ConfigError):
+            ServeOptions(distinct_frames=0)
+
+
+class TestFramesBudget:
+    def test_unset_env_keeps_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_FRAMES", raising=False)
+        assert serve_frames_budget(32) == 32
+
+    def test_env_caps_but_never_raises_the_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_FRAMES", "8")
+        assert serve_frames_budget(32) == 8
+        assert serve_frames_budget(4) == 4
+
+    def test_bad_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_FRAMES", "lots")
+        with pytest.raises(ConfigError):
+            serve_frames_budget(32)
+        monkeypatch.setenv("REPRO_SERVE_FRAMES", "0")
+        with pytest.raises(ConfigError):
+            serve_frames_budget(32)
+
+
+class TestParseUrl:
+    def test_host_and_port(self):
+        assert _parse_url("http://127.0.0.1:8080") == ("127.0.0.1", 8080)
+        assert _parse_url("localhost:9000") == ("localhost", 9000)
+
+    def test_missing_port_rejected(self):
+        with pytest.raises(ConfigError):
+            _parse_url("http://localhost")
+
+
+class TestServeJson:
+    def test_roundtrip_and_schema(self, smoke_report, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        write_serve_json(smoke_report, path)
+        payload = load_serve_json(path)
+        assert payload["schema"] == SERVE_SCHEMA
+        assert payload["geometry"]["width"] == 32
+        assert [e["offered_concurrency"] for e in payload["levels"]] == [1, 2]
+        assert payload["bit_identical"] is True
+        assert payload["totals"]["errors"] == 0
+
+    def test_nan_quantiles_serialise_as_null(self, tmp_path):
+        rep = report(
+            level(1),
+            level(2, completed=0, shed=4, p50=math.nan, p99=math.nan),
+        )
+        path = tmp_path / "nan.json"
+        write_serve_json(rep, path)
+        payload = json.loads(path.read_text())
+        assert payload["levels"][1]["p50_seconds"] is None
+        assert payload["levels"][1]["p99_seconds"] is None
+        load_serve_json(path)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        with pytest.raises(ConfigError, match="schema"):
+            load_serve_json(path)
+
+    def test_load_rejects_missing_section(self, smoke_report, tmp_path):
+        path = tmp_path / "partial.json"
+        payload = smoke_report.to_json_dict()
+        del payload["saturation"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="saturation"):
+            load_serve_json(path)
+
+    def test_load_rejects_empty_levels(self, smoke_report, tmp_path):
+        path = tmp_path / "empty.json"
+        payload = smoke_report.to_json_dict()
+        payload["levels"] = []
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="level"):
+            load_serve_json(path)
+
+    def test_load_rejects_inverted_quantiles(self, smoke_report, tmp_path):
+        path = tmp_path / "inverted.json"
+        payload = smoke_report.to_json_dict()
+        payload["levels"][0]["p50_seconds"] = 2.0
+        payload["levels"][0]["p99_seconds"] = 1.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="p99"):
+            load_serve_json(path)
+
+    def test_load_rejects_zero_completed(self, smoke_report, tmp_path):
+        path = tmp_path / "idle.json"
+        payload = smoke_report.to_json_dict()
+        payload["totals"]["completed"] = 0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="completed"):
+            load_serve_json(path)
+
+    def test_load_rejects_non_bit_identical_sweep(
+        self, smoke_report, tmp_path
+    ):
+        path = tmp_path / "lossy.json"
+        payload = smoke_report.to_json_dict()
+        payload["bit_identical"] = False
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="bit-identical"):
+            load_serve_json(path)

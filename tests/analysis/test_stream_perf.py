@@ -59,6 +59,28 @@ class TestMeasureStream:
         assert "32x32" in text
         assert "CPU core" in text
 
+    def test_scaling_gated_recorded(self, smoke_report):
+        """A sweep that never measured 4 workers is always gated — the
+        >=3x bar cannot have applied, whatever the core count."""
+        assert smoke_report.scaling_gated is True
+
+    def test_scaling_gated_false_needs_cores_and_a_4_worker_pass(self):
+        from repro.analysis.stream_perf import available_cores
+
+        report = StreamReport(
+            options=SMOKE,
+            cpu_count=8,
+            baseline_seconds=1.0,
+            samples=(
+                StreamSample(
+                    workers=4, frames=3, seconds=0.5, bit_identical=True
+                ),
+            ),
+            scaling_gated=False,
+        )
+        assert report.to_json_dict()["scaling_gated"] is False
+        assert available_cores() >= 1
+
     def test_invalid_options_rejected(self):
         with pytest.raises(ConfigError):
             StreamOptions(frames=0)
@@ -80,6 +102,27 @@ class TestStreamJson:
         assert payload["baseline"]["frames_per_sec"] == pytest.approx(
             smoke_report.baseline_frames_per_sec
         )
+
+    def test_json_records_scaling_gated(self, smoke_report, tmp_path):
+        path = tmp_path / "BENCH_stream.json"
+        write_stream_json(smoke_report, path)
+        assert load_stream_json(path)["scaling_gated"] is True
+
+    def test_load_rejects_missing_scaling_gated(self, smoke_report, tmp_path):
+        path = tmp_path / "old.json"
+        payload = smoke_report.to_json_dict()
+        del payload["scaling_gated"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="scaling_gated"):
+            load_stream_json(path)
+
+    def test_load_rejects_non_bool_scaling_gated(self, smoke_report, tmp_path):
+        path = tmp_path / "odd.json"
+        payload = smoke_report.to_json_dict()
+        payload["scaling_gated"] = "yes"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="scaling_gated"):
+            load_stream_json(path)
 
     def test_load_rejects_wrong_schema(self, tmp_path):
         path = tmp_path / "bad.json"

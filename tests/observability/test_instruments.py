@@ -78,6 +78,63 @@ class TestHistogram:
             Histogram("x", (1.0, 1.0))
 
 
+class TestQuantile:
+    def test_interpolates_within_a_bucket(self):
+        """8 samples in (2, 4]: the median sits 4/8 of the way in, so the
+        interpolated estimate is 2 + (4-2) * 0.5."""
+        h = Histogram("x", (1.0, 2.0, 4.0))
+        for _ in range(8):
+            h.observe(3.0)
+        assert h.quantile(0.5) == pytest.approx(3.0)
+        assert h.quantile(0.25) == pytest.approx(2.5)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_spans_buckets_at_the_cumulative_rank(self):
+        h = Histogram("x", (1.0, 2.0, 4.0))
+        for _ in range(2):
+            h.observe(0.5)  # first bucket (le=1)
+        for _ in range(6):
+            h.observe(3.0)  # third bucket (le=4)
+        # p50 rank = 4 of 8: 2 in bucket one, so 2 more of bucket
+        # three's 6 -> 2 + (4-2) * (2/6).
+        assert h.quantile(0.5) == pytest.approx(2.0 + 2.0 * (2.0 / 6.0))
+        # p25 rank = 2 lands exactly at the top of the first bucket,
+        # whose lower edge is 0.
+        assert h.quantile(0.25) == pytest.approx(1.0)
+
+    def test_overflow_bucket_returns_last_finite_bound(self):
+        h = Histogram("x", (1.0, 2.0))
+        h.observe(100.0)
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(0.99) == 2.0
+
+    def test_empty_histogram_is_nan(self):
+        h = Histogram("x", (1.0,))
+        assert np.isnan(h.quantile(0.5))
+
+    def test_p50_p99_of_a_uniform_sample(self, rng):
+        """Against dense buckets the estimates land within one bucket
+        width of the true quantiles of a uniform sample."""
+        bounds = tuple(i / 100.0 for i in range(1, 101))
+        h = Histogram("x", bounds)
+        h.observe_many(rng.uniform(0.0, 1.0, size=20_000))
+        assert h.quantile(0.5) == pytest.approx(0.5, abs=0.02)
+        assert h.quantile(0.99) == pytest.approx(0.99, abs=0.02)
+
+    def test_quantile_ordering_is_monotone(self, rng):
+        h = Histogram("x", TIME_BUCKETS)
+        h.observe_many(rng.uniform(0.0, 2.0, size=500))
+        qs = [h.quantile(q) for q in (0.0, 0.1, 0.5, 0.9, 0.99, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram("x", (1.0,))
+        with pytest.raises(ConfigError, match="quantile"):
+            h.quantile(-0.1)
+        with pytest.raises(ConfigError, match="quantile"):
+            h.quantile(1.5)
+
+
 class TestRegistry:
     def test_get_or_create_identity(self):
         reg = MetricsRegistry()

@@ -9,6 +9,8 @@ under ring backpressure.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
@@ -204,3 +206,168 @@ class TestWorkerCache:
                 worker_mod._RING = None
                 worker_mod._SPEC_BLOB = None
                 worker_mod._ENGINES.clear()
+
+    def test_eviction_keeps_results_bit_identical(self, rng, monkeypatch):
+        """With a 1-engine cache, cycling three tenant specs evicts and
+        rebuilds per frame — and every rebuilt engine's output still
+        matches the sequential run exactly (eviction only re-pays
+        construction cost, never changes results)."""
+        from repro.runtime import worker as worker_mod
+
+        monkeypatch.setenv("REPRO_WORKER_ENGINE_CACHE", "1")
+        base = EngineSpec(config=make_config(), kernel=BoxFilterKernel(WINDOW))
+        tenants = [
+            base,
+            base.replace(threshold=6),
+            base.replace(engine="traditional"),
+        ]
+        out = RES - WINDOW + 1
+        frame = random_image(rng, RES, RES).astype(np.int64)
+        expected = [spec.build().run(frame).outputs for spec in tenants]
+        with FrameRing(
+            slots=1,
+            frame_shape=(RES, RES),
+            frame_dtype=np.int64,
+            out_shape=(out, out),
+            out_dtype=np.float64,
+        ) as ring:
+            worker_mod._ENGINES.clear()
+            initialize_worker(ring.spec, base.blob())
+            try:
+                # Two interleaved rounds: every spec is a cache miss both
+                # times (capacity 1), so round two runs rebuilt engines.
+                for _ in range(2):
+                    for spec, exp in zip(tenants, expected):
+                        ring.input_view(0)[...] = frame
+                        result = process_slot(
+                            FrameTask(index=0, slot=0, spec_blob=spec.blob())
+                        )
+                        assert not hasattr(result, "error"), result
+                        assert cached_engine_count() == 1
+                        assert np.array_equal(ring.output_view(0), exp)
+            finally:
+                worker_mod._RING.close()
+                worker_mod._RING = None
+                worker_mod._SPEC_BLOB = None
+                worker_mod._ENGINES.clear()
+
+    def test_engine_cache_limit_env_validation(self, monkeypatch):
+        from repro.runtime.worker import engine_cache_limit
+
+        monkeypatch.setenv("REPRO_WORKER_ENGINE_CACHE", "3")
+        assert engine_cache_limit() == 3
+        monkeypatch.setenv("REPRO_WORKER_ENGINE_CACHE", "zero")
+        with pytest.raises(RuntimeError, match="int"):
+            engine_cache_limit()
+        monkeypatch.setenv("REPRO_WORKER_ENGINE_CACHE", "0")
+        with pytest.raises(RuntimeError, match=">= 1"):
+            engine_cache_limit()
+
+
+class TestTaskSpecOverrides:
+    def test_multi_tenant_specs_share_one_ring(self, rng):
+        """Frames carrying different spec overrides (threshold, engine
+        kind) multiplex onto one processor and each comes back
+        bit-identical to a sequential run of its own spec."""
+        base = EngineSpec(config=make_config(), kernel=BoxFilterKernel(WINDOW))
+        tenants = [
+            None,  # pool-wide default spec
+            base.replace(threshold=6),
+            base.replace(engine="traditional"),
+            base.replace(threshold=2, recirculate=False),
+        ]
+        frames = make_frames(rng, len(tenants))
+        expected = [
+            (spec if spec is not None else base).build().run(frame).outputs
+            for spec, frame in zip(tenants, frames)
+        ]
+        with StreamingProcessor.from_spec(base, workers=2) as proc:
+            for spec, frame in zip(tenants, frames):
+                proc.submit(frame, timeout=60, spec=spec)
+            results = list(proc.results(timeout=60))
+        assert [r.index for r in results] == list(range(len(tenants)))
+        for res, exp in zip(results, expected):
+            assert np.array_equal(res.outputs, exp)
+
+    def test_incompatible_override_rejected(self, rng):
+        base = EngineSpec(config=make_config(), kernel=BoxFilterKernel(WINDOW))
+        other_geometry = EngineSpec(
+            config=ArchitectureConfig(
+                image_width=RES * 2,
+                image_height=RES * 2,
+                window_size=WINDOW,
+            ),
+            kernel=BoxFilterKernel(WINDOW),
+        )
+        other_window = EngineSpec(
+            config=ArchitectureConfig(
+                image_width=RES, image_height=RES, window_size=WINDOW // 2
+            ),
+            kernel=BoxFilterKernel(WINDOW // 2),
+        )
+        frame = random_image(rng, RES, RES).astype(np.int64)
+        with StreamingProcessor.from_spec(base, workers=1) as proc:
+            with pytest.raises(ConfigError, match="frame shape"):
+                proc.submit(frame, timeout=10, spec=other_geometry)
+            with pytest.raises(ConfigError, match="output shape"):
+                proc.submit(frame, timeout=10, spec=other_window)
+            # The failed submissions must not leak ring slots.
+            assert proc.free_slots == proc.slots
+
+
+class TestDrainAndTimeoutSaturated:
+    """The admission-control edge: a ring full of slow frames."""
+
+    def _slow_spec(self, delays: int, seconds: float = 0.4) -> EngineSpec:
+        return EngineSpec(
+            config=make_config(),
+            kernel=BoxFilterKernel(WINDOW),
+            delay_by_index=(seconds,) * delays,
+        )
+
+    def test_results_timeout_raises_while_ring_saturated(self, rng):
+        spec = self._slow_spec(2)
+        frames = make_frames(rng, 2)
+        with StreamingProcessor.from_spec(spec, workers=1, slots=2) as proc:
+            for frame in frames:
+                proc.submit(frame, timeout=30)
+            assert proc.free_slots == 0  # saturated
+            with pytest.raises(TimeoutError, match="no stream result"):
+                next(proc.results(timeout=0.05))
+            # The timed-out wait consumed nothing; both frames still
+            # deliver, in order, once given a realistic budget.
+            results = list(proc.results(timeout=30))
+            assert [r.index for r in results] == [0, 1]
+            assert proc.drain(timeout=10) == proc.slots
+
+    def test_drain_timeout_returns_early_while_saturated(self, rng):
+        spec = self._slow_spec(2)
+        frames = make_frames(rng, 2)
+        with StreamingProcessor.from_spec(spec, workers=1, slots=2) as proc:
+            for frame in frames:
+                proc.submit(frame, timeout=30)
+            # Results not consumed yet: drain cannot free the in-flight
+            # slots, and its timeout= bounds the wait instead of hanging.
+            t0 = time.perf_counter()
+            free = proc.drain(timeout=0.2)
+            assert time.perf_counter() - t0 < 5.0
+            assert free < proc.slots
+            results = list(proc.results(timeout=30))
+            assert len(results) == 2
+            assert proc.drain(timeout=10) == proc.slots
+
+    def test_poll_returns_none_then_delivers(self, rng):
+        spec = self._slow_spec(1)
+        frames = make_frames(rng, 2)
+        with StreamingProcessor.from_spec(spec, workers=1, slots=2) as proc:
+            assert proc.poll(0.01) is None  # nothing in flight
+            for frame in frames:
+                proc.submit(frame, timeout=30)
+            # Frame 0 sleeps in its worker: an early poll sees nothing.
+            assert proc.poll(0.01) is None
+            seen = []
+            while len(seen) < 2:
+                result = proc.poll(0.5)
+                if result is not None:
+                    seen.append(result)
+            assert sorted(r.index for r in seen) == [0, 1]

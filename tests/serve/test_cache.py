@@ -1,0 +1,133 @@
+"""Tests for per-tenant spec canonicalisation and the bounded LRU."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ArchitectureConfig
+from repro.errors import ConfigError
+from repro.kernels import BoxFilterKernel
+from repro.serve.cache import SpecCache, canonical_params
+from repro.spec import EngineSpec
+
+
+@pytest.fixture
+def base_spec() -> EngineSpec:
+    config = ArchitectureConfig(
+        image_width=16, image_height=16, window_size=4, threshold=0
+    )
+    return EngineSpec(config=config, kernel=BoxFilterKernel(4))
+
+
+class TestCanonicalParams:
+    def test_defaults_fill_every_parameter(self, base_spec):
+        key = canonical_params(base_spec, None)
+        assert dict(key) == {
+            "threshold": 0,
+            "engine": "compressed",
+            "codec": "auto",
+            "recirculate": True,
+        }
+
+    def test_equivalent_spellings_collide(self, base_spec):
+        assert (
+            canonical_params(base_spec, None)
+            == canonical_params(base_spec, {})
+            == canonical_params(base_spec, {"threshold": 0})
+            == canonical_params(
+                base_spec,
+                {
+                    "threshold": 0,
+                    "engine": "compressed",
+                    "codec": "auto",
+                    "recirculate": True,
+                },
+            )
+        )
+
+    def test_distinct_parameters_distinct_keys(self, base_spec):
+        assert canonical_params(base_spec, {"threshold": 4}) != canonical_params(
+            base_spec, None
+        )
+
+    def test_unknown_key_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match="unknown engine params"):
+            canonical_params(base_spec, {"window": 8})
+
+    def test_bool_threshold_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match="threshold"):
+            canonical_params(base_spec, {"threshold": True})
+
+    def test_non_int_threshold_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match="threshold"):
+            canonical_params(base_spec, {"threshold": "3"})
+
+    def test_bad_engine_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match="engine"):
+            canonical_params(base_spec, {"engine": "quantum"})
+
+    def test_bad_codec_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match="codec"):
+            canonical_params(base_spec, {"codec": "zstd"})
+
+    def test_non_bool_recirculate_rejected(self, base_spec):
+        with pytest.raises(ConfigError, match="recirculate"):
+            canonical_params(base_spec, {"recirculate": 1})
+
+
+class TestSpecCache:
+    def test_miss_then_hit(self, base_spec):
+        cache = SpecCache(base_spec)
+        spec1, cached1 = cache.resolve({"threshold": 2})
+        spec2, cached2 = cache.resolve({"threshold": 2})
+        assert not cached1
+        assert cached2
+        assert spec1 is spec2
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_resolved_spec_applies_overrides(self, base_spec):
+        cache = SpecCache(base_spec)
+        spec, _ = cache.resolve({"threshold": 6, "engine": "traditional"})
+        assert spec.resolved_config.threshold == 6
+        assert spec.engine == "traditional"
+
+    def test_equivalent_spellings_share_one_entry(self, base_spec):
+        cache = SpecCache(base_spec)
+        cache.resolve(None)
+        cache.resolve({})
+        cache.resolve({"codec": "auto", "recirculate": True})
+        assert len(cache) == 1
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+    def test_lru_eviction_bounds_the_cache(self, base_spec):
+        cache = SpecCache(base_spec, capacity=2)
+        cache.resolve({"threshold": 1})
+        cache.resolve({"threshold": 2})
+        cache.resolve({"threshold": 1})  # refresh 1: now 2 is the LRU
+        cache.resolve({"threshold": 3})  # evicts 2
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        _, cached = cache.resolve({"threshold": 1})
+        assert cached
+        _, cached = cache.resolve({"threshold": 2})
+        assert not cached  # was evicted, rebuilt
+
+    def test_capacity_must_be_positive(self, base_spec):
+        with pytest.raises(ConfigError):
+            SpecCache(base_spec, capacity=0)
+
+    def test_snapshot_shape(self, base_spec):
+        cache = SpecCache(base_spec, capacity=4)
+        cache.resolve({"threshold": 5})
+        cache.resolve({"threshold": 5})
+        snap = cache.snapshot()
+        assert snap["capacity"] == 4
+        assert snap["size"] == 1
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["evictions"] == 0
+        (entry,) = snap["entries"]
+        assert entry["params"]["threshold"] == 5
+        assert entry["hits"] == 1

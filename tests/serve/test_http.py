@@ -1,0 +1,216 @@
+"""Byte-level tests for the gateway's HTTP/1.1 framing."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_HEADERS,
+    HttpError,
+    HttpRequest,
+    json_response,
+    read_request,
+    read_response,
+    render_request,
+    render_response,
+)
+
+
+def parse_request(raw: bytes, *, max_body: int = 1 << 20) -> HttpRequest | None:
+    """Feed ``raw`` to a fresh stream and parse one request off it."""
+
+    async def _go() -> HttpRequest | None:
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body_bytes=max_body)
+
+    return asyncio.run(_go())
+
+
+def parse_response(raw: bytes):
+    async def _go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_response(reader)
+
+    return asyncio.run(_go())
+
+
+class TestReadRequest:
+    def test_simple_get(self):
+        req = parse_request(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req is not None
+        assert req.method == "GET"
+        assert req.path == "/healthz"
+        assert req.headers["host"] == "x"
+        assert req.body == b""
+        assert req.keep_alive
+
+    def test_connection_close_disables_keep_alive(self):
+        req = parse_request(
+            b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert req is not None
+        assert not req.keep_alive
+
+    def test_post_with_body(self):
+        body = b'{"a": 1}'
+        raw = (
+            b"POST /v1/frames HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        req = parse_request(raw)
+        assert req is not None
+        assert req.method == "POST"
+        assert req.body == body
+        assert req.json() == {"a": 1}
+
+    def test_query_string_split_from_path(self):
+        req = parse_request(b"GET /v1/specs?verbose=1 HTTP/1.1\r\n\r\n")
+        assert req is not None
+        assert req.path == "/v1/specs"
+        assert req.target == "/v1/specs?verbose=1"
+
+    def test_clean_eof_returns_none(self):
+        assert parse_request(b"") is None
+
+    def test_eof_mid_head_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse_request(b"GET / HTTP/1.1\r\nHost: x\r\n")
+        assert exc.value.status == 400
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse_request(b"GET /\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_chunked_encoding_is_501(self):
+        raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(HttpError) as exc:
+            parse_request(raw)
+        assert exc.value.status == 501
+
+    def test_bad_content_length_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"
+        with pytest.raises(HttpError) as exc:
+            parse_request(raw)
+        assert exc.value.status == 400
+
+    def test_negative_content_length_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n"
+        with pytest.raises(HttpError) as exc:
+            parse_request(raw)
+        assert exc.value.status == 400
+
+    def test_truncated_body_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+        with pytest.raises(HttpError) as exc:
+            parse_request(raw)
+        assert exc.value.status == 400
+
+    def test_body_over_cap_is_413(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
+        with pytest.raises(HttpError) as exc:
+            parse_request(raw, max_body=50)
+        assert exc.value.status == 413
+
+    def test_oversized_head_is_413(self):
+        raw = b"GET / HTTP/1.1\r\nX-Big: " + b"a" * (40 * 1024) + b"\r\n\r\n"
+        with pytest.raises(HttpError) as exc:
+            parse_request(raw)
+        assert exc.value.status == 413
+
+    def test_too_many_headers_is_413(self):
+        headers = "".join(
+            f"X-H{i}: v\r\n" for i in range(MAX_HEADERS + 1)
+        ).encode()
+        with pytest.raises(HttpError) as exc:
+            parse_request(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+        assert exc.value.status == 413
+
+    def test_malformed_header_line_is_400(self):
+        with pytest.raises(HttpError) as exc:
+            parse_request(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert exc.value.status == 400
+
+    def test_leading_blank_lines_tolerated(self):
+        req = parse_request(b"\r\nGET / HTTP/1.1\r\n\r\n")
+        assert req is not None
+        assert req.method == "GET"
+
+    def test_two_pipelined_requests(self):
+        raw = (
+            b"GET /a HTTP/1.1\r\n\r\n"
+            b"GET /b HTTP/1.1\r\n\r\n"
+        )
+
+        async def _go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            first = await read_request(reader, max_body_bytes=1024)
+            second = await read_request(reader, max_body_bytes=1024)
+            third = await read_request(reader, max_body_bytes=1024)
+            return first, second, third
+
+        first, second, third = asyncio.run(_go())
+        assert first is not None and first.path == "/a"
+        assert second is not None and second.path == "/b"
+        assert third is None
+
+
+class TestJsonBody:
+    def test_non_json_body_is_400(self):
+        req = HttpRequest(method="POST", target="/", path="/", body=b"not json")
+        with pytest.raises(HttpError) as exc:
+            req.json()
+        assert exc.value.status == 400
+
+    def test_non_object_body_is_400(self):
+        req = HttpRequest(method="POST", target="/", path="/", body=b"[1, 2]")
+        with pytest.raises(HttpError) as exc:
+            req.json()
+        assert exc.value.status == 400
+
+
+class TestRoundTrips:
+    def test_response_roundtrip(self):
+        raw = render_response(
+            200, b'{"ok": true}', extra_headers={"Retry-After": "3"}
+        )
+        resp = parse_response(raw)
+        assert resp is not None
+        assert resp.status == 200
+        assert resp.headers["retry-after"] == "3"
+        assert json.loads(resp.body) == {"ok": True}
+
+    def test_request_roundtrip(self):
+        raw = render_request("POST", "/v1/frames", b'{"x": 1}', host="h")
+        req = parse_request(raw)
+        assert req is not None
+        assert req.method == "POST"
+        assert req.path == "/v1/frames"
+        assert req.headers["host"] == "h"
+        assert req.json() == {"x": 1}
+
+    def test_json_response_sets_status_and_body(self):
+        resp = parse_response(json_response(429, {"error": "full"}))
+        assert resp is not None
+        assert resp.status == 429
+        assert json.loads(resp.body) == {"error": "full"}
+
+    def test_unknown_status_still_renders(self):
+        resp = parse_response(render_response(418, b""))
+        assert resp is not None
+        assert resp.status == 418
+
+    def test_malformed_status_line_raises(self):
+        with pytest.raises(HttpError):
+            parse_response(b"HTTP/1.1 abc OK\r\n\r\n")
