@@ -24,6 +24,7 @@ from ..config import ArchitectureConfig
 from ..core.packing.packer import BandCodec
 from ..core.stats import iter_bands
 from ..core.window.compressed import CompressedEngine
+from ..errors import ConfigError
 from ..imaging.synthetic import generate_scene
 from ..kernels import BoxFilterKernel
 from ..resilience.injector import FaultInjector
@@ -78,6 +79,8 @@ class FaultCampaignResult:
     window: int
     seed: int
     points: tuple[FaultCampaignPoint, ...]
+    #: Target FPGA part the campaign's storage accounting describes.
+    device: str = "XC7Z020"
 
     def render(self) -> str:
         """Render the campaign as an aligned text table."""
@@ -115,7 +118,7 @@ class FaultCampaignResult:
             rows,
             title=(
                 f"SEU campaign, {self.resolution}x{self.resolution}, "
-                f"N={self.window}, seed={self.seed}"
+                f"N={self.window}, seed={self.seed}, {self.device}"
             ),
         )
 
@@ -159,6 +162,7 @@ def fault_campaign(
     seed: int = 0,
     fault_policy: str = "degrade",
     codec: str = "auto",
+    device: str = "XC7Z020",
 ) -> FaultCampaignResult:
     """Run the soft-error campaign and return every sweep point.
 
@@ -167,8 +171,16 @@ def fault_campaign(
     must be fully corrected by SECDED, k=2 must degrade gracefully); the
     ``upset_rates`` axis then collapses to a single entry.  ``codec``
     picks the pack/size tier of every engine in the sweep (all tiers are
-    bit-identical, so campaign numbers are tier-independent).
+    bit-identical, so campaign numbers are tier-independent).  ``device``
+    names the part the storage-overhead accounting describes; the
+    injection behaviour itself is device-independent.
     """
+    from ..hardware.device import DEVICES
+
+    if device not in DEVICES:
+        raise ConfigError(
+            f"unknown device {device!r}; choose from {sorted(DEVICES)}"
+        )
     kernel = BoxFilterKernel(window)
     image = generate_scene(seed=seed + 1, resolution=resolution)
     intensities: tuple[float | None, ...] = (
@@ -228,5 +240,9 @@ def fault_campaign(
                     )
                 )
     return FaultCampaignResult(
-        resolution=resolution, window=window, seed=seed, points=tuple(points)
+        resolution=resolution,
+        window=window,
+        seed=seed,
+        points=tuple(points),
+        device=device,
     )

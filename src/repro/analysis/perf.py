@@ -36,7 +36,9 @@ from .tables import render_table
 
 #: Version tag of the ``BENCH_perf.json`` schema.  ``repro-perf/2`` adds
 #: a ``codec`` field to every engine/sweep entry, so trajectory points
-#: record which codec tier (numpy or native) produced them.
+#: record which codec tier (numpy or native) produced them.  The
+#: optional top-level ``device`` key (the part the geometry was sized
+#: for) rides on the same version — validators ignore unknown keys.
 PERF_SCHEMA = "repro-perf/2"
 
 #: Engine order used in tables and JSON (baseline last-but-one).
@@ -131,9 +133,13 @@ class PerfOptions:
     #: (``auto`` / ``numpy`` / ``native``; the samples record the tier
     #: that actually resolved).
     codec: str = "auto"
+    #: Target FPGA part the run describes.  Timing is host-bound, but the
+    #: trajectory point records which device the geometry was sized for.
+    device: str = "XC7Z020"
 
     def __post_init__(self) -> None:
         from ..core.packing.tiers import CODEC_TIERS
+        from ..hardware.device import DEVICES
 
         if self.repeats < 1:
             raise ConfigError(f"repeats must be >= 1, got {self.repeats}")
@@ -147,6 +153,10 @@ class PerfOptions:
         if self.codec not in CODEC_TIERS:
             raise ConfigError(
                 f"codec must be one of {CODEC_TIERS}, got {self.codec!r}"
+            )
+        if self.device not in DEVICES:
+            raise ConfigError(
+                f"unknown device {self.device!r}; choose from {sorted(DEVICES)}"
             )
 
     @property
@@ -255,7 +265,12 @@ class PerfReport:
             }
             for s in self.samples
         ]
-        return {"schema": PERF_SCHEMA, "engines": engines, "sweep": sweep}
+        return {
+            "schema": PERF_SCHEMA,
+            "device": self.options.device,
+            "engines": engines,
+            "sweep": sweep,
+        }
 
 
 def _time_engine(

@@ -105,7 +105,9 @@ def bram_lut_tradeoff(
                 window=n,
                 brams_saved=saved,
                 luts_spent=est.luts,
-                fits_device=device.fits(luts=est.luts, bram18k=plan.total_brams),
+                fits_device=device.accommodates(
+                    {"luts": est.luts, "bram18": plan.total_brams}
+                ),
             )
         )
     return TradeoffResult(

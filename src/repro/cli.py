@@ -36,6 +36,7 @@ def add_common_engine_flags(
     window: int,
     threshold: int | None = 0,
     codec: bool = False,
+    device: bool = False,
 ) -> None:
     """Attach the engine-geometry flags shared by the perf-family commands.
 
@@ -44,7 +45,9 @@ def add_common_engine_flags(
     vocabulary instead of four drifting copies.  Pass ``threshold=None``
     to skip the ``--threshold`` flag (``fault-campaign`` sweeps a plural
     ``--thresholds`` instead); ``codec=True`` adds the codec-tier flag
-    for commands that build compressed engines.
+    for commands that build compressed engines; ``device=True`` adds the
+    target-device flag for commands whose results are device-dependent
+    (or record which part they describe).
     """
     p.add_argument(
         "--resolution",
@@ -72,6 +75,20 @@ def add_common_engine_flags(
             default="auto",
             help="pack/size codec tier (default auto: native when available)",
         )
+    if device:
+        add_device_flag(p)
+
+
+def add_device_flag(p: argparse.ArgumentParser) -> None:
+    """Attach the ``--device`` target-part flag (default XC7Z020)."""
+    from .hardware.device import DEVICES
+
+    p.add_argument(
+        "--device",
+        choices=sorted(DEVICES),
+        default="XC7Z020",
+        help="target FPGA part (default XC7Z020, the paper's device)",
+    )
 
 
 def _add_common(p: argparse.ArgumentParser) -> None:
@@ -108,10 +125,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
     _add_common(p_table)
 
-    p_res = sub.add_parser("resources", help="Tables VI-X: LUT/FF/Fmax")
+    p_res = sub.add_parser(
+        "resources",
+        help="Tables VI-X LUT/FF/Fmax, or the device memory-placement sweep",
+    )
     p_res.add_argument(
         "module",
-        choices=("iwt", "bit_packing", "bit_unpacking", "iiwt", "overall"),
+        nargs="?",
+        default="memory",
+        choices=(
+            "memory",
+            "iwt",
+            "bit_packing",
+            "bit_unpacking",
+            "iiwt",
+            "overall",
+        ),
+        help=(
+            "block for the LUT/FF/Fmax table, or 'memory' (default) for "
+            "the portfolio placement sweep"
+        ),
+    )
+    add_device_flag(p_res)
+    p_res.add_argument(
+        "--width", type=int, default=512, help="image width (memory sweep)"
+    )
+    p_res.add_argument(
+        "--threshold", type=int, default=0, help="compression threshold T"
+    )
+    p_res.add_argument(
+        "--images", type=int, default=3, help="benchmark suite size"
+    )
+    p_res.add_argument(
+        "--mode",
+        choices=("exhaustive", "greedy"),
+        default="exhaustive",
+        help="placement search mode (memory sweep)",
+    )
+    p_res.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="memory-sweep output format (json is the repro-resources/1 schema)",
+    )
+    p_res.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="also write the repro-resources/1 artifact here (memory sweep)",
     )
 
     p_mse = sub.add_parser("mse", help="MSE vs threshold sweep")
@@ -155,7 +216,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fault-campaign", help="SEU injection sweep over protection schemes"
     )
     add_common_engine_flags(
-        p_fc, resolution=96, window=8, threshold=None, codec=True
+        p_fc, resolution=96, window=8, threshold=None, codec=True, device=True
     )
     p_fc.add_argument(
         "--schemes",
@@ -192,7 +253,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_perf = sub.add_parser("perf", help="wall-clock pixels/sec of every engine")
-    add_common_engine_flags(p_perf, resolution=512, window=16, codec=True)
+    add_common_engine_flags(
+        p_perf, resolution=512, window=16, codec=True, device=True
+    )
     p_perf.add_argument(
         "--repeats", type=int, default=3, help="timing repeats (best is kept)"
     )
@@ -448,7 +511,34 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(result.render())
     elif args.command == "resources":
-        print(ex.resource_table(args.module).render())
+        if args.module == "memory":
+            import json as _json
+
+            from .analysis.resources import (
+                ResourcesOptions,
+                measure_resources,
+                write_resources_json,
+            )
+
+            report = measure_resources(
+                ResourcesOptions(
+                    device=args.device,
+                    width=args.width,
+                    threshold=args.threshold,
+                    n_images=args.images,
+                    mode=args.mode,
+                )
+            )
+            if args.format == "json":
+                print(_json.dumps(report.to_json_dict(), indent=2))
+            else:
+                print(report.render())
+            if args.json is not None:
+                write_resources_json(report, args.json)
+                # Keep stdout a pure document under --format json.
+                print(f"wrote {args.json}", file=sys.stderr)
+        else:
+            print(ex.resource_table(args.module).render())
     elif args.command == "mse":
         result = ex.mse_vs_threshold(
             resolution=args.resolution,
@@ -532,6 +622,7 @@ def main(argv: list[str] | None = None) -> int:
                 flips_per_word=args.flips_per_word,
                 seed=args.seed,
                 codec=args.codec,
+                device=args.device,
             )
         else:
             result = fault_campaign(
@@ -543,6 +634,7 @@ def main(argv: list[str] | None = None) -> int:
                 flips_per_word=args.flips_per_word,
                 seed=args.seed,
                 codec=args.codec,
+                device=args.device,
             )
         print(result.render())
     elif args.command == "perf":
@@ -566,6 +658,7 @@ def main(argv: list[str] | None = None) -> int:
                 repeats=1,
                 engines=engines,
                 codec=args.codec,
+                device=args.device,
             )
         else:
             options = PerfOptions(
@@ -575,6 +668,7 @@ def main(argv: list[str] | None = None) -> int:
                 repeats=args.repeats,
                 engines=engines,
                 codec=args.codec,
+                device=args.device,
             )
         result = measure_perf(options)
         print(result.render())

@@ -1,4 +1,4 @@
-"""BRAM allocation rules for the traditional and compressed memory units.
+"""Memory allocation rules for the traditional and compressed memory units.
 
 Implements the arithmetic behind the paper's evaluation tables:
 
@@ -9,17 +9,34 @@ Implements the arithmetic behind the paper's evaluation tables:
   is made at design time from the *worst-case* compressed row sizes the
   deployment must support, and the NBits / BitMap streams get their own
   best-geometry allocations.
+
+Two entry paths coexist:
+
+- the **compatibility path** (no ``portfolio`` / ``device`` argument)
+  prices everything in RAMB18s with the seed arithmetic — every BRAM
+  figure the repo has ever published reproduces bit-for-bit here;
+- the **portfolio path** delegates to
+  :func:`~repro.hardware.planner.plan_placement` and carries the chosen
+  per-FIFO placements on the plan, so UltraScale+ parts can land the
+  payload rows in URAM and the shallow management streams in LUTRAM.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..config import ArchitectureConfig
 from ..errors import ConfigError
-from .bram import BRAM_CAPACITY_BITS, best_config, min_brams
+from .bram import BRAM_CAPACITY_BITS
+from .primitives import BRAM18
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .device import FPGADevice
+    from .planner import CostVector, PlacementPlan
+    from .primitives import Portfolio
 
 #: Fig 11's memory mapping options, most aggressive first.
 ROWS_PER_BRAM_OPTIONS: tuple[int, ...] = (8, 4, 2, 1)
@@ -32,7 +49,7 @@ def traditional_bram_count(config: ArchitectureConfig) -> int:
     each as ``ceil`` of a W-pixel row over the best BRAM geometry —
     one BRAM up to 2048 eight-bit pixels (2k x 9), two for 3840.
     """
-    per_row = min_brams(config.image_width, config.pixel_bits)
+    per_row = BRAM18.units_for(config.image_width, config.pixel_bits)
     return config.window_size * per_row
 
 
@@ -106,12 +123,20 @@ def management_bram_count(
     cols = config.buffered_columns
     nbits_width = int(policy.nbits.scaled_bits(2 * config.nbits_field_width))
     bitmap_width = int(policy.bitmap.scaled_bits(config.window_size))
-    return min_brams(cols, nbits_width) + min_brams(cols, bitmap_width)
+    return BRAM18.units_for(cols, nbits_width) + BRAM18.units_for(
+        cols, bitmap_width
+    )
 
 
 @dataclass(frozen=True, slots=True)
 class MemoryMappingPlan:
-    """Design-time BRAM allocation for one architecture configuration."""
+    """Design-time memory allocation for one architecture configuration.
+
+    On the compatibility path every count is in RAMB18s.  On the
+    portfolio path the counts are *primitive units* of whatever the
+    planner chose, and :attr:`placement` carries the full per-FIFO
+    report (primitive, port config, cascade shape, LUT cost).
+    """
 
     config: ArchitectureConfig
     rows_per_bram: int
@@ -121,6 +146,8 @@ class MemoryMappingPlan:
     row_bits_worst: np.ndarray
     #: Memory-path protection level the plan was provisioned for.
     protection: str = "none"
+    #: Per-FIFO placements (portfolio path only).
+    placement: "PlacementPlan | None" = None
 
     @property
     def total_brams(self) -> int:
@@ -148,6 +175,14 @@ class MemoryMappingPlan:
     def describe(self) -> str:
         """Human-readable one-liner for tables and logs."""
         guard = f", {self.protection} ECC" if self.protection != "none" else ""
+        if self.placement is not None:
+            return (
+                f"{self.config.describe()}: "
+                f"payload {self.placement.payload.describe()} + "
+                f"nbits {self.placement.nbits.describe()} + "
+                f"bitmap {self.placement.bitmap.describe()}{guard}, "
+                f"traditional {self.traditional_brams} BRAM18"
+            )
         return (
             f"{self.config.describe()}: {self.packed_brams} packed + "
             f"{self.management_brams} mgmt BRAMs ({self.rows_per_bram} rows/BRAM)"
@@ -161,18 +196,51 @@ def plan_memory_mapping(
     *,
     capacity_bits: int = BRAM_CAPACITY_BITS,
     protection: object | None = None,
+    device: "FPGADevice | None" = None,
+    portfolio: "Portfolio | None" = None,
+    cost_vector: "CostVector | None" = None,
+    mode: str = "exhaustive",
 ) -> MemoryMappingPlan:
-    """Produce the design-time BRAM plan for one configuration.
+    """Produce the design-time memory plan for one configuration.
 
     With ``protection`` the packed rows are provisioned for their *stored*
     size (raw bits times the payload scheme's code expansion) and the
     management streams for their widened code words, so enabling ECC costs
     real BRAMs in the plan exactly as it costs occupancy at runtime.
+
+    Without ``device`` / ``portfolio`` this is the seed RAMB18
+    arithmetic, bit-for-bit (``capacity_bits`` applies to that path
+    only).  With either, the placement planner picks primitives; the
+    plan's counts become units of the chosen primitives and
+    ``plan.placement`` carries the per-FIFO report.
     """
     from ..resilience.protection import resolve_policy
 
     policy = resolve_policy(protection)
     rows = np.asarray(row_bits_worst, dtype=np.int64)
+    if device is not None or portfolio is not None:
+        from .planner import DEFAULT_COST_VECTOR, plan_placement
+
+        placement = plan_placement(
+            config,
+            rows,
+            device=device,
+            portfolio=portfolio,
+            protection=policy,
+            cost_vector=(
+                cost_vector if cost_vector is not None else DEFAULT_COST_VECTOR
+            ),
+            mode=mode,
+        )
+        return MemoryMappingPlan(
+            config=config,
+            rows_per_bram=placement.payload.rows_per_group,
+            packed_brams=placement.payload.units,
+            management_brams=placement.nbits.units + placement.bitmap.units,
+            row_bits_worst=rows,
+            protection=policy.name,
+            placement=placement,
+        )
     stored_rows = np.asarray(policy.payload.scaled_bits(rows), dtype=np.int64)
     packed, r = packed_bram_count(
         config.window_size, stored_rows, capacity_bits=capacity_bits
@@ -189,5 +257,5 @@ def plan_memory_mapping(
 
 def bitmap_bram_geometry(config: ArchitectureConfig) -> str:
     """Name of the geometry the BitMap buffer uses (Section V.E examples)."""
-    cfg = best_config(config.buffered_columns, config.window_size)
+    cfg = BRAM18.best_config(config.buffered_columns, config.window_size)
     return cfg.name

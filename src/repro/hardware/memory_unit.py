@@ -77,9 +77,21 @@ class MemoryUnit:
             raise ConfigError(f"window {n} not divisible by rows_per_bram {r}")
         self.rows_per_group = r
         self.n_groups = n // r
-        #: Bit capacity of one packed group (its BRAM allocation).
-        group_brams = max(1, plan.packed_brams // self.n_groups)
-        self.group_capacity_bits = group_brams * capacity_bits
+        if plan.placement is not None:
+            # Portfolio path: the planner already sized every group in
+            # units of its chosen primitive (an elided group is bounded
+            # by the elision limit itself).
+            self._group_capacities = list(
+                plan.placement.payload.group_capacity_list()
+            )
+        else:
+            group_brams = max(1, plan.packed_brams // self.n_groups)
+            self._group_capacities = [
+                group_brams * capacity_bits
+            ] * self.n_groups
+        #: Bit capacity of the largest packed group's allocation (the
+        #: seed model allocated every group identically).
+        self.group_capacity_bits = max(self._group_capacities)
         depth = cfg.buffered_columns
         self._groups: list[Fifo[int]] = [
             Fifo(depth, name=f"packed[{g}]", probe=probe)
@@ -156,7 +168,8 @@ class MemoryUnit:
                 rows[g * self.rows_per_group : (g + 1) * self.rows_per_group].sum()
             )
             stored = int(payload.scaled_bits(group_bits))
-            if fifo.bits + stored > self.group_capacity_bits:
+            capacity = self._group_capacities[g]
+            if fifo.bits + stored > capacity:
                 protected = (
                     f" ({self.policy.name} protection adds "
                     f"{payload.overhead_percent:.1f}%)"
@@ -165,8 +178,8 @@ class MemoryUnit:
                 )
                 raise CapacityError(
                     f"packed group {g} would hold "
-                    f"{fifo.bits + stored} bits, BRAM allocation is "
-                    f"{self.group_capacity_bits} bits{protected} — frame "
+                    f"{fifo.bits + stored} bits, memory allocation is "
+                    f"{capacity} bits{protected} — frame "
                     f"compresses worse than the design-time plan"
                 )
             fifo.push(stored, bits=stored)

@@ -107,14 +107,15 @@ class ResourceEstimate:
 
     def fits(self, device: FPGADevice) -> bool:
         """True when the LUT and register demand fit ``device``."""
-        return device.fits(luts=self.luts, registers=self.registers)
+        return device.accommodates(
+            {"luts": self.luts, "registers": self.registers}
+        )
 
     def utilisation(self, device: FPGADevice) -> dict[str, float]:
         """Percent utilisation on ``device``."""
-        return {
-            "luts": 100.0 * self.luts / device.luts,
-            "registers": 100.0 * self.registers / device.registers,
-        }
+        return device.utilisation(
+            {"luts": self.luts, "registers": self.registers}
+        )
 
 
 class ResourceModel:

@@ -24,7 +24,9 @@ waiver, the software analogue of a reviewed timing exception.
 
 The default scope covers the datapath models only: ``core/transform``,
 ``core/packing`` and the register-level hardware blocks (``fifo``,
-``memory_unit``, ``ecc``, ``bram``).  The estimator modules
+``memory_unit``, ``ecc``, ``bram``, plus the placement layer
+``primitives`` / ``planner``, whose unit counts feed the memory unit's
+runtime capacity enforcement).  The estimator modules
 (``hardware/resources``, ``latency``, ``device``, ``mapping``) model
 analog quantities — Fmax in MHz, utilisation percentages, linear fits —
 and are deliberately outside the bit-exact scope.
@@ -51,6 +53,8 @@ BIT_EXACT_MODULES: tuple[str, ...] = (
     "repro.hardware.memory_unit",
     "repro.hardware.ecc",
     "repro.hardware.bram",
+    "repro.hardware.primitives",
+    "repro.hardware.planner",
 )
 
 #: ``np.<attr>`` names that introduce floating-point dtypes or division.

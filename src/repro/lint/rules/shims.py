@@ -21,6 +21,31 @@ from .layering import resolve_relative
 #: Deprecated (module, name) locations and where to get the real thing.
 DEPRECATED_NAMES: tuple[tuple[str, str, str], ...] = (
     ("repro.runtime.worker", "EngineSpec", "repro.spec.EngineSpec"),
+    (
+        "repro.hardware.bram",
+        "min_brams",
+        "repro.hardware.primitives.BRAM18.units_for",
+    ),
+    (
+        "repro.hardware.bram",
+        "best_config",
+        "repro.hardware.primitives.BRAM18.best_config",
+    ),
+    (
+        "repro.hardware.bram",
+        "brams_for",
+        "repro.hardware.primitives.PortConfig.units_for",
+    ),
+    (
+        "repro.hardware.device",
+        "fits",
+        "repro.hardware.device.FPGADevice.accommodates",
+    ),
+    (
+        "repro.hardware.device",
+        "utilisation_percent",
+        "repro.hardware.device.FPGADevice.utilisation",
+    ),
 )
 
 

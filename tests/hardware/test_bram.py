@@ -1,4 +1,12 @@
-"""Tests for the 18 Kb BRAM primitive model."""
+"""Tests for the 18 Kb BRAM primitive model (now a deprecated shim).
+
+The geometry *data* (``BramConfig`` / ``BRAM_CONFIGS``) is still the
+canonical table — :data:`repro.hardware.primitives.BRAM18` is built from
+it.  The allocator *functions* here are deprecated shims; the arithmetic
+they wrapped lives in :mod:`repro.hardware.primitives` and is tested in
+``test_primitives.py``.  These tests pin the shim contract: same
+answers, plus a DeprecationWarning on every call.
+"""
 
 from __future__ import annotations
 
@@ -27,60 +35,90 @@ class TestBramConfig:
         assert BRAM_CAPACITY_BITS == 18432
         assert max(c.capacity_bits for c in BRAM_CONFIGS) == BRAM_CAPACITY_BITS
 
-    def test_brams_for_simple(self):
-        cfg = BramConfig(depth=2048, width=9)
-        assert cfg.brams_for(2048, 9) == 1
-        assert cfg.brams_for(2049, 9) == 2  # depth cascade
-        assert cfg.brams_for(2048, 10) == 2  # width cascade
-        assert cfg.brams_for(0, 9) == 0
-
-    def test_negative_rejected(self):
-        with pytest.raises(ConfigError):
-            BramConfig(depth=512, width=36).brams_for(-1, 8)
-
     def test_name_for_non_k_depth(self):
         assert BramConfig(depth=512, width=36).name == "512 x 36"
         assert BramConfig(depth=2048, width=9).name == "2k x 9"
 
 
-class TestBestConfig:
-    def test_paper_section5e_examples(self):
+class TestDeprecatedBramsFor:
+    def test_warns_and_still_computes(self):
+        cfg = BramConfig(depth=2048, width=9)
+        with pytest.warns(DeprecationWarning, match="brams_for"):
+            assert cfg.brams_for(2048, 9) == 1
+        with pytest.warns(DeprecationWarning):
+            assert cfg.brams_for(2049, 9) == 2  # depth cascade
+        with pytest.warns(DeprecationWarning):
+            assert cfg.brams_for(2048, 10) == 2  # width cascade
+        with pytest.warns(DeprecationWarning):
+            assert cfg.brams_for(0, 9) == 0
+
+    def test_negative_still_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError):
+                BramConfig(depth=512, width=36).brams_for(-1, 8)
+
+    def test_matches_replacement(self):
+        from repro.hardware.primitives import PortConfig
+
+        cfg = BramConfig(depth=1024, width=18)
+        with pytest.warns(DeprecationWarning):
+            old = cfg.brams_for(3000, 40)
+        assert old == PortConfig(depth=1024, width=18).units_for(3000, 40)
+
+
+class TestDeprecatedBestConfig:
+    def test_warns_and_keeps_paper_examples(self):
         """Window 8/16/32 BitMaps at width 512 map to 2k x 9, 1k x 18, 512 x 36."""
-        assert best_config(504, 8).name == "2k x 9"
-        assert best_config(496, 16).name == "1k x 18"
-        assert best_config(480, 32).name == "512 x 36"
-
-    def test_one_pixel_row_fits_2kx9(self):
-        """8-bit rows up to 2048 pixels fit one 2k x 9 BRAM (Table I note)."""
-        assert min_brams(2048, 8) == 1
-        assert min_brams(2049, 8) == 2
-        assert min_brams(3840, 8) == 2
-
-    def test_wide_words_use_narrowest_tie(self):
-        # W=1024, N=128 bitmap: 8 BRAMs both at x18 and x36; tie breaks to 18.
-        cfg = best_config(896, 128)
-        assert cfg.brams_for(896, 128) == 8
-        assert cfg.width == 18
-
-    def test_deep_narrow_prefers_2kx9(self):
-        # W=2048, N=128 bitmap: 2k x 9 wins with 15 BRAMs.
-        cfg = best_config(1920, 128)
-        assert cfg.name == "2k x 9"
-        assert cfg.brams_for(1920, 128) == 15
+        with pytest.warns(DeprecationWarning, match="best_config"):
+            assert best_config(504, 8).name == "2k x 9"
+        with pytest.warns(DeprecationWarning):
+            assert best_config(496, 16).name == "1k x 18"
+        with pytest.warns(DeprecationWarning):
+            assert best_config(480, 32).name == "512 x 36"
 
     def test_empty_buffer_rejected(self):
-        with pytest.raises(ConfigError):
-            best_config(0, 8)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError):
+                best_config(0, 8)
 
-    def test_min_brams_zero_for_empty(self):
-        assert min_brams(0, 8) == 0
-        assert min_brams(8, 0) == 0
+    def test_matches_replacement(self):
+        from repro.hardware.primitives import BRAM18
+
+        for depth, width in ((504, 8), (896, 128), (1920, 128)):
+            with pytest.warns(DeprecationWarning):
+                old = best_config(depth, width)
+            new = BRAM18.best_config(depth, width)
+            assert (old.depth, old.width) == (new.depth, new.width)
 
 
-class TestMinBramsExhaustive:
-    def test_is_actually_minimal(self):
-        """min_brams equals the brute-force minimum over all configs."""
-        for n_words in (1, 100, 512, 1000, 2048, 4000):
-            for word_bits in (1, 4, 8, 9, 16, 36, 64, 128):
-                expected = min(c.brams_for(n_words, word_bits) for c in BRAM_CONFIGS)
-                assert min_brams(n_words, word_bits) == expected
+class TestDeprecatedMinBrams:
+    def test_warns_and_keeps_table1_note(self):
+        """8-bit rows up to 2048 pixels fit one 2k x 9 BRAM (Table I note)."""
+        with pytest.warns(DeprecationWarning, match="min_brams"):
+            assert min_brams(2048, 8) == 1
+        with pytest.warns(DeprecationWarning):
+            assert min_brams(2049, 8) == 2
+
+    def test_zero_for_empty(self):
+        with pytest.warns(DeprecationWarning):
+            assert min_brams(0, 8) == 0
+        with pytest.warns(DeprecationWarning):
+            assert min_brams(8, 0) == 0
+
+    def test_matches_replacement(self):
+        from repro.hardware.primitives import BRAM18
+
+        for n_words in (1, 512, 2048, 4000):
+            for word_bits in (1, 8, 36, 128):
+                with pytest.warns(DeprecationWarning):
+                    old = min_brams(n_words, word_bits)
+                assert old == BRAM18.units_for(n_words, word_bits)
+
+    def test_lazy_reexport_from_package(self):
+        """The package serves the shim lazily (no static deprecated import)."""
+        import repro.hardware as hw
+
+        assert hw.min_brams is min_brams
+        assert "min_brams" not in hw.__all__
+        with pytest.raises(AttributeError):
+            hw.no_such_allocator

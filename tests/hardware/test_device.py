@@ -1,11 +1,11 @@
-"""Tests for the FPGA device catalog."""
+"""Tests for the FPGA device catalog and per-kind inventories."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.errors import ConfigError
-from repro.hardware.device import DEVICES, XC7Z020
+from repro.hardware.device import DEVICES, RESOURCE_KINDS, XC7Z020, ZU7EV
 
 
 class TestXC7Z020:
@@ -18,17 +18,67 @@ class TestXC7Z020:
         """Section III: 'a total on-chip memory of 5,018Kb' (~= 280 x 18Kb)."""
         assert abs(XC7Z020.bram_kbits - 5018) / 5018 < 0.01
 
-    def test_fits(self):
-        assert XC7Z020.fits(luts=53200, registers=106400, bram18k=280)
-        assert not XC7Z020.fits(luts=53201)
+    def test_7series_has_no_uram(self):
+        assert XC7Z020.uram == 0
+        assert XC7Z020.uram_bits == 0
+        assert XC7Z020.family == "7series"
 
-    def test_fits_rejects_negative(self):
+
+class TestAccommodates:
+    def test_per_kind_checks(self):
+        assert XC7Z020.accommodates(
+            {"luts": 53200, "registers": 106400, "bram18": 280}
+        )
+        assert not XC7Z020.accommodates({"luts": 53201})
+        assert not XC7Z020.accommodates({"uram": 1})  # no URAM columns
+        assert ZU7EV.accommodates({"uram": 96})
+
+    def test_bram_kinds_share_silicon(self):
+        """RAMB36 tiles are RAMB18 pairs: the joint demand must fit."""
+        assert XC7Z020.accommodates({"bram18": 280})
+        assert XC7Z020.accommodates({"bram36": 140})
+        # Each kind fits alone; together they exceed the 280 sites.
+        assert not XC7Z020.accommodates({"bram18": 200, "bram36": 100})
+
+    def test_unknown_kind_fails_loudly(self):
         with pytest.raises(ConfigError):
-            XC7Z020.fits(luts=-1)
+            XC7Z020.accommodates({"dsp": 1})
+        with pytest.raises(ConfigError):
+            XC7Z020.capacity("dsp")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            XC7Z020.accommodates({"luts": -1})
+
+    def test_capacity_covers_every_kind(self):
+        for kind in RESOURCE_KINDS:
+            assert XC7Z020.capacity(kind) >= 0
 
     def test_utilisation(self):
-        util = XC7Z020.utilisation_percent(luts=26600)
+        util = XC7Z020.utilisation({"luts": 26600})
         assert util["luts"] == 50.0
+        # Zero-capacity kinds: 0 demand is 0 %, any demand is infinite.
+        assert XC7Z020.utilisation({"uram": 0})["uram"] == 0.0
+        assert XC7Z020.utilisation({"uram": 1})["uram"] == float("inf")
+
+
+class TestDeprecatedShims:
+    def test_fits_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="accommodates"):
+            assert XC7Z020.fits(luts=53200, registers=106400, bram18k=280)
+        with pytest.warns(DeprecationWarning):
+            assert not XC7Z020.fits(luts=53201)
+
+    def test_fits_rejects_negative(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigError):
+                XC7Z020.fits(luts=-1)
+
+    def test_utilisation_percent_warns_and_keeps_keys(self):
+        with pytest.warns(DeprecationWarning, match="utilisation"):
+            util = XC7Z020.utilisation_percent(luts=26600)
+        assert util["luts"] == 50.0
+        assert set(util) == {"luts", "registers", "bram18k"}
 
 
 class TestCatalog:
@@ -39,3 +89,15 @@ class TestCatalog:
         names = ["XC7Z010", "XC7Z020", "XC7Z030", "XC7Z045"]
         luts = [DEVICES[n].luts for n in names]
         assert luts == sorted(luts)
+
+    def test_ultrascale_parts_present(self):
+        zu3 = DEVICES["ZU3EG"]
+        assert zu3.family == "ultrascale+" and zu3.uram == 0
+        assert DEVICES["ZU7EV"] is ZU7EV
+        assert ZU7EV.uram == 96
+        assert ZU7EV.uram_bits == 96 * 294912
+
+    def test_portfolio_property_matches_family(self):
+        assert XC7Z020.portfolio.name == "bram18-compat"
+        kinds = [p.kind for p in ZU7EV.portfolio.primitives]
+        assert "uram" in kinds and "lutram" in kinds

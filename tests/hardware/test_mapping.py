@@ -134,3 +134,39 @@ class TestPlan:
         config = cfg(512, 8)
         plan = plan_memory_mapping(config, np.full(8, 40000))
         assert plan.bram_saving_percent < 0
+
+
+class TestPortfolioThreading:
+    """The device/portfolio path of plan_memory_mapping."""
+
+    def test_default_path_carries_no_placement(self):
+        plan = plan_memory_mapping(cfg(512, 8), np.full(8, 2000))
+        assert plan.placement is None
+
+    def test_compat_portfolio_is_bit_identical(self):
+        from repro.hardware.primitives import BRAM18_COMPAT
+
+        config = cfg(512, 8)
+        rows = np.full(8, 2000)
+        seed_plan = plan_memory_mapping(config, rows)
+        via = plan_memory_mapping(config, rows, portfolio=BRAM18_COMPAT)
+        assert via.placement is not None
+        assert (via.packed_brams, via.rows_per_bram, via.management_brams) == (
+            seed_plan.packed_brams,
+            seed_plan.rows_per_bram,
+            seed_plan.management_brams,
+        )
+
+    def test_device_path_threads_placement(self):
+        from repro.hardware.device import DEVICES
+
+        config = cfg(512, 16)
+        rows = np.full(16, 2000)
+        plan = plan_memory_mapping(config, rows, device=DEVICES["ZU7EV"])
+        assert plan.placement is not None
+        assert plan.packed_brams == plan.placement.payload.units
+        assert plan.rows_per_bram == plan.placement.payload.rows_per_group
+        assert plan.management_brams == (
+            plan.placement.nbits.units + plan.placement.bitmap.units
+        )
+        assert "payload" in plan.describe()

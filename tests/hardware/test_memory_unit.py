@@ -75,6 +75,26 @@ class TestMemoryUnit:
         assert "nbits" in report and "bitmap" in report
         assert any(k.startswith("packed[") for k in report)
 
+    def test_placement_capacities_enforced_per_group(self):
+        """A portfolio plan's per-group capacities drive the runtime check."""
+        from repro.hardware.device import DEVICES
+
+        config = ArchitectureConfig(
+            image_width=64, image_height=64, window_size=8
+        )
+        rows = np.full(8, 2000)
+        plan = plan_memory_mapping(config, rows, device=DEVICES["ZU7EV"])
+        assert plan.placement is not None
+        unit = MemoryUnit(plan)
+        caps = plan.placement.payload.group_capacity_list()
+        assert tuple(unit._group_capacities) == caps
+        # Overflow the first group's placed capacity exactly.
+        per_row = caps[0] // plan.rows_per_bram + 1
+        with pytest.raises(CapacityError):
+            unit.push_column(
+                np.full(8, per_row), 4, 4, np.zeros(8, dtype=bool)
+            )
+
     def test_streaming_real_band_fits_plan(self, rng):
         """Columns of a real encoded band stream through the planned unit."""
         from repro.core.stats import analyze_band

@@ -25,6 +25,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["resources", "alu"])
 
+    def test_resources_defaults_to_memory_sweep(self):
+        args = build_parser().parse_args(["resources"])
+        assert args.module == "memory"
+        assert args.device == "XC7Z020"
+        assert args.mode == "exhaustive"
+
+    def test_device_flag_choices(self):
+        for command in ("resources", "perf", "fault-campaign"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args([command, "--device", "XC9999"])
+            args = build_parser().parse_args([command, "--device", "ZU7EV"])
+            assert args.device == "ZU7EV"
+
     def test_fault_campaign_scheme_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fault-campaign", "--schemes", "raid5"])
@@ -65,6 +78,11 @@ class TestCommands:
         assert "SEU campaign" in out
         assert "secded" in out and "none" in out
         assert "12.5%" in out
+        assert "XC7Z020" in out
+
+    def test_fault_campaign_device_in_title(self, capsys):
+        assert main(["fault-campaign", "--smoke", "--device", "ZU7EV"]) == 0
+        assert "ZU7EV" in capsys.readouterr().out
 
     def test_mse_small(self, capsys):
         code = main(
@@ -126,6 +144,53 @@ class TestCommands:
         assert np.array_equal(read_pgm(back), read_pgm(src))  # lossless
 
 
+class TestResourcesCommand:
+    def test_memory_sweep_default_device(self, capsys):
+        assert main(["resources", "--images", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory placement on XC7Z020" in out
+        assert "bram18" in out
+
+    def test_memory_sweep_ultrascale(self, capsys):
+        assert main(["resources", "--device", "ZU7EV", "--images", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Memory placement on ZU7EV" in out
+        assert "LUTRAM" in out and "uram" in out
+
+    def test_format_json_and_artifact(self, tmp_path, capsys):
+        import json
+
+        out_json = tmp_path / "resources.json"
+        code = main(
+            [
+                "resources",
+                "--device",
+                "ZU7EV",
+                "--images",
+                "2",
+                "--format",
+                "json",
+                "--json",
+                str(out_json),
+            ]
+        )
+        assert code == 0
+        from repro.analysis.resources import RESOURCES_SCHEMA, load_resources_json
+
+        stdout_payload = json.loads(capsys.readouterr().out)
+        assert stdout_payload["schema"] == RESOURCES_SCHEMA
+        payload = load_resources_json(out_json)
+        assert payload == stdout_payload
+        kinds = {
+            pt["placement"]["payload"]["primitive"] for pt in payload["points"]
+        }
+        assert "uram" in kinds
+
+    def test_legacy_module_tables_still_work(self, capsys):
+        assert main(["resources", "overall"]) == 0
+        assert "LUT" in capsys.readouterr().out
+
+
 class TestPerfCommand:
     def test_perf_smoke(self, tmp_path, capsys):
         out_json = tmp_path / "BENCH_perf.json"
@@ -178,6 +243,29 @@ class TestPerfCommand:
     def test_perf_strategy_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["perf", "--strategy", "warp-drive"])
+
+    def test_perf_device_rides_on_payload(self, tmp_path):
+        out_json = tmp_path / "BENCH_perf.json"
+        code = main(
+            [
+                "perf",
+                "--smoke",
+                "--resolution",
+                "64",
+                "--window",
+                "8",
+                "--device",
+                "ZU3EG",
+                "--strategy",
+                "sequential",
+                "--json",
+                str(out_json),
+            ]
+        )
+        assert code == 0
+        from repro.analysis.perf import load_bench_json
+
+        assert load_bench_json(out_json)["device"] == "ZU3EG"
 
 
 class TestStreamCommand:
