@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from pathlib import Path
 
 from .analysis import experiments as ex
@@ -454,6 +455,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule table and exit",
     )
+    p_lint.add_argument(
+        "--native",
+        action="store_true",
+        help=(
+            "also run the native codec's bit-identity corpus under an "
+            "ASan/UBSan-instrumented build"
+        ),
+    )
+    p_lint.add_argument(
+        "--native-corpus",
+        default=None,
+        help="pytest corpus for --native (default: tests/packing/test_native.py)",
+    )
+    p_lint.add_argument(
+        "--no-unused-waivers",
+        action="store_true",
+        help="do not report stale '# reprolint: disable=...' waivers (REP000)",
+    )
+    p_lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="parse every file fresh instead of using ~/.cache/repro-lint",
+    )
 
     p_rep = sub.add_parser("report", help="one-shot reproduction report")
     p_rep.add_argument("--resolution", type=int, default=512)
@@ -838,6 +862,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"wrote {args.prometheus}")
     elif args.command == "lint":
         from .lint import (
+            AstCache,
             LintReport,
             default_rules,
             lint_paths,
@@ -861,8 +886,40 @@ def main(argv: list[str] | None = None) -> int:
             )
             return 0
         paths = args.paths if args.paths else [Path("src")]
-        report = lint_paths(paths, rules)
+        cache = None if args.no_cache else AstCache()
+        report = lint_paths(
+            paths,
+            rules,
+            cache=cache,
+            report_unused_waivers=not args.no_unused_waivers,
+        )
         print(render_json(report) if args.format == "json" else render_text(report))
+        # Exit-code contract: 0 clean, 1 findings, 2 the linter itself
+        # broke (rule crash) — CI must be able to tell these apart.
+        if report.crashes:
+            pointer = Path(tempfile.gettempdir()) / "reprolint-crash.log"
+            pointer.write_text(
+                "\n\n".join(c.traceback for c in report.crashes)
+            )
+            print(
+                f"{len(report.crashes)} rule crash(es); tracebacks: {pointer}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.native:
+            from .core.packing.native.sanitize import (
+                DEFAULT_CORPUS,
+                run_corpus,
+            )
+
+            corpus = args.native_corpus or DEFAULT_CORPUS
+            print(f"sanitizer pass: {corpus} under ASan/UBSan ...")
+            code, output = run_corpus(corpus)
+            if code != 0:
+                print(output, file=sys.stderr)
+                print(f"sanitizer pass FAILED (exit {code})")
+                return 1
+            print("sanitizer pass ok")
         return 0 if report.ok else 1
     elif args.command == "report":
         from .analysis.report import ReportOptions, full_report

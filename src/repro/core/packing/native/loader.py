@@ -48,6 +48,37 @@ _FLAG_SETS: tuple[tuple[str, ...], ...] = (
     ("-O3", "-fPIC", "-shared", "-std=c99"),
 )
 
+#: Extra flags appended to every set when ``REPRO_NATIVE_SANITIZE`` asks
+#: for an instrumented build (``repro lint --native``).  -O1 keeps UBSan
+#: line info honest; no-recover turns any finding into a hard abort so
+#: the test run cannot paper over it.
+_SANITIZE_FLAGS: tuple[str, ...] = (
+    "-g",
+    "-O1",
+    "-fno-omit-frame-pointer",
+    "-fsanitize=address,undefined",
+    "-fno-sanitize-recover=all",
+)
+
+#: Environment knob selecting the sanitizer build (value ``"1"``).
+SANITIZE_ENV = "REPRO_NATIVE_SANITIZE"
+
+
+def _sanitize_requested() -> bool:
+    return os.environ.get(SANITIZE_ENV, "0") == "1"
+
+
+def _flag_sets() -> tuple[tuple[str, ...], ...]:
+    """The active flag sets; sanitizer flags change the cache digest too.
+
+    The content-addressed object cache hashes these flags, so sanitized
+    and plain builds coexist under different digests — flipping
+    ``REPRO_NATIVE_SANITIZE`` never serves a stale object.
+    """
+    if not _sanitize_requested():
+        return _FLAG_SETS
+    return tuple((*fs, *_SANITIZE_FLAGS) for fs in _FLAG_SETS)
+
 _i64 = ctypes.c_int64
 _p_i64 = ctypes.POINTER(ctypes.c_int64)
 _p_i32 = ctypes.POINTER(ctypes.c_int32)
@@ -109,7 +140,7 @@ def _cache_dir() -> Path:
 
 
 def _object_path(source_text: str, compiler: str) -> Path:
-    flags = ";".join(" ".join(fs) for fs in _FLAG_SETS)
+    flags = ";".join(" ".join(fs) for fs in _flag_sets())
     digest = hashlib.sha256(
         f"abi={_ABI_VERSION};cc={compiler};flags={flags};".encode()
         + source_text.encode()
@@ -125,7 +156,7 @@ def _compile(source_text: str, compiler: str, target: Path) -> None:
     os.close(fd)
     try:
         errors = []
-        for flag_set in _FLAG_SETS:
+        for flag_set in _flag_sets():
             cmd = [compiler, *flag_set, "-o", tmp_name, str(_SOURCE)]
             result = subprocess.run(
                 cmd,

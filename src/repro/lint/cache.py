@@ -1,0 +1,103 @@
+"""Parse cache for reprolint: pickled ASTs keyed by file identity.
+
+Parsing is the dominant cost of a clean ``repro lint src/`` run, and the
+tree only changes when the file does.  Each file's AST is pickled under
+``~/.cache/repro-lint`` (or ``$REPRO_LINT_CACHE``) keyed by
+``(path, mtime_ns, size)`` plus the interpreter version and a cache
+format version, so a rerun over an unchanged tree is parse-free and any
+staleness dimension (edit, move, interpreter upgrade, format change)
+misses cleanly.
+
+Every failure mode — unreadable entry, unpicklable tree, read-only cache
+dir — degrades to "parse it again"; the cache can never change lint
+results, only their latency.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from pathlib import Path
+
+#: Bump when the cached payload format changes.
+CACHE_VERSION = 1
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_LINT_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_LINT_CACHE`` or ``~/.cache/repro-lint``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-lint"
+
+
+class AstCache:
+    """Load/store pickled ASTs; all failures degrade to a cache miss."""
+
+    def __init__(self, directory: Path | None = None) -> None:
+        self.directory = directory if directory is not None else default_cache_dir()
+
+    def _entry_path(self, path: Path) -> Path | None:
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        key = "|".join(
+            (
+                str(path.resolve()),
+                str(stat.st_mtime_ns),
+                str(stat.st_size),
+                f"v{CACHE_VERSION}",
+                f"py{sys.version_info.major}.{sys.version_info.minor}",
+            )
+        )
+        digest = hashlib.sha256(key.encode()).hexdigest()
+        return self.directory / f"{digest}.pkl"
+
+    def load(self, path: Path) -> ast.Module | None:
+        """The cached AST for ``path``, or ``None`` on any kind of miss."""
+        entry = self._entry_path(path)
+        if entry is None:
+            return None
+        try:
+            payload = entry.read_bytes()
+            tree = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any corruption is just a miss
+            return None
+        return tree if isinstance(tree, ast.Module) else None
+
+    def store(self, path: Path, tree: ast.Module) -> None:
+        """Persist ``tree`` for ``path``; silently skip on any failure."""
+        entry = self._entry_path(path)
+        if entry is None:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Atomic write: a concurrent reader never sees a torn pickle.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.directory, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(tree, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, entry)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except Exception:  # noqa: BLE001 - cache is best-effort only
+            return
+
+
+__all__ = ["AstCache", "CACHE_DIR_ENV", "CACHE_VERSION", "default_cache_dir"]

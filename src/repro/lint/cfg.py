@@ -1,0 +1,429 @@
+"""Per-function control-flow graphs for flow-sensitive lint rules.
+
+The PR 5 rules are per-line AST visitors: they can say "this call is
+lexically inside a try" but not "every path from this acquire reaches a
+release".  This module builds the missing structure — a conventional
+basic-block CFG per function — that the worklist engine in
+:mod:`repro.lint.dataflow` solves fixpoints over.
+
+Granularity is one *simple statement per block*.  Functions in this
+codebase are small, so the quadratic-ish cost is irrelevant, and the
+payoff is precision on exception edges: an ``exc`` edge out of a block
+models "this statement raised", and because a block holds exactly one
+statement, propagating the block's *entry* fact along ``exc`` edges is
+exact — a failing ``slot = ring.acquire()`` has not acquired anything,
+while a failing ``use(slot)`` one block later still holds the slot.
+
+Shapes handled: ``if``/``elif``/``else``, ``while``/``for`` (+``else``,
+``break``, ``continue``), ``try``/``except``/``else``/``finally`` with
+abrupt exits routed *through* pending ``finally`` bodies, ``with``,
+``match``, ``return``/``raise``/``assert``, and their async twins.
+Nested ``def``/``class`` bodies are opaque single statements — each
+function gets its own CFG.
+
+Two deliberate approximations, both documented for rule authors:
+
+- ``exc`` edges are only added for statements that can plausibly raise
+  (they contain a call, or are ``raise``/``assert``), and never for
+  statements inside ``except``/``finally`` bodies — cleanup code is
+  trusted, otherwise every ``finally: ring.release(slot)`` would flag
+  its own hypothetical failure.
+- A ``finally`` body is built once and fans out to every continuation
+  (fall-through, each abrupt exit, re-raise), so facts merge across the
+  exit kinds instead of duplicating the body per kind.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+#: Function-like AST nodes a CFG is built for.
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Edge kinds whose dataflow fact is the source block's *entry* fact
+#: (the statement may have failed before completing its effects).
+EXCEPTIONAL_KINDS = frozenset({"exc"})
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """One directed CFG edge, labelled with how control transferred."""
+
+    src: int
+    dst: int
+    #: ``next``/``true``/``false``/``back``/``exc``/``return``/``break``/
+    #: ``continue``/``raise``/``case``.
+    kind: str
+
+
+class Block:
+    """One basic block: at most one statement plus header expressions."""
+
+    __slots__ = ("id", "label", "nodes", "pred", "succ")
+
+    def __init__(self, block_id: int, label: str) -> None:
+        self.id = block_id
+        #: ``entry``/``exit``/``stmt``/``branch``/``loop-head``/``arm``/
+        #: ``join``/``handler``/``finally``/``with``/``unreachable``.
+        self.label = label
+        #: The statement (or evaluated header expression) this block runs.
+        self.nodes: list[ast.AST] = []
+        self.succ: list[Edge] = []
+        self.pred: list[Edge] = []
+
+    @property
+    def stmt(self) -> ast.AST | None:
+        """The block's statement/header node (``None`` for structural blocks)."""
+        return self.nodes[0] if self.nodes else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        what = type(self.stmt).__name__ if self.nodes else ""
+        return f"Block({self.id}, {self.label}{', ' + what if what else ''})"
+
+
+class CFG:
+    """The control-flow graph of one function."""
+
+    def __init__(
+        self,
+        func: FunctionNode,
+        blocks: list[Block],
+        entry: Block,
+        exit_block: Block,
+        owner: dict[int, Block],
+    ) -> None:
+        self.func = func
+        self.blocks = blocks
+        self.entry = entry
+        self.exit = exit_block
+        self._owner = owner
+
+    def block_of(self, node: ast.AST) -> Block | None:
+        """The block that evaluates ``node`` (header expressions included)."""
+        return self._owner.get(id(node))
+
+    def reachable(self) -> set[int]:
+        """Block ids reachable from the entry block."""
+        seen: set[int] = set()
+        stack = [self.entry.id]
+        by_id = {b.id: b for b in self.blocks}
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(
+                e.dst for e in by_id[bid].succ if e.dst not in seen
+            )
+        return seen
+
+    def render(self) -> str:
+        """A compact text dump (debugging and golden tests)."""
+        lines = []
+        for block in self.blocks:
+            succ = ", ".join(f"{e.kind}->{e.dst}" for e in block.succ)
+            stmt = type(block.stmt).__name__ if block.nodes else "-"
+            lines.append(f"{block.id:3d} {block.label:12s} {stmt:12s} [{succ}]")
+        return "\n".join(lines)
+
+
+def iter_functions(tree: ast.AST) -> Iterator[FunctionNode]:
+    """Every function/method/nested function in ``tree`` (each gets a CFG)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def header_parts(node: ast.AST) -> Iterator[ast.AST]:
+    """The sub-expressions of ``node`` that its block actually evaluates.
+
+    For simple statements that is the whole node; for compound headers it
+    is the test/iterable/context expressions, never the nested bodies.
+    """
+    if isinstance(node, (ast.For, ast.AsyncFor)):
+        yield node.target
+        yield node.iter
+    elif isinstance(node, (ast.With, ast.AsyncWith)):
+        for item in node.items:
+            yield item.context_expr
+            if item.optional_vars is not None:
+                yield item.optional_vars
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return  # opaque: the nested body has its own CFG
+    else:
+        yield node
+
+
+def _can_raise(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Raise, ast.Assert)):
+        return True
+    return any(
+        isinstance(inner, ast.Call)
+        for part in header_parts(node)
+        for inner in ast.walk(part)
+    )
+
+
+@dataclass
+class _Loop:
+    header: Block
+    after: Block
+
+
+@dataclass
+class _Finally:
+    placeholder: Block
+    #: ``(target block, edge kind)`` pairs the built finalbody fans out to.
+    continuations: list[tuple[Block, str]]
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.func = func
+        self.blocks: list[Block] = []
+        self.owner: dict[int, Block] = {}
+        self.entry = self._new("entry")
+        self.exit = self._new("exit")
+        #: Control context: loops (break/continue) and pending finallys.
+        self.stack: list[_Loop | _Finally] = []
+        #: Where an exception propagates to, innermost context on top.
+        self.exc_targets: list[list[Block]] = [[self.exit]]
+        #: >0 while building except/finally bodies (trusted cleanup).
+        self.cleanup_depth = 0
+
+    # -- plumbing ---------------------------------------------------------
+
+    def _new(self, label: str) -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    def _edge(self, src: Block, dst: Block, kind: str) -> None:
+        edge = Edge(src.id, dst.id, kind)
+        if edge not in src.succ:
+            src.succ.append(edge)
+            dst.pred.append(edge)
+
+    def _stmt_block(self, current: Block, node: ast.AST, label: str) -> Block:
+        block = self._new(label)
+        self._edge(current, block, "next")
+        block.nodes.append(node)
+        for part in header_parts(node):
+            for inner in ast.walk(part):
+                self.owner.setdefault(id(inner), block)
+        self.owner.setdefault(id(node), block)
+        if _can_raise(node) and not self.cleanup_depth:
+            for target in self.exc_targets[-1]:
+                self._edge(block, target, "exc")
+        return block
+
+    def _arm(self, head: Block, kind: str) -> Block:
+        arm = self._new("arm")
+        self._edge(head, arm, kind)
+        return arm
+
+    def _abrupt(
+        self, block: Block, kind: str, final: Block, *, stop_at_loop: bool
+    ) -> None:
+        """Route an abrupt exit through pending finallys to ``final``."""
+        pending: list[_Finally] = []
+        for frame in reversed(self.stack):
+            if isinstance(frame, _Loop) and stop_at_loop:
+                break
+            if isinstance(frame, _Finally):
+                pending.append(frame)
+        hops: list[Block] = [f.placeholder for f in pending] + [final]
+        self._edge(block, hops[0], kind)
+        for frame, nxt in zip(pending, hops[1:]):
+            if (nxt, kind) not in frame.continuations:
+                frame.continuations.append((nxt, kind))
+
+    def _innermost_loop(self) -> _Loop | None:
+        for frame in reversed(self.stack):
+            if isinstance(frame, _Loop):
+                return frame
+        return None
+
+    # -- construction -----------------------------------------------------
+
+    def build(self) -> CFG:
+        """Construct the CFG for the builder's function."""
+        end = self._body(self.func.body, self.entry)
+        if end is not None:
+            self._edge(end, self.exit, "next")  # implicit `return None`
+        return CFG(self.func, self.blocks, self.entry, self.exit, self.owner)
+
+    def _body(self, stmts: Iterable[ast.stmt], current: Block | None) -> Block | None:
+        for stmt in stmts:
+            if current is None:
+                current = self._new("unreachable")
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, node: ast.stmt, current: Block) -> Block | None:
+        if isinstance(node, ast.If):
+            return self._if(node, current)
+        if isinstance(node, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(node, current)
+        if isinstance(node, ast.Try):
+            return self._try(node, current)
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            return self._with(node, current)
+        if isinstance(node, ast.Match):
+            return self._match(node, current)
+        if isinstance(node, ast.Return):
+            block = self._stmt_block(current, node, "stmt")
+            self._abrupt(block, "return", self.exit, stop_at_loop=False)
+            return None
+        if isinstance(node, ast.Raise):
+            block = self._stmt_block(current, node, "stmt")
+            for target in self.exc_targets[-1]:
+                self._edge(block, target, "raise")
+            return None
+        if isinstance(node, ast.Break):
+            loop = self._innermost_loop()
+            block = self._stmt_block(current, node, "stmt")
+            if loop is not None:
+                self._abrupt(block, "break", loop.after, stop_at_loop=True)
+            return None
+        if isinstance(node, ast.Continue):
+            loop = self._innermost_loop()
+            block = self._stmt_block(current, node, "stmt")
+            if loop is not None:
+                self._abrupt(block, "continue", loop.header, stop_at_loop=True)
+            return None
+        return self._stmt_block(current, node, "stmt")
+
+    def _if(self, node: ast.If, current: Block) -> Block | None:
+        head = self._stmt_block(current, node.test, "branch")
+        after = self._new("join")
+        body_end = self._body(node.body, self._arm(head, "true"))
+        if body_end is not None:
+            self._edge(body_end, after, "next")
+        if node.orelse:
+            else_end = self._body(node.orelse, self._arm(head, "false"))
+            if else_end is not None:
+                self._edge(else_end, after, "next")
+        else:
+            self._edge(head, after, "false")
+        return after if after.pred else None
+
+    def _loop(
+        self, node: ast.While | ast.For | ast.AsyncFor, current: Block
+    ) -> Block | None:
+        header_node: ast.AST = node.test if isinstance(node, ast.While) else node
+        head = self._stmt_block(current, header_node, "loop-head")
+        after = self._new("join")
+        self.stack.append(_Loop(header=head, after=after))
+        body_end = self._body(node.body, self._arm(head, "true"))
+        self.stack.pop()
+        if body_end is not None:
+            self._edge(body_end, head, "back")
+        infinite = (
+            isinstance(node, ast.While)
+            and isinstance(node.test, ast.Constant)
+            and bool(node.test.value)
+        )
+        if not infinite:
+            if node.orelse:
+                else_end = self._body(node.orelse, self._arm(head, "false"))
+                if else_end is not None:
+                    self._edge(else_end, after, "next")
+            else:
+                self._edge(head, after, "false")
+        return after if after.pred else None
+
+    def _with(self, node: ast.With | ast.AsyncWith, current: Block) -> Block | None:
+        head = self._stmt_block(current, node, "with")
+        return self._body(node.body, head)
+
+    def _match(self, node: ast.Match, current: Block) -> Block | None:
+        head = self._stmt_block(current, node.subject, "branch")
+        after = self._new("join")
+        for case in node.cases:
+            end = self._body(case.body, self._arm(head, "case"))
+            if end is not None:
+                self._edge(end, after, "next")
+        self._edge(head, after, "false")  # no case matched
+        return after if after.pred else None
+
+    def _try(self, node: ast.Try, current: Block) -> Block | None:
+        after = self._new("join")
+        fin = (
+            _Finally(placeholder=self._new("finally"), continuations=[])
+            if node.finalbody
+            else None
+        )
+        handler_entries = [self._new("handler") for _ in node.handlers]
+        for handler, entry in zip(node.handlers, handler_entries):
+            entry.nodes.append(handler)
+            self.owner.setdefault(id(handler), entry)
+
+        def _terminate(end: Block | None) -> None:
+            if end is None:
+                return
+            if fin is not None:
+                self._edge(end, fin.placeholder, "next")
+                if (after, "next") not in fin.continuations:
+                    fin.continuations.append((after, "next"))
+            else:
+                self._edge(end, after, "next")
+
+        # Body: exceptions dispatch to the handlers, or straight to the
+        # finally when there are none.
+        body_targets = handler_entries + (
+            [fin.placeholder] if fin is not None else []
+        )
+        if fin is not None:
+            self.stack.append(fin)
+        self.exc_targets.append(body_targets or list(self.exc_targets[-1]))
+        body_end = self._body(node.body, self._arm(current, "next"))
+        self.exc_targets.pop()
+
+        # `else` runs after a clean body; its exceptions are *not* caught
+        # by this try's handlers.
+        if body_end is not None and node.orelse:
+            self.exc_targets.append(
+                [fin.placeholder] if fin is not None else list(self.exc_targets[-1])
+            )
+            body_end = self._body(node.orelse, self._arm(body_end, "next"))
+            self.exc_targets.pop()
+        _terminate(body_end)
+
+        # Handler bodies: trusted cleanup, exceptions go to finally/outer.
+        handler_exc = (
+            [fin.placeholder] if fin is not None else list(self.exc_targets[-1])
+        )
+        for handler, entry in zip(node.handlers, handler_entries):
+            self.exc_targets.append(handler_exc)
+            self.cleanup_depth += 1
+            handler_end = self._body(handler.body, entry)
+            self.cleanup_depth -= 1
+            self.exc_targets.pop()
+            _terminate(handler_end)
+
+        if fin is not None:
+            self.stack.remove(fin)
+            # An exception nobody caught still runs the finally, then
+            # keeps unwinding to the enclosing context.  Kind "raise",
+            # not "exc": the finally body *completed* before control
+            # leaves, so dataflow must propagate its output fact (an
+            # "exc" label would roll back to the block's entry fact and
+            # erase the cleanup the finally just performed).
+            for target in self.exc_targets[-1]:
+                if (target, "raise") not in fin.continuations:
+                    fin.continuations.append((target, "raise"))
+            self.cleanup_depth += 1
+            fin_end = self._body(node.finalbody, fin.placeholder)
+            self.cleanup_depth -= 1
+            if fin_end is not None:
+                for target, kind in fin.continuations:
+                    self._edge(fin_end, target, kind)
+        return after if after.pred else None
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder(func).build()

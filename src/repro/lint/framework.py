@@ -15,24 +15,42 @@ The pieces:
 - :class:`Violation` — one finding, ``path:line:col: REPxxx message``.
 - :class:`Rule` — the protocol a rule implements: a ``code`` (``REPxxx``),
   a ``name``, a ``description`` and ``check(source) -> violations``.
+- :class:`FunctionRule` — the flow-sensitive extension: a rule that
+  additionally implements ``check_function(source, func, cfg)`` receives
+  every function with its control-flow graph (built once per function,
+  shared across rules).  Plain rules keep working unchanged.
 - Suppressions — ``# reprolint: disable=REP001`` on the offending line
   (or alone on the line above) waives that rule there;
   ``# reprolint: disable-file=REP001`` anywhere waives it for the file.
   ``disable=all`` waives every rule.  Waivers are the lint analogue of
-  timing-constraint exceptions: visible, greppable, reviewed.
-- :func:`check_module` / :func:`lint_paths` — the drivers.
+  timing-constraint exceptions: visible, greppable, reviewed.  A waiver
+  that suppresses nothing is itself reported (code ``REP000``) so stale
+  exceptions cannot accumulate.
+- :class:`RuleCrash` — an internal rule failure, reported separately
+  from findings so the CLI can exit 2 (linter broke) instead of 1
+  (violations found).
+- :func:`check_module` / :func:`analyze_module` / :func:`lint_paths` —
+  the drivers.
 """
 
 from __future__ import annotations
 
 import ast
+import io
 import re
-from collections.abc import Iterable, Iterator, Sequence
+import time
+import tokenize
+import traceback
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Protocol, runtime_checkable
 
 from ..errors import ConfigError
+from .cfg import CFG, FunctionNode, build_cfg, iter_functions
+
+#: Synthetic rule code for waivers that suppress nothing.
+UNUSED_WAIVER_CODE = "REP000"
 
 #: Matches one suppression comment; group 1 is the directive, group 2 the
 #: comma-separated rule codes (or ``all``).
@@ -61,6 +79,24 @@ class Violation:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
 
+@dataclass(frozen=True, slots=True)
+class RuleCrash:
+    """An unhandled exception inside a rule (linter bug, not a finding)."""
+
+    #: Code of the rule that crashed (``"<cfg>"`` for the CFG builder).
+    rule: str
+    #: File being analysed when the rule crashed.
+    path: str
+    #: ``repr`` of the exception.
+    error: str
+    #: Full traceback text, for the pointer file the CLI writes.
+    traceback: str
+
+    def format(self) -> str:
+        """One-line rendering for terminal output."""
+        return f"{self.path}: rule {self.rule} crashed: {self.error}"
+
+
 class ModuleSource:
     """One Python file parsed for linting (shared by all rules).
 
@@ -76,22 +112,26 @@ class ModuleSource:
         path: str = "<memory>",
         module: str = "",
         is_package: bool = False,
+        tree: ast.Module | None = None,
     ) -> None:
         self.text = text
         self.path = path
         self.module = module
         self.is_package = is_package
         self.lines = text.splitlines()
-        self.tree = ast.parse(text, filename=path)
+        self.tree = tree if tree is not None else ast.parse(text, filename=path)
         self._parents: dict[ast.AST, ast.AST] | None = None
 
     @classmethod
-    def from_path(cls, path: Path) -> "ModuleSource":
+    def from_path(
+        cls, path: Path, *, tree: ast.Module | None = None
+    ) -> "ModuleSource":
         """Parse ``path``, deriving the dotted module name from packages.
 
         Walks up while a ``__init__.py`` sibling exists, so
         ``src/repro/core/transform/haar1d.py`` resolves to
         ``repro.core.transform.haar1d`` no matter where the repo lives.
+        A pre-parsed ``tree`` (from the AST cache) skips the parse.
         """
         parts = [path.stem if path.name != "__init__.py" else None]
         parent = path.parent
@@ -104,6 +144,7 @@ class ModuleSource:
             path=str(path),
             module=module,
             is_package=path.name == "__init__.py",
+            tree=tree,
         )
 
     @classmethod
@@ -147,6 +188,110 @@ class Rule(Protocol):
         ...  # pragma: no cover - protocol body
 
 
+@runtime_checkable
+class FunctionRule(Protocol):
+    """A rule that opts into per-function dataflow facts.
+
+    The driver builds each function's CFG exactly once and hands it to
+    every function rule, so N flow-sensitive rules share one graph.
+    ``check`` still runs (module-level sweep); return ``()`` from it when
+    the rule is purely flow-sensitive.
+    """
+
+    code: str
+    name: str
+    description: str
+
+    def check(self, source: ModuleSource) -> Iterable[Violation]:
+        """Yield every violation of this rule in ``source``."""
+        ...  # pragma: no cover - protocol body
+
+    def check_function(
+        self, source: ModuleSource, func: FunctionNode, cfg: CFG
+    ) -> Iterable[Violation]:
+        """Yield violations found in one function given its CFG."""
+        ...  # pragma: no cover - protocol body
+
+
+class _Suppressions:
+    """Waiver bookkeeping: suppression *and* unused-waiver detection."""
+
+    def __init__(self, source: ModuleSource) -> None:
+        self.per_line, self.file_wide = suppressed_lines(source)
+        #: Comment line -> codes declared there (before next-line
+        #: propagation), for attributing unused waivers to their comment.
+        self._declared: list[tuple[int, frozenset[str]]] = []
+        self._used: set[tuple[int, str]] = set()
+        self._used_file_wide: set[str] = set()
+        for lineno, _line, match in _waiver_comments(source):
+            if match.group(1) != "disable":
+                continue
+            codes = frozenset(
+                c.strip() for c in match.group(2).split(",") if c.strip()
+            )
+            self._declared.append((lineno, codes))
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        """True when a waiver covers ``violation`` (marking it used)."""
+        if violation.rule in self.file_wide or "all" in self.file_wide:
+            self._used_file_wide.add(
+                violation.rule if violation.rule in self.file_wide else "all"
+            )
+            return True
+        codes = self.per_line.get(violation.line, ())
+        for code in (violation.rule, "all"):
+            if code in codes:
+                self._used.add((violation.line, code))
+                return True
+        return False
+
+    def unused(
+        self, path: str, active_codes: frozenset[str]
+    ) -> Iterator[Violation]:
+        """Waivers that suppressed nothing, as synthetic REP000 findings.
+
+        Only codes in ``active_codes`` (the rules that actually ran) are
+        judged — a ``--rules`` subset run cannot tell whether a waiver
+        for an unselected rule is stale.
+        """
+        for lineno, codes in self._declared:
+            for code in sorted(codes):
+                if code != "all" and code not in active_codes:
+                    continue
+                # The comment covers its own line and, when alone on the
+                # line, the next one; used on either means not stale.
+                if (lineno, code) in self._used or (
+                    lineno + 1,
+                    code,
+                ) in self._used:
+                    continue
+                yield Violation(
+                    rule=UNUSED_WAIVER_CODE,
+                    path=path,
+                    line=lineno,
+                    col=0,
+                    message=(
+                        f"unused waiver: 'reprolint: disable={code}' "
+                        "suppresses nothing here — remove it"
+                    ),
+                )
+        for code in sorted(self.file_wide):
+            if code != "all" and code not in active_codes:
+                continue
+            if code in self._used_file_wide:
+                continue
+            yield Violation(
+                rule=UNUSED_WAIVER_CODE,
+                path=path,
+                line=1,
+                col=0,
+                message=(
+                    f"unused waiver: 'reprolint: disable-file={code}' "
+                    "suppresses nothing in this file — remove it"
+                ),
+            )
+
+
 def suppressed_lines(source: ModuleSource) -> tuple[dict[int, set[str]], set[str]]:
     """Parse suppression comments out of ``source``.
 
@@ -157,10 +302,7 @@ def suppressed_lines(source: ModuleSource) -> tuple[dict[int, set[str]], set[str
     """
     per_line: dict[int, set[str]] = {}
     file_wide: set[str] = set()
-    for lineno, line in enumerate(source.lines, start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
+    for lineno, line, match in _waiver_comments(source):
         codes = {c.strip() for c in match.group(2).split(",") if c.strip()}
         if match.group(1) == "disable-file":
             file_wide |= codes
@@ -172,30 +314,128 @@ def suppressed_lines(source: ModuleSource) -> tuple[dict[int, set[str]], set[str
     return per_line, file_wide
 
 
-def _is_suppressed(
-    violation: Violation,
-    per_line: dict[int, set[str]],
-    file_wide: set[str],
-) -> bool:
-    if violation.rule in file_wide or "all" in file_wide:
-        return True
-    codes = per_line.get(violation.line, ())
-    return violation.rule in codes or "all" in codes
+def _waiver_comments(
+    source: ModuleSource,
+) -> Iterator[tuple[int, str, "re.Match[str]"]]:
+    """Waiver directives found in actual ``#`` comments.
+
+    Tokenising (rather than regex-scanning raw lines) keeps a docstring
+    that merely *mentions* the waiver syntax — rule documentation does —
+    from acting as (or being reported as) a real waiver.  Files that do
+    not tokenise fall back to the line scan: a file being linted always
+    parsed, so this only happens for exotic encodings.
+    """
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source.text).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, ValueError):
+        for lineno, line in enumerate(source.lines, start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is not None:
+                yield lineno, line, match
+        return
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is not None:
+            lineno = token.start[0]
+            line = source.lines[lineno - 1] if lineno <= len(source.lines) else ""
+            yield lineno, line, match
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleResult:
+    """Everything :func:`analyze_module` learned about one file."""
+
+    violations: tuple[Violation, ...]
+    crashes: tuple[RuleCrash, ...]
+    unused_waivers: tuple[Violation, ...]
+
+
+def _run_rule(
+    rule: Rule,
+    source: ModuleSource,
+    crashes: list[RuleCrash],
+    call: "Callable[[], Iterable[Violation]]",
+) -> list[Violation]:
+    try:
+        return list(call())
+    except Exception as exc:  # noqa: BLE001 - crash isolation is the point
+        crashes.append(
+            RuleCrash(
+                rule=rule.code,
+                path=source.path,
+                error=repr(exc),
+                traceback=traceback.format_exc(),
+            )
+        )
+        return []
+
+
+def analyze_module(
+    source: ModuleSource, rules: Sequence[Rule]
+) -> ModuleResult:
+    """Run ``rules`` over one module: findings, crashes, stale waivers.
+
+    Function rules additionally get each function's CFG, built once and
+    shared.  A rule that raises is recorded as a :class:`RuleCrash` and
+    does not abort the other rules (nor surface as a finding).
+    """
+    suppressions = _Suppressions(source)
+    crashes: list[RuleCrash] = []
+    found: list[Violation] = []
+    for rule in rules:
+        found.extend(
+            _run_rule(
+                rule, source, crashes, lambda r=rule: r.check(source)
+            )
+        )
+    function_rules = [r for r in rules if isinstance(r, FunctionRule)]
+    if function_rules:
+        for func in iter_functions(source.tree):
+            try:
+                cfg = build_cfg(func)
+            except Exception as exc:  # noqa: BLE001 - crash isolation
+                crashes.append(
+                    RuleCrash(
+                        rule="<cfg>",
+                        path=source.path,
+                        error=repr(exc),
+                        traceback=traceback.format_exc(),
+                    )
+                )
+                continue
+            for rule in function_rules:
+                found.extend(
+                    _run_rule(
+                        rule,
+                        source,
+                        crashes,
+                        lambda r=rule: r.check_function(source, func, cfg),
+                    )
+                )
+    kept = [v for v in found if not suppressions.is_suppressed(v)]
+    kept.sort(key=lambda v: (v.line, v.col, v.rule))
+    active = frozenset(r.code for r in rules)
+    unused = tuple(suppressions.unused(source.path, active))
+    return ModuleResult(
+        violations=tuple(kept),
+        crashes=tuple(crashes),
+        unused_waivers=unused,
+    )
 
 
 def check_module(
     source: ModuleSource, rules: Sequence[Rule]
 ) -> list[Violation]:
-    """Run ``rules`` over one parsed module, honouring suppressions."""
-    per_line, file_wide = suppressed_lines(source)
-    found = [
-        violation
-        for rule in rules
-        for violation in rule.check(source)
-        if not _is_suppressed(violation, per_line, file_wide)
-    ]
-    found.sort(key=lambda v: (v.line, v.col, v.rule))
-    return found
+    """Run ``rules`` over one parsed module, honouring suppressions.
+
+    The original PR 5 entry point, kept for fixtures and tests: findings
+    only, no crash capture, no unused-waiver report.
+    """
+    return list(analyze_module(source, rules).violations)
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -228,29 +468,59 @@ class LintReport:
     files_checked: int
     #: The rules that ran (for reporting).
     rules: tuple[Rule, ...] = field(default=())
+    #: Internal rule failures (exit 2, not exit 1).
+    crashes: tuple[RuleCrash, ...] = field(default=())
+    #: Wall-clock time spent linting, in seconds.
+    elapsed_seconds: float = 0.0
+    #: Files whose AST came from the parse cache.
+    files_cached: int = 0
 
     @property
     def ok(self) -> bool:
-        """True when no violations were found."""
-        return not self.violations
+        """True when no violations were found and no rule crashed."""
+        return not self.violations and not self.crashes
 
 
 def lint_paths(
-    paths: Iterable[Path], rules: Sequence[Rule] | None = None
+    paths: Iterable[Path],
+    rules: Sequence[Rule] | None = None,
+    *,
+    cache: "object | None" = None,
+    report_unused_waivers: bool = True,
 ) -> LintReport:
     """Lint every Python file under ``paths`` with ``rules``.
 
     ``rules=None`` runs the default rule set (all ``REPxxx`` rules).
+    ``cache`` is an :class:`~repro.lint.cache.AstCache` (or anything with
+    its ``load``/``store`` methods); ``None`` parses every file fresh.
     """
     if rules is None:
         from .rules import default_rules
 
         rules = default_rules()
+    started = time.perf_counter()
     violations: list[Violation] = []
+    crashes: list[RuleCrash] = []
     files = 0
+    cached = 0
     for path in iter_python_files(paths):
         files += 1
-        violations.extend(check_module(ModuleSource.from_path(path), rules))
+        tree = cache.load(path) if cache is not None else None
+        if tree is not None:
+            cached += 1
+        source = ModuleSource.from_path(path, tree=tree)
+        if cache is not None and tree is None:
+            cache.store(path, source.tree)
+        result = analyze_module(source, rules)
+        violations.extend(result.violations)
+        crashes.extend(result.crashes)
+        if report_unused_waivers:
+            violations.extend(result.unused_waivers)
     return LintReport(
-        violations=tuple(violations), files_checked=files, rules=tuple(rules)
+        violations=tuple(violations),
+        files_checked=files,
+        rules=tuple(rules),
+        crashes=tuple(crashes),
+        elapsed_seconds=time.perf_counter() - started,
+        files_cached=cached,
     )

@@ -4,26 +4,39 @@ One module per rule family; :func:`default_rules` builds the full set
 the CLI and the repo-consistency gate run.  Rules are instantiated
 fresh per call so callers can safely customise one instance (e.g. a
 narrowed bit-exact scope in tests) without affecting others.
+
+REP001–REP005 are the PR 5 syntactic rules; REP006–REP009 ride the
+CFG/dataflow engine (``lint/cfg.py`` + ``lint/dataflow.py``) or extend
+the invariant surface to the process boundary and the bench schemas.
 """
 
 from __future__ import annotations
 
 from ..framework import Rule
 from .bitexact import BIT_EXACT_MODULES, BitExactRule
+from .intwidth import IntWidthRule
+from .ipcsafety import IPC_CLASSES, IpcSafetyRule
 from .layering import ALLOWED_IMPORTS, LAYER_PREFIXES, LayeringRule
 from .lifecycle import ResourceLifecycleRule
+from .lifecycle_flow import FlowLifecycleRule
 from .probes import ProbePurityRule
+from .schema import SchemaDriftRule
 from .shims import DeprecatedShimRule
 
 __all__ = [
     "ALLOWED_IMPORTS",
     "BIT_EXACT_MODULES",
+    "IPC_CLASSES",
     "LAYER_PREFIXES",
     "BitExactRule",
     "DeprecatedShimRule",
+    "FlowLifecycleRule",
+    "IntWidthRule",
+    "IpcSafetyRule",
     "LayeringRule",
     "ProbePurityRule",
     "ResourceLifecycleRule",
+    "SchemaDriftRule",
     "default_rules",
 ]
 
@@ -36,4 +49,8 @@ def default_rules() -> tuple[Rule, ...]:
         ProbePurityRule(),
         LayeringRule(),
         DeprecatedShimRule(),
+        IntWidthRule(),
+        FlowLifecycleRule(),
+        IpcSafetyRule(),
+        SchemaDriftRule(),
     )

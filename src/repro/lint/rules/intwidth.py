@@ -1,0 +1,200 @@
+"""REP006 — intermediates in bit-exact modules must fit the int64 ABI.
+
+The bit-identity contract spans three tiers: NumPy int64 arrays, the
+self-compiled C99 codec bound through an explicit ``int64_t`` ctypes
+ABI, and the hardware cost tables.  Python integers are unbounded, so
+the Python tier *cannot* overflow — which is exactly the hazard: an
+intermediate that silently exceeds 2**63-1 in Python wraps (C, UB on
+signed overflow) or raises (NumPy) in the other tiers, and REP001's
+float check cannot see it because everything stays an integer.
+
+Two checks, both scoped to the REP001 bit-exact modules:
+
+- **Value-range abstract interpretation** (flow-sensitive): every
+  arithmetic expression whose interval is *provably* outside the signed
+  64-bit range ``[-2**63, 2**63-1]`` is flagged — shifts, width×depth
+  products, powers, and ``-(-a // b)`` ceils included.  Unknown ranges
+  (TOP) are never flagged: the rule reports constructions that overflow
+  by construction, not possibilities.
+- **Native ABI pinning** (syntactic, ``core/packing/native`` only):
+  ctypes marshalling must use explicitly sized types.  Platform-width
+  names (``c_int``, ``c_long``, ``c_uint``, ...) and floating-point
+  ctypes are flagged wherever they appear, so every entry point in the
+  ``_SIGNATURES`` table is pinned to ``c_int64`` / ``c_int32`` /
+  ``c_uint8`` rather than whatever the host ABI happens to make
+  ``int``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+
+from ..cfg import CFG, FunctionNode, header_parts
+from ..dataflow import (
+    Interval,
+    binop_interval,
+    eval_interval,
+    interval_environments,
+    transfer_node,
+)
+from ..framework import ModuleSource, Violation
+from .bitexact import BIT_EXACT_MODULES, _in_scope
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+#: Module prefix holding the ctypes ABI declarations.
+_NATIVE_PREFIX = "repro.core.packing.native"
+
+#: ctypes names with an explicit, host-independent width (plus the
+#: structural helpers the loader legitimately uses).
+_SIZED_CTYPES = frozenset(
+    {
+        "c_int8",
+        "c_int16",
+        "c_int32",
+        "c_int64",
+        "c_uint8",
+        "c_uint16",
+        "c_uint32",
+        "c_uint64",
+        "c_size_t",  # defined by the C ABI contract, not the host int
+        "c_ssize_t",
+        "c_char_p",
+        "c_void_p",
+        "c_bool",
+        "POINTER",
+        "CDLL",
+        "byref",
+        "cast",
+        "addressof",
+        "sizeof",
+    }
+)
+
+#: ctypes names whose width (or arithmetic) depends on the host.
+_UNPINNED_CTYPES = frozenset(
+    {
+        "c_int",
+        "c_uint",
+        "c_long",
+        "c_ulong",
+        "c_longlong",
+        "c_ulonglong",
+        "c_short",
+        "c_ushort",
+        "c_byte",
+        "c_ubyte",
+        "c_float",
+        "c_double",
+        "c_longdouble",
+        "c_wchar_p",
+    }
+)
+
+
+def _overflow_reason(interval: Interval) -> str | None:
+    if interval.lo != -float("inf") and interval.lo < INT64_MIN:
+        return f"provably reaches {int(interval.lo)} < -2**63"
+    if interval.hi != float("inf") and interval.hi > INT64_MAX:
+        return f"provably reaches {int(interval.hi)} > 2**63-1"
+    return None
+
+
+def _arith_nodes(stmt: ast.AST) -> Iterator[ast.AST]:
+    """Arithmetic expressions in a statement, outermost first."""
+    for part in header_parts(stmt):
+        for node in ast.walk(part):
+            if isinstance(node, (ast.BinOp, ast.UnaryOp, ast.AugAssign)):
+                yield node
+
+
+class IntWidthRule:
+    """REP006: bit-exact arithmetic must provably stay inside int64."""
+
+    code = "REP006"
+    name = "int64-width"
+    description = (
+        "Arithmetic in bit-exact modules must fit the signed 64-bit "
+        "native ABI: expressions whose value range provably exceeds "
+        "[-2**63, 2**63-1] are flagged, and ctypes declarations in the "
+        "native tier must use explicitly sized types (c_int64, c_int32, "
+        "c_uint8), never platform-width ones."
+    )
+
+    def __init__(self, modules: Sequence[str] = BIT_EXACT_MODULES) -> None:
+        self.modules = tuple(modules)
+
+    def check(self, source: ModuleSource) -> Iterator[Violation]:
+        """Module-level sweep: the native-ABI pinning check."""
+        if not _in_scope(source.module, (_NATIVE_PREFIX,)):
+            return
+        for node in ast.walk(source.tree):
+            name: str | None = None
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "ctypes"
+            ):
+                name = node.attr
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, ast.Load
+            ):
+                name = node.id
+            if name is None or name not in _UNPINNED_CTYPES:
+                continue
+            yield Violation(
+                rule=self.code,
+                path=source.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"host-width ctypes type '{name}' in the native ABI: "
+                    "use an explicitly sized type (c_int64/c_int32/c_uint8) "
+                    "so the marshalling layer matches the int64_t codec "
+                    "contract on every platform"
+                ),
+            )
+
+    def check_function(
+        self, source: ModuleSource, func: FunctionNode, cfg: CFG
+    ) -> Iterator[Violation]:
+        """Flow-sensitive sweep: provable int64 overflow."""
+        if not _in_scope(source.module, self.modules):
+            return
+        reported: set[tuple[int, int]] = set()
+        for block, env in interval_environments(cfg):
+            for stmt in block.nodes:
+                for expr in _arith_nodes(stmt):
+                    if isinstance(expr, ast.AugAssign):
+                        target = (
+                            env.get(expr.target.id)
+                            if isinstance(expr.target, ast.Name)
+                            else None
+                        )
+                        if target is None:
+                            continue
+                        interval = binop_interval(
+                            expr.op, target, eval_interval(expr.value, env)
+                        )
+                    else:
+                        interval = eval_interval(expr, env)
+                    reason = _overflow_reason(interval)
+                    key = (expr.lineno, expr.col_offset)
+                    if reason is None or key in reported:
+                        continue
+                    reported.add(key)
+                    yield Violation(
+                        rule=self.code,
+                        path=source.path,
+                        line=expr.lineno,
+                        col=expr.col_offset,
+                        message=(
+                            f"int64 overflow in bit-exact module "
+                            f"{source.module}: '{ast.unparse(expr)}' "
+                            f"{reason}; the native/NumPy tiers wrap or "
+                            "raise where Python keeps going"
+                        ),
+                    )
+                transfer_node(stmt, env)

@@ -79,13 +79,18 @@ class FrameResult:
     index: int
     slot: int
     #: ``EngineStats`` fields as a plain dict (small; crosses the queue).
+    #: Waived: built fresh worker-side per result and never shared after
+    #: pickling, so the copy each side holds is effectively immutable.
+    # reprolint: disable=REP008
     stats: dict = field(default_factory=dict)
     #: Worker-side wall-clock seconds spent in ``engine.run``.
     seconds: float = 0.0
     #: PID of the worker that processed the frame.
     worker_pid: int = 0
     #: Cumulative metrics snapshot of the worker's engine probe
-    #: (``None`` unless the spec asked for a probe).
+    #: (``None`` unless the spec asked for a probe).  Waived: a one-way
+    #: snapshot dict, serialised once and read-only on the driver side.
+    # reprolint: disable=REP008
     metrics: dict | None = None
     #: Which submission attempt produced this result (see ``FrameTask``).
     attempt: int = 0

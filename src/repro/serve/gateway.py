@@ -254,8 +254,9 @@ class FrameGateway:
         """Serve one keep-alive connection until EOF or a framing error."""
         self._state.connections += 1
         task = asyncio.current_task()
-        if task is not None:
-            self._state.conn_tasks.add(task)
+        if task is None:  # pragma: no cover - the server always spawns a task
+            raise RuntimeError("connection handler must run inside a task")
+        self._state.conn_tasks.add(task)
         try:
             while True:
                 try:
@@ -280,8 +281,7 @@ class FrameGateway:
         except ConnectionError:  # pragma: no cover - peer vanished mid-write
             pass
         finally:
-            if task is not None:
-                self._state.conn_tasks.discard(task)
+            self._state.conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()

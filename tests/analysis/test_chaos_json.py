@@ -1,0 +1,86 @@
+"""BENCH_chaos.json schema contract: write, validate, reject drift.
+
+The REP009 schema-drift rule requires every ``repro-*/N`` schema to be
+referenced by the test suite alongside its ``load_*_json`` validator —
+this module is that reference for ``repro-chaos/1``, exercising the
+round-trip on a synthetic campaign report (no real process kills, so it
+stays tier-1 fast).
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.chaos import (
+    CHAOS_SCHEMA,
+    ChaosOptions,
+    ChaosPoint,
+    ChaosReport,
+    ChaosScenario,
+    load_chaos_json,
+    write_chaos_json,
+)
+from repro.errors import ConfigError
+
+FRAMES = 4
+
+
+def make_report(**point_overrides) -> ChaosReport:
+    options = ChaosOptions(
+        frames=FRAMES, scenarios=(ChaosScenario(name="baseline"),)
+    )
+    fields = dict(
+        scenario=options.scenarios[0],
+        faults={"kill": 0, "raise": 0, "delay": 0, "drop": 0, "poison": 0},
+        delivered=FRAMES,
+        failed=0,
+        retries=0,
+        degraded=0,
+        worker_deaths=0,
+        slots_reclaimed=0,
+        results_dropped=0,
+        pool_respawns=0,
+        recoveries=0,
+        recovery_seconds_mean=0.0,
+        recovery_seconds_max=0.0,
+        bit_identical=True,
+        seconds=0.25,
+        free_slots=4,
+        slots=4,
+    )
+    fields.update(point_overrides)
+    return ChaosReport(
+        options=options, cpu_count=1, points=(ChaosPoint(**fields),)
+    )
+
+
+class TestChaosJson:
+    def test_roundtrip_and_schema(self, tmp_path):
+        path = tmp_path / "BENCH_chaos.json"
+        write_chaos_json(make_report(), path)
+        payload = load_chaos_json(path)
+        assert payload["schema"] == CHAOS_SCHEMA
+        assert payload["frames"] == FRAMES
+        (entry,) = payload["scenarios"]
+        assert entry["name"] == "baseline"
+        assert entry["delivered"] == FRAMES
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        payload = make_report().to_json_dict()
+        payload["schema"] = "repro-chaos/999"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigError, match="schema"):
+            load_chaos_json(path)
+
+    def test_load_rejects_lost_frames(self, tmp_path):
+        path = tmp_path / "lost.json"
+        write_chaos_json(make_report(delivered=FRAMES - 1), path)
+        with pytest.raises(ConfigError, match="lost frames"):
+            load_chaos_json(path)
+
+    def test_load_rejects_leaked_slots(self, tmp_path):
+        path = tmp_path / "leak.json"
+        write_chaos_json(make_report(free_slots=3), path)
+        with pytest.raises(ConfigError, match="leaked ring slots"):
+            load_chaos_json(path)

@@ -1,0 +1,11 @@
+"""Shared lint-test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_lint_cache(tmp_path, monkeypatch):
+    """Keep every lint test's AST cache inside its tmp dir."""
+    monkeypatch.setenv("REPRO_LINT_CACHE", str(tmp_path / "lint-cache"))

@@ -1,0 +1,429 @@
+"""Unit suite for the per-function CFG builder (:mod:`repro.lint.cfg`).
+
+Each test parses a small function, builds its CFG, and asserts on the
+structural properties rules depend on: edge kinds, reachability, which
+block owns which statement, and how abrupt exits (return/break/raise)
+are routed — including through ``finally`` bodies.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.cfg import (
+    EXCEPTIONAL_KINDS,
+    build_cfg,
+    header_parts,
+    iter_functions,
+)
+
+
+def _cfg(source: str, name: str | None = None):
+    tree = ast.parse(textwrap.dedent(source))
+    for func in iter_functions(tree):
+        if name is None or func.name == name:
+            return build_cfg(func)
+    raise AssertionError(f"function {name!r} not found")
+
+
+def _edges(cfg) -> set[tuple[int, int, str]]:
+    return {(e.src, e.dst, e.kind) for b in cfg.blocks for e in b.succ}
+
+
+def _kinds(cfg) -> set[str]:
+    return {e.kind for b in cfg.blocks for e in b.succ}
+
+
+def _stmt_block(cfg, node_type):
+    """The first block whose statement is an instance of ``node_type``."""
+    for block in cfg.blocks:
+        if isinstance(block.stmt, node_type):
+            return block
+    raise AssertionError(f"no block holds a {node_type.__name__}")
+
+
+class TestStraightLine:
+    def test_linear_chain_entry_to_exit(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                a = x
+                b = a
+                return b
+            """
+        )
+        assert cfg.exit.id in cfg.reachable()
+        # Return routes straight to exit with a "return" edge.
+        ret = _stmt_block(cfg, ast.Return)
+        assert any(
+            e.dst == cfg.exit.id and e.kind == "return" for e in ret.succ
+        )
+
+    def test_implicit_return_falls_through(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                a = x
+            """
+        )
+        # The last statement's block reaches exit via a plain next edge.
+        last = _stmt_block(cfg, ast.Assign)
+        assert any(
+            e.dst == cfg.exit.id and e.kind == "next" for e in last.succ
+        )
+
+    def test_block_of_maps_header_expressions(self):
+        cfg = _cfg(
+            """
+            def f(items):
+                for item in items:
+                    use(item)
+            """
+        )
+        loop = cfg.func.body[0]
+        head = cfg.block_of(loop.iter)
+        assert head is not None
+        assert head is cfg.block_of(loop.target)
+        assert head.label == "loop-head"
+
+
+class TestBranches:
+    def test_if_has_true_false_edges_and_join(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+            """
+        )
+        test_block = cfg.block_of(cfg.func.body[0].test)
+        kinds = {e.kind for e in test_block.succ}
+        assert {"true", "false"} <= kinds
+
+    def test_if_without_else_false_edge_to_join(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                if x:
+                    a = 1
+                return x
+            """
+        )
+        test_block = cfg.block_of(cfg.func.body[0].test)
+        false_edges = [e for e in test_block.succ if e.kind == "false"]
+        assert len(false_edges) == 1
+        # Both arms converge: the return is reachable.
+        assert _stmt_block(cfg, ast.Return).id in cfg.reachable()
+
+    def test_early_return_arm_does_not_reach_join(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                if x:
+                    return None
+                tail = 1
+                return tail
+            """
+        )
+        early = _stmt_block(cfg, ast.Return)
+        assert [e.kind for e in early.succ] == ["return"]
+        # The tail assignment is still reachable via the false edge.
+        tail = _stmt_block(cfg, ast.Assign)
+        assert tail.id in cfg.reachable()
+
+
+class TestLoops:
+    def test_while_loop_shape(self):
+        cfg = _cfg(
+            """
+            def f(n):
+                i = 0
+                while i < n:
+                    i = i + 1
+                return i
+            """
+        )
+        head = cfg.block_of(cfg.func.body[1].test)
+        assert head.label == "loop-head"
+        assert {e.kind for e in head.succ} >= {"true", "false"}
+        # The body's last block loops back to the head.
+        assert any(
+            e.dst == head.id and e.kind == "back"
+            for b in cfg.blocks
+            for e in b.succ
+        )
+
+    def test_for_loop_break_routes_to_after(self):
+        cfg = _cfg(
+            """
+            def f(items):
+                for item in items:
+                    if item:
+                        break
+                return None
+            """
+        )
+        brk = _stmt_block(cfg, ast.Break)
+        (edge,) = [e for e in brk.succ if e.kind == "break"]
+        # break lands on the loop's join block, from which return is next.
+        ret = _stmt_block(cfg, ast.Return)
+        assert any(e.dst == ret.id for e in cfg.blocks[edge.dst].succ)
+
+    def test_continue_routes_back_to_header(self):
+        cfg = _cfg(
+            """
+            def f(items):
+                for item in items:
+                    if item:
+                        continue
+                    use(item)
+            """
+        )
+        cont = _stmt_block(cfg, ast.Continue)
+        head = cfg.block_of(cfg.func.body[0].iter)
+        assert any(
+            e.dst == head.id and e.kind == "continue" for e in cont.succ
+        )
+
+    def test_while_true_without_break_never_reaches_false_exit(self):
+        cfg = _cfg(
+            """
+            def f():
+                while True:
+                    spin()
+            """
+        )
+        head = cfg.block_of(cfg.func.body[0].test)
+        assert not any(e.kind == "false" for e in head.succ)
+
+
+class TestExceptions:
+    def test_call_statement_gets_exc_edge(self):
+        cfg = _cfg(
+            """
+            def f(ring):
+                slot = ring.acquire()
+                return slot
+            """
+        )
+        acquire = _stmt_block(cfg, ast.Assign)
+        assert any(e.kind in EXCEPTIONAL_KINDS for e in acquire.succ)
+
+    def test_non_call_statement_has_no_exc_edge(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                a = x
+                return a
+            """
+        )
+        assign = _stmt_block(cfg, ast.Assign)
+        assert not any(e.kind in EXCEPTIONAL_KINDS for e in assign.succ)
+
+    def test_try_body_exception_dispatches_to_handler(self):
+        cfg = _cfg(
+            """
+            def f(ring):
+                try:
+                    slot = ring.acquire()
+                except ValueError:
+                    recover()
+                return None
+            """
+        )
+        acquire = _stmt_block(cfg, ast.Assign)
+        handler = _stmt_block(cfg, ast.ExceptHandler)
+        assert any(
+            e.dst == handler.id and e.kind == "exc" for e in acquire.succ
+        )
+
+    def test_handler_body_is_trusted_cleanup(self):
+        cfg = _cfg(
+            """
+            def f(ring, slot):
+                try:
+                    use(slot)
+                except ValueError:
+                    ring.release(slot)
+            """
+        )
+        release = next(
+            b
+            for b in cfg.blocks
+            if isinstance(b.stmt, ast.Expr)
+            and isinstance(b.stmt.value, ast.Call)
+            and isinstance(b.stmt.value.func, ast.Attribute)
+            and b.stmt.value.func.attr == "release"
+        )
+        assert not any(e.kind in EXCEPTIONAL_KINDS for e in release.succ)
+
+    def test_raise_routes_to_exit_when_uncaught(self):
+        cfg = _cfg(
+            """
+            def f():
+                raise ValueError("boom")
+            """
+        )
+        rse = _stmt_block(cfg, ast.Raise)
+        assert any(
+            e.dst == cfg.exit.id and e.kind == "raise" for e in rse.succ
+        )
+
+
+class TestFinally:
+    def test_return_routes_through_finally(self):
+        cfg = _cfg(
+            """
+            def f(ring):
+                slot = ring.acquire()
+                try:
+                    return use(slot)
+                finally:
+                    ring.release(slot)
+            """
+        )
+        ret = _stmt_block(cfg, ast.Return)
+        # The return edge must NOT go straight to exit; it first lands on
+        # the finally placeholder, and the built finally body then fans
+        # out to exit with the original "return" kind.
+        direct = [e for e in ret.succ if e.dst == cfg.exit.id]
+        assert not direct
+        fin = next(b for b in cfg.blocks if b.label == "finally")
+        assert any(e.dst == fin.id for e in ret.succ)
+        # From the finally body's end, a return-kind edge reaches exit.
+        assert ("return" in _kinds(cfg))
+        assert any(
+            e.dst == cfg.exit.id and e.kind == "return"
+            for b in cfg.blocks
+            for e in b.succ
+        )
+
+    def test_uncaught_exception_still_runs_finally(self):
+        cfg = _cfg(
+            """
+            def f(ring, slot):
+                try:
+                    use(slot)
+                finally:
+                    ring.release(slot)
+            """
+        )
+        use = next(
+            b
+            for b in cfg.blocks
+            if isinstance(b.stmt, ast.Expr)
+            and isinstance(b.stmt.value, ast.Call)
+            and isinstance(b.stmt.value.func, ast.Name)
+        )
+        fin = next(b for b in cfg.blocks if b.label == "finally")
+        assert any(e.dst == fin.id and e.kind == "exc" for e in use.succ)
+        # The finally body re-raises onward to exit.  The continuation
+        # is kind "raise" (the finally completed), not "exc" (which
+        # would tell dataflow the cleanup may not have happened).
+        assert any(
+            e.dst == cfg.exit.id and e.kind == "raise"
+            for b in cfg.blocks
+            for e in b.succ
+        )
+
+    def test_break_inside_try_runs_finally_before_leaving_loop(self):
+        cfg = _cfg(
+            """
+            def f(items, ring, slot):
+                for item in items:
+                    try:
+                        break
+                    finally:
+                        ring.release(slot)
+                return None
+            """
+        )
+        brk = _stmt_block(cfg, ast.Break)
+        fin = next(b for b in cfg.blocks if b.label == "finally")
+        assert any(e.dst == fin.id and e.kind == "break" for e in brk.succ)
+
+
+class TestWith:
+    def test_with_body_follows_header(self):
+        cfg = _cfg(
+            """
+            def f(path):
+                with open(path) as fh:
+                    data = fh.read()
+                return data
+            """
+        )
+        with_stmt = cfg.func.body[0]
+        head = cfg.block_of(with_stmt.items[0].context_expr)
+        assert head.label == "with"
+        body = _stmt_block(cfg, ast.Assign)
+        assert any(e.dst == body.id for e in head.succ)
+
+    def test_header_parts_with_yields_context_and_vars(self):
+        node = ast.parse("with open(p) as fh:\n    pass").body[0]
+        parts = list(header_parts(node))
+        assert len(parts) == 2  # context_expr + optional_vars
+
+    def test_nested_def_is_opaque(self):
+        cfg = _cfg(
+            """
+            def outer():
+                def inner():
+                    return 1
+                return inner
+            """,
+            name="outer",
+        )
+        # The nested def occupies one block; its body spawns no blocks here.
+        inner_def = _stmt_block(cfg, ast.FunctionDef)
+        assert inner_def.stmt.name == "inner"
+        assert list(header_parts(inner_def.stmt)) == []
+        # And the nested function still gets its own CFG via iter_functions.
+        inner_cfg = _cfg(
+            """
+            def outer():
+                def inner():
+                    return 1
+                return inner
+            """,
+            name="inner",
+        )
+        assert inner_cfg.func.name == "inner"
+
+
+class TestMatch:
+    def test_match_arms_fan_out_and_join(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                match x:
+                    case 0:
+                        a = 1
+                    case _:
+                        a = 2
+                return a
+            """
+        )
+        subject = cfg.block_of(cfg.func.body[0].subject)
+        case_edges = [e for e in subject.succ if e.kind == "case"]
+        assert len(case_edges) == 2
+        assert _stmt_block(cfg, ast.Return).id in cfg.reachable()
+
+
+class TestRender:
+    def test_render_lists_every_block(self):
+        cfg = _cfg(
+            """
+            def f(x):
+                if x:
+                    return 1
+                return 2
+            """
+        )
+        text = cfg.render()
+        assert len(text.splitlines()) == len(cfg.blocks)
+        assert "entry" in text and "exit" in text

@@ -110,7 +110,7 @@ class TestDrivers:
         report = lint_paths([tmp_path])
         assert report.files_checked == 2
         assert report.ok
-        assert len(report.rules) == 5
+        assert len(report.rules) == 9
 
     def test_violations_sorted_by_position(self):
         source = _src("y = a / b\nx = 1.5\n")
@@ -159,6 +159,10 @@ class TestReporters:
             "REP003",
             "REP004",
             "REP005",
+            "REP006",
+            "REP007",
+            "REP008",
+            "REP009",
         }
 
     def test_load_rejects_wrong_schema(self):
